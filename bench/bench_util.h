@@ -1,0 +1,53 @@
+// Shared scaffolding for the paper-reproduction bench binaries.
+//
+// Every bench prints: the experiment it reproduces, the paper's reported
+// result, our measured rows, and a SHAPE CHECK verdict — reproducing the
+// *shape* (who wins, by roughly what factor, where crossovers fall), not the
+// absolute numbers of the authors' 1.88 TB testbed.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment.h"
+#include "src/harness/report.h"
+
+namespace fdpcache {
+
+// The benches' default deployment: a 512 MiB-physical scaled PM9D3 with
+// 2 MiB reclaim units, 10% device OP, 8 initially isolated RUHs.
+inline ExperimentConfig BenchBaseConfig() {
+  ExperimentConfig config;
+  config.num_superblocks = 256;
+  config.device_op_fraction = 0.10;
+  config.soc_fraction = 0.04;
+  config.total_ops = static_cast<uint64_t>(400'000 * BenchScale());
+  config.max_warmup_ops = static_cast<uint64_t>(4'000'000 * BenchScale());
+  config.dlwa_samples = 16;
+  return config;
+}
+
+// Smaller device for wide sweeps (many runs per bench).
+inline ExperimentConfig BenchSweepConfig() {
+  ExperimentConfig config = BenchBaseConfig();
+  config.num_superblocks = 128;  // 256 MiB physical.
+  config.total_ops = static_cast<uint64_t>(250'000 * BenchScale());
+  return config;
+}
+
+inline void PrintHeader(const char* experiment, const char* paper_claim) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper reports: %s\n", paper_claim);
+  std::printf("==============================================================================\n");
+}
+
+inline void PrintShapeCheck(bool ok, const std::string& criteria) {
+  std::printf("SHAPE CHECK: %s  (%s)\n\n", ok ? "PASS" : "FAIL", criteria.c_str());
+}
+
+}  // namespace fdpcache
+
+#endif  // BENCH_BENCH_UTIL_H_

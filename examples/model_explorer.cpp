@@ -1,0 +1,59 @@
+// Model explorer: the paper's analytical DLWA and carbon models (Theorems
+// 1-3) as a capacity-planning tool. Answers: how much overprovisioning does
+// a given SOC size need for DLWA ~1, and what does DLWA cost in carbon?
+//
+// Usage: ./build/examples/model_explorer
+#include <cstdio>
+#include <initializer_list>
+
+#include "src/model/carbon_model.h"
+#include "src/model/dlwa_model.h"
+
+int main() {
+  using namespace fdpcache;
+  const double device = 1.88e12;  // The paper's 1.88 TB PM9D3.
+
+  std::printf("Theorem 1: SOC DLWA vs device overprovisioning (100%% utilization)\n");
+  std::printf("%-10s", "SOC\\OP");
+  for (const double op : {0.07, 0.14, 0.20, 0.28, 0.50}) {
+    std::printf("%8.0f%%", op * 100);
+  }
+  std::printf("\n");
+  for (const double soc : {0.04, 0.08, 0.16, 0.32, 0.64, 0.96}) {
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.0f%%", soc * 100);
+    std::printf("%-10s", label);
+    for (const double op : {0.07, 0.14, 0.20, 0.28, 0.50}) {
+      const double dlwa = SocDlwaModel::DeploymentDlwa(device, 1.0, soc, op);
+      std::printf("%9.2f", dlwa);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nUtilization sweep at 4%% SOC, 7%% OP (paper Figure 6 FDP curve):\n");
+  for (const double util : {0.5, 0.7, 0.9, 0.95, 1.0}) {
+    std::printf("  util=%3.0f%%  model DLWA=%.3f\n", util * 100,
+                SocDlwaModel::DeploymentDlwa(device, util, 0.04, 0.07));
+  }
+
+  std::printf("\nTheorem 2: embodied carbon over a 5-year lifecycle (1.88 TB SSD)\n");
+  CarbonModel carbon;
+  for (const double dlwa : {1.0, 1.3, 2.0, 3.5}) {
+    std::printf("  DLWA %.1f -> %6.0f kg CO2e (%.1fx of ideal)\n", dlwa,
+                carbon.EmbodiedSsdKg(dlwa, 1880.0), dlwa);
+  }
+
+  std::printf("\nDRAM vs flash embodied carbon (per paper: DRAM >= 10x per GB):\n");
+  std::printf("  42 GB DRAM  = %6.1f kg CO2e\n", carbon.EmbodiedDramKg(42.0));
+  std::printf("  42 GB flash = %6.1f kg CO2e\n", carbon.EmbodiedSsdKg(1.0, 42.0));
+
+  std::printf("\nTheorem 3: operational energy proportionality\n");
+  OperationalEnergyModel energy;
+  const uint64_t host_ops = 1'000'000'000;
+  for (const double dlwa : {1.0, 2.0, 3.5}) {
+    const auto migrations = static_cast<uint64_t>(static_cast<double>(host_ops) * (dlwa - 1.0));
+    std::printf("  DLWA %.1f -> %.1f kWh for 1B host page writes\n", dlwa,
+                energy.EnergyUj(host_ops, migrations) / 1e6 / 3.6e6);
+  }
+  return 0;
+}

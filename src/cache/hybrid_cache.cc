@@ -1,0 +1,68 @@
+#include "src/cache/hybrid_cache.h"
+
+namespace fdpcache {
+
+HybridCache::HybridCache(Device* device, const HybridCacheConfig& config,
+                         PlacementHandleAllocator* allocator, AdmissionPolicy* admission)
+    : ram_(config.ram_bytes),
+      navy_(std::make_unique<NavyCache>(device, config.navy, allocator, admission)) {
+  ram_.set_eviction_callback(
+      [this](const std::string& key, const std::string& value) { OnRamEviction(key, value); });
+}
+
+void HybridCache::Set(std::string_view key, std::string_view value) {
+  ++stats_.sets;
+  // The freshest copy now lives in RAM; any flash copy is stale until the
+  // item is spilled again.
+  nvm_stale_.insert(std::string(key));
+  if (!ram_.Put(key, value)) {
+    // Item larger than the whole DRAM budget: write straight to flash, and
+    // drop any older (smaller) RAM copy that would otherwise serve stale.
+    ram_.Remove(key);
+    if (navy_->Insert(key, value)) {
+      nvm_stale_.erase(std::string(key));
+    }
+  }
+}
+
+void HybridCache::OnRamEviction(const std::string& key, const std::string& value) {
+  // DRAM eviction spills to flash (subject to admission). On success the
+  // flash copy is current again.
+  if (navy_->Insert(key, value)) {
+    nvm_stale_.erase(key);
+  }
+}
+
+bool HybridCache::Get(std::string_view key, std::string* value) {
+  ++stats_.gets;
+  if (ram_.Get(key, value)) {
+    ++stats_.ram_hits;
+    return true;
+  }
+  ++stats_.nvm_lookups;
+  const std::string key_str(key);
+  if (!nvm_stale_.contains(key_str)) {
+    auto flash_value = navy_->Lookup(key);
+    if (flash_value.has_value()) {
+      ++stats_.nvm_hits;
+      if (value != nullptr) {
+        *value = *flash_value;
+      }
+      // Promote to DRAM, like CacheLib's NVM-hit insertion. The promoted
+      // copy matches flash, so the flash copy stays current.
+      ram_.Put(key, *flash_value);
+      nvm_stale_.erase(key_str);
+      return true;
+    }
+  }
+  ++stats_.misses;
+  return false;
+}
+
+void HybridCache::Remove(std::string_view key) {
+  ram_.Remove(key);
+  navy_->Remove(key);
+  nvm_stale_.erase(std::string(key));
+}
+
+}  // namespace fdpcache

@@ -1,0 +1,96 @@
+// HybridCache: the CacheLib-style two-tier cache (paper Figure 1).
+//
+// DRAM holds the hottest items; DRAM evictions spill to the Navy flash engine
+// pair (subject to admission); flash hits are promoted back into DRAM. The
+// public API is CacheLib-shaped: Set / Get / Remove on string keys/values,
+// with the flash layer, placement handles, and FDP entirely hidden — the
+// paper's "non-invasive" design requirement.
+#ifndef SRC_CACHE_HYBRID_CACHE_H_
+#define SRC_CACHE_HYBRID_CACHE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+#include "src/cache/ram_cache.h"
+#include "src/navy/navy_cache.h"
+
+namespace fdpcache {
+
+struct HybridCacheConfig {
+  uint64_t ram_bytes = 64 * 1024 * 1024;
+  NavyConfig navy;
+};
+
+struct HybridCacheStats {
+  uint64_t gets = 0;
+  uint64_t sets = 0;
+  uint64_t ram_hits = 0;
+  uint64_t nvm_lookups = 0;
+  uint64_t nvm_hits = 0;
+  uint64_t misses = 0;
+
+  // Overall cache hit ratio (paper Table 2 "Hit Ratio").
+  double HitRatio() const {
+    return gets == 0 ? 0.0
+                     : static_cast<double>(ram_hits + nvm_hits) / static_cast<double>(gets);
+  }
+  // Hit ratio of the flash tier among lookups that missed DRAM (paper
+  // Table 2 "NVM Hit Ratio").
+  double NvmHitRatio() const {
+    return nvm_lookups == 0 ? 0.0
+                            : static_cast<double>(nvm_hits) / static_cast<double>(nvm_lookups);
+  }
+};
+
+class HybridCache {
+ public:
+  // `device` backs the flash tier and must outlive the cache. `allocator`
+  // and `admission` are optional collaborators (see NavyCache).
+  HybridCache(Device* device, const HybridCacheConfig& config,
+              PlacementHandleAllocator* allocator = nullptr,
+              AdmissionPolicy* admission = nullptr);
+
+  // Inserts or updates an item.
+  void Set(std::string_view key, std::string_view value);
+
+  // Looks up RAM, then flash. Flash hits are promoted to RAM.
+  bool Get(std::string_view key, std::string* value);
+
+  // Removes from both tiers.
+  void Remove(std::string_view key);
+
+  // --- Warm restart ---------------------------------------------------------
+  // Persists flash-tier recovery state (LOC index + metadata) into `state`;
+  // a new HybridCache over the same device recovers the whole flash tier
+  // with Recover(). The DRAM tier starts cold, like CacheLib restarts.
+  bool PersistFlashState(std::string* state) { return navy_->Persist(state); }
+  bool RecoverFlashState(const std::string& state) {
+    nvm_stale_.clear();
+    return navy_->Recover(state);
+  }
+
+  const HybridCacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = HybridCacheStats{}; navy_->ResetStats(); }
+  const RamCache& ram() const { return ram_; }
+  NavyCache& navy() { return *navy_; }
+  const NavyCache& navy() const { return *navy_; }
+
+ private:
+  // Spill path for DRAM evictions.
+  void OnRamEviction(const std::string& key, const std::string& value);
+
+  RamCache ram_;
+  std::unique_ptr<NavyCache> navy_;
+  // Keys whose flash copy (if any) is stale because a newer version was
+  // written to RAM and has not reached flash yet. CacheLib tracks the same
+  // thing with in-memory NVM invalidation state; no device I/O involved.
+  std::unordered_set<std::string> nvm_stale_;
+  HybridCacheStats stats_;
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_CACHE_HYBRID_CACHE_H_

@@ -1,0 +1,65 @@
+#include "src/cache/ram_cache.h"
+
+namespace fdpcache {
+
+bool RamCache::Put(std::string_view key, std::string_view value) {
+  ++stats_.puts;
+  const uint64_t need = ItemBytes(key, value);
+  if (need > budget_) {
+    ++stats_.rejected_too_large;
+    return false;
+  }
+  const auto it = map_.find(std::string(key));
+  if (it != map_.end()) {
+    used_ -= ItemBytes(it->second->key, it->second->value);
+    it->second->value.assign(value);
+    used_ += need;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Item{std::string(key), std::string(value)});
+    map_[lru_.front().key] = lru_.begin();
+    used_ += need;
+  }
+  while (used_ > budget_) {
+    EvictOne();
+  }
+  return true;
+}
+
+bool RamCache::Get(std::string_view key, std::string* value) {
+  ++stats_.gets;
+  const auto it = map_.find(std::string(key));
+  if (it == map_.end()) {
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  if (value != nullptr) {
+    value->assign(it->second->value);
+  }
+  ++stats_.hits;
+  return true;
+}
+
+bool RamCache::Remove(std::string_view key) {
+  const auto it = map_.find(std::string(key));
+  if (it == map_.end()) {
+    return false;
+  }
+  used_ -= ItemBytes(it->second->key, it->second->value);
+  lru_.erase(it->second);
+  map_.erase(it);
+  return true;
+}
+
+void RamCache::EvictOne() {
+  const Item& victim = lru_.back();
+  used_ -= ItemBytes(victim.key, victim.value);
+  ++stats_.evictions;
+  if (on_evict_) {
+    on_evict_(victim.key, victim.value);
+  }
+  map_.erase(victim.key);
+  lru_.pop_back();
+}
+
+}  // namespace fdpcache

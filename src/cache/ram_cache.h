@@ -1,0 +1,76 @@
+// Byte-budgeted LRU RAM cache (CacheLib's DRAM tier, paper Figure 1).
+//
+// Evictions invoke a callback so the hybrid cache can spill evicted items to
+// flash — the write path that makes flash caching write-intensive (paper
+// §2.3: "evictions upon read from DRAM translate to writes on Flash").
+#ifndef SRC_CACHE_RAM_CACHE_H_
+#define SRC_CACHE_RAM_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace fdpcache {
+
+struct RamCacheStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t hits = 0;
+  uint64_t evictions = 0;
+  uint64_t rejected_too_large = 0;
+};
+
+class RamCache {
+ public:
+  using EvictionCallback =
+      std::function<void(const std::string& key, const std::string& value)>;
+
+  // Per-item bookkeeping overhead charged against the budget, approximating
+  // CacheLib's item header + hashtable bucket.
+  static constexpr uint64_t kPerItemOverhead = 64;
+
+  explicit RamCache(uint64_t budget_bytes) : budget_(budget_bytes) {}
+
+  void set_eviction_callback(EvictionCallback cb) { on_evict_ = std::move(cb); }
+
+  // Inserts or updates. Evicts LRU items (invoking the callback) to fit.
+  // Returns false when the item alone exceeds the budget.
+  bool Put(std::string_view key, std::string_view value);
+
+  // Returns true and fills `value` on hit; promotes the item to MRU.
+  bool Get(std::string_view key, std::string* value);
+
+  bool Contains(std::string_view key) const { return map_.contains(std::string(key)); }
+  bool Remove(std::string_view key);
+
+  uint64_t used_bytes() const { return used_; }
+  uint64_t budget_bytes() const { return budget_; }
+  size_t size() const { return map_.size(); }
+  const RamCacheStats& stats() const { return stats_; }
+
+ private:
+  struct Item {
+    std::string key;
+    std::string value;
+  };
+
+  static uint64_t ItemBytes(std::string_view key, std::string_view value) {
+    return key.size() + value.size() + kPerItemOverhead;
+  }
+
+  void EvictOne();
+
+  uint64_t budget_;
+  uint64_t used_ = 0;
+  std::list<Item> lru_;  // Front = MRU, back = LRU.
+  std::unordered_map<std::string, std::list<Item>::iterator> map_;
+  EvictionCallback on_evict_;
+  RamCacheStats stats_;
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_CACHE_RAM_CACHE_H_

@@ -1,0 +1,30 @@
+// Virtual clock shared by the workload driver and the simulated device.
+//
+// The simulator is single-threaded: the driver advances the clock by per-op
+// host CPU costs, device operations are scheduled against it, and
+// backpressure stalls jump it forward when the device falls too far behind.
+#ifndef SRC_COMMON_CLOCK_H_
+#define SRC_COMMON_CLOCK_H_
+
+#include "src/common/units.h"
+
+namespace fdpcache {
+
+class VirtualClock {
+ public:
+  TimeNs now() const { return now_; }
+  void Advance(TimeNs delta) { now_ += delta; }
+  void AdvanceTo(TimeNs t) {
+    if (t > now_) {
+      now_ = t;
+    }
+  }
+  void Reset() { now_ = 0; }
+
+ private:
+  TimeNs now_ = 0;
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_COMMON_CLOCK_H_

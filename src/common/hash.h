@@ -1,0 +1,39 @@
+// 64-bit hashing for keys and bucket placement.
+#ifndef SRC_COMMON_HASH_H_
+#define SRC_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace fdpcache {
+
+// Final avalanche mixer from MurmurHash3 (fmix64); a strong bijective mixer.
+constexpr uint64_t Mix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdull;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+// FNV-1a over bytes, finished with Mix64 for better high-bit diffusion.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return Mix64(h);
+}
+
+inline uint64_t HashString(std::string_view s) { return HashBytes(s.data(), s.size()); }
+
+// Hash of an integer key (used for synthetic keyed workloads).
+constexpr uint64_t HashU64(uint64_t key) { return Mix64(key + 0x9e3779b97f4a7c15ull); }
+
+}  // namespace fdpcache
+
+#endif  // SRC_COMMON_HASH_H_

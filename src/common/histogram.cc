@@ -1,0 +1,95 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+
+namespace fdpcache {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<int>(value);
+  }
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - kSubBucketBits;  // >= 0 because value >= kSubBuckets.
+  const int sub = static_cast<int>((value >> shift) - kSubBuckets);
+  return (shift + 1) * kSubBuckets + sub;
+}
+
+uint64_t Histogram::BucketUpperBound(int index) {
+  if (index < kSubBuckets) {
+    return static_cast<uint64_t>(index);
+  }
+  const int shift = index / kSubBuckets - 1;
+  const int sub = index % kSubBuckets;
+  return ((static_cast<uint64_t>(kSubBuckets) + sub + 1) << shift) - 1;
+}
+
+void Histogram::Record(uint64_t value) { RecordN(value, 1); }
+
+void Histogram::RecordN(uint64_t value, uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  int idx = BucketIndex(value);
+  if (idx >= static_cast<int>(buckets_.size())) {
+    idx = static_cast<int>(buckets_.size()) - 1;
+  }
+  buckets_[idx] += count;
+  count_ += count;
+  sum_ += value * count;
+  if (value < min_) {
+    min_ = value;
+  }
+  if (value > max_) {
+    max_ = value;
+  }
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (q < 0.0) {
+    q = 0.0;
+  }
+  if (q > 100.0) {
+    q = 100.0;
+  }
+  const auto target = static_cast<uint64_t>(q / 100.0 * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      const uint64_t upper = BucketUpperBound(static_cast<int>(i));
+      return upper > max_ ? max_ : upper;
+    }
+  }
+  return max_;
+}
+
+void Histogram::Clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ != 0 && other.min_ < min_) {
+    min_ = other.min_;
+  }
+  if (other.max_ > max_) {
+    max_ = other.max_;
+  }
+}
+
+}  // namespace fdpcache

@@ -1,0 +1,53 @@
+// Log-bucketed value histogram for latency percentiles.
+//
+// Buckets grow geometrically (HdrHistogram-style with linear sub-buckets per
+// power of two), giving <= ~1.6% relative error on percentile queries while
+// keeping recording O(1) and allocation-free after construction.
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fdpcache {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value);
+  void RecordN(uint64_t value, uint64_t count);
+
+  // Value at percentile q in [0, 100]. Returns 0 for an empty histogram.
+  uint64_t Percentile(double q) const;
+
+  uint64_t Count() const { return count_; }
+  uint64_t Sum() const { return sum_; }
+  uint64_t Min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t Max() const { return max_; }
+  double Mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_; }
+
+  void Clear();
+
+  // Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 linear sub-buckets per octave.
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  // Indices: [0, kSubBuckets) exact, then kSubBuckets per octave up to 2^64.
+  static constexpr int kNumBuckets = (64 - kSubBucketBits + 1) * kSubBuckets;
+
+  static int BucketIndex(uint64_t value);
+  static uint64_t BucketUpperBound(int index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~0ull;
+  uint64_t max_ = 0;
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

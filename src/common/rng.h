@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation for simulation and workloads.
+//
+// Uses xoshiro256** seeded via SplitMix64. Every experiment is reproducible
+// from its seed; no global RNG state exists anywhere in the project.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace fdpcache {
+
+// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+constexpr uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedull) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) {
+    // Lemire's multiply-shift bounded generation (bias negligible at 64 bits).
+    return static_cast<uint64_t>((static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) { return lo + NextBelow(hi - lo + 1); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Bernoulli trial with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4] = {};
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_COMMON_RNG_H_

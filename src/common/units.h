@@ -1,0 +1,32 @@
+// Byte-size and time-unit helpers shared across the project.
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace fdpcache {
+
+constexpr uint64_t operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr uint64_t operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr uint64_t operator""_GiB(unsigned long long v) { return v << 30; }
+
+constexpr uint64_t kKiB = 1ull << 10;
+constexpr uint64_t kMiB = 1ull << 20;
+constexpr uint64_t kGiB = 1ull << 30;
+
+// Virtual time is kept in nanoseconds throughout the simulator.
+using TimeNs = uint64_t;
+
+constexpr TimeNs kMicrosecond = 1000ull;
+constexpr TimeNs kMillisecond = 1000ull * kMicrosecond;
+constexpr TimeNs kSecond = 1000ull * kMillisecond;
+
+// Integer ceiling division for sizing calculations.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+// Rounds `a` up to the next multiple of `b`.
+constexpr uint64_t RoundUp(uint64_t a, uint64_t b) { return CeilDiv(a, b) * b; }
+
+}  // namespace fdpcache
+
+#endif  // SRC_COMMON_UNITS_H_

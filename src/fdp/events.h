@@ -1,0 +1,91 @@
+// FDP event log (FDP spec: FDP Events log page).
+//
+// The device appends events as placement-relevant things happen; the host
+// drains them with a get-log-page command. The paper's operational-energy
+// analysis (§6.6) counts Media Relocated events to quantify garbage
+// collection activity; we expose exactly that.
+#ifndef SRC_FDP_EVENTS_H_
+#define SRC_FDP_EVENTS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/fdp/types.h"
+
+namespace fdpcache {
+
+enum class FdpEventType : uint8_t {
+  // Device moved valid data during garbage collection.
+  kMediaRelocated = 0,
+  // A write crossed an RU boundary: the RUH was switched to a fresh RU
+  // (logged, not visible to the host in the data path — paper §3.2.2).
+  kRuSwitched = 1,
+  // An entire reclaim unit became invalid and was erased without relocation
+  // (the ideal DLWA == 1 case).
+  kRuErasedClean = 2,
+  // Host sent a placement directive with an invalid placement identifier.
+  kInvalidPlacementId = 3,
+};
+
+struct FdpEvent {
+  FdpEventType type = FdpEventType::kMediaRelocated;
+  PlacementId pid;       // RUH involved (destination handle for relocations).
+  uint32_t ru_id = 0;    // Reclaim unit involved (victim for relocations).
+  uint64_t pages = 0;    // Pages relocated / erased, where applicable.
+  uint64_t timestamp_ns = 0;
+};
+
+// Bounded event log with drop counting, mirroring how a device-side log page
+// of finite size behaves when the host does not drain it fast enough.
+class FdpEventLog {
+ public:
+  explicit FdpEventLog(size_t capacity = 65536) : capacity_(capacity) {}
+
+  void Append(const FdpEvent& event) {
+    if (events_.size() >= capacity_) {
+      events_.pop_front();
+      ++dropped_;
+    }
+    events_.push_back(event);
+    ++totals_[static_cast<size_t>(event.type)];
+    if (event.type == FdpEventType::kMediaRelocated) {
+      relocated_pages_total_ += event.pages;
+    }
+  }
+
+  // Removes and returns all pending events.
+  std::vector<FdpEvent> Drain() {
+    std::vector<FdpEvent> out(events_.begin(), events_.end());
+    events_.clear();
+    return out;
+  }
+
+  size_t pending() const { return events_.size(); }
+  uint64_t dropped() const { return dropped_; }
+
+  // Cumulative per-type counters (never reset by Drain).
+  uint64_t TotalOf(FdpEventType type) const { return totals_[static_cast<size_t>(type)]; }
+  uint64_t relocated_pages_total() const { return relocated_pages_total_; }
+
+  void Reset() {
+    events_.clear();
+    dropped_ = 0;
+    relocated_pages_total_ = 0;
+    for (auto& t : totals_) {
+      t = 0;
+    }
+  }
+
+ private:
+  size_t capacity_;
+  std::deque<FdpEvent> events_;
+  uint64_t dropped_ = 0;
+  uint64_t totals_[4] = {};
+  uint64_t relocated_pages_total_ = 0;
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_FDP_EVENTS_H_

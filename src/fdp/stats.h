@@ -1,0 +1,39 @@
+// FDP statistics log page (FDP spec: HBMW / MBMW / MBE counters).
+//
+// These are the counters the paper samples with `nvme get-log` every ten
+// minutes to compute interval DLWA: host bytes with metadata written (HBMW),
+// media bytes with metadata written (MBMW), and media bytes erased (MBE).
+#ifndef SRC_FDP_STATS_H_
+#define SRC_FDP_STATS_H_
+
+#include <cstdint>
+
+namespace fdpcache {
+
+struct FdpStatistics {
+  // Bytes the host asked the device to write.
+  uint64_t host_bytes_written = 0;  // HBMW
+  // Bytes actually programmed to NAND (host writes + GC relocations).
+  uint64_t media_bytes_written = 0;  // MBMW
+  // Bytes erased (block erases * block size).
+  uint64_t media_bytes_erased = 0;  // MBE
+
+  // Device-level write amplification as defined in paper Eq. (1).
+  double Dlwa() const {
+    return host_bytes_written == 0
+               ? 1.0
+               : static_cast<double>(media_bytes_written) /
+                     static_cast<double>(host_bytes_written);
+  }
+
+  // Interval DLWA between two snapshots (paper Figure 5 methodology).
+  static double IntervalDlwa(const FdpStatistics& begin, const FdpStatistics& end) {
+    const uint64_t host = end.host_bytes_written - begin.host_bytes_written;
+    const uint64_t media = end.media_bytes_written - begin.media_bytes_written;
+    return host == 0 ? 1.0 : static_cast<double>(media) / static_cast<double>(host);
+  }
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_FDP_STATS_H_

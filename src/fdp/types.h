@@ -1,0 +1,89 @@
+// NVMe Flexible Data Placement (TP4146) core abstractions.
+//
+// Models the ratified FDP concepts the paper relies on: reclaim units (RU),
+// reclaim groups (RG), reclaim unit handles (RUH) with initially/persistently
+// isolated semantics, placement identifiers (PID = <RG, RUH>), and the
+// DTYPE/DSPEC placement-directive encoding carried by NVMe write commands.
+#ifndef SRC_FDP_TYPES_H_
+#define SRC_FDP_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fdpcache {
+
+// Reclaim unit handle isolation level (FDP spec: RUH Type).
+enum class RuhType : uint8_t {
+  // Data written through distinct RUHs starts isolated but may be intermixed
+  // by device garbage collection. Cheapest for the controller to implement.
+  kInitiallyIsolated = 1,
+  // Data written through this RUH is never intermixed with other RUHs' data,
+  // including during garbage collection.
+  kPersistentlyIsolated = 2,
+};
+
+struct RuhDescriptor {
+  RuhType type = RuhType::kInitiallyIsolated;
+};
+
+// A placement identifier names a <reclaim group, reclaim unit handle> pair.
+// This is what a write command's DSPEC field carries when DTYPE selects data
+// placement.
+struct PlacementId {
+  uint16_t reclaim_group = 0;
+  uint16_t ruh_index = 0;
+
+  friend bool operator==(const PlacementId&, const PlacementId&) = default;
+};
+
+// NVMe directive types relevant here (NVMe base spec, Directives).
+enum class DirectiveType : uint8_t {
+  kNone = 0x0,
+  kStreams = 0x1,        // Legacy multi-stream directive (not used by FDP).
+  kDataPlacement = 0x2,  // FDP placement directive.
+};
+
+// Packs a PID into the 16-bit DSPEC field: RG in the high bits, RUH low.
+// The simulator supports up to 256 reclaim groups and 256 RUHs.
+constexpr uint16_t EncodeDspec(const PlacementId& pid) {
+  return static_cast<uint16_t>((pid.reclaim_group & 0xff) << 8) |
+         static_cast<uint16_t>(pid.ruh_index & 0xff);
+}
+
+constexpr PlacementId DecodeDspec(uint16_t dspec) {
+  return PlacementId{static_cast<uint16_t>((dspec >> 8) & 0xff),
+                     static_cast<uint16_t>(dspec & 0xff)};
+}
+
+// An FDP configuration as advertised by the device (FDP spec: FDP
+// configuration descriptor). Predetermined by the manufacturer; the host
+// selects one and cannot alter it (paper §3.2.1).
+struct FdpConfig {
+  std::vector<RuhDescriptor> ruhs;
+  uint32_t num_reclaim_groups = 1;
+
+  uint32_t num_ruhs() const { return static_cast<uint32_t>(ruhs.size()); }
+
+  bool IsValidPid(const PlacementId& pid) const {
+    return pid.reclaim_group < num_reclaim_groups && pid.ruh_index < num_ruhs();
+  }
+
+  // The paper's PM9D3 exposes 8 initially isolated RUHs in 1 reclaim group.
+  static FdpConfig Pm9d3Like() {
+    FdpConfig config;
+    config.ruhs.assign(8, RuhDescriptor{RuhType::kInitiallyIsolated});
+    config.num_reclaim_groups = 1;
+    return config;
+  }
+
+  static FdpConfig Uniform(uint32_t num_ruhs, RuhType type, uint32_t num_rgs = 1) {
+    FdpConfig config;
+    config.ruhs.assign(num_ruhs, RuhDescriptor{type});
+    config.num_reclaim_groups = num_rgs;
+    return config;
+  }
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_FDP_TYPES_H_

@@ -1,0 +1,26 @@
+// Observer interface for NAND operations issued by the FTL.
+//
+// The device layer implements this to charge latency/queueing onto dies as
+// the FTL reads, programs, and erases — including the garbage-collection
+// traffic that competes with host commands (the mechanism behind the paper's
+// p99 latency results in Figures 6 and 13).
+#ifndef SRC_FTL_LISTENER_H_
+#define SRC_FTL_LISTENER_H_
+
+#include <cstdint>
+
+namespace fdpcache {
+
+class FtlEventListener {
+ public:
+  virtual ~FtlEventListener() = default;
+
+  virtual void OnPageRead(uint64_t ppn, bool is_gc) = 0;
+  virtual void OnPageProgram(uint64_t ppn, bool is_gc) = 0;
+  // A whole-superblock erase (each die erases its blocks in parallel planes).
+  virtual void OnSuperblockErase(uint32_t superblock) = 0;
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_FTL_LISTENER_H_

@@ -1,0 +1,234 @@
+#include "src/harness/experiment.h"
+
+#include <algorithm>
+
+namespace fdpcache {
+
+namespace {
+
+SsdConfig MakeSsdConfig(const ExperimentConfig& config) {
+  SsdConfig ssd;
+  ssd.geometry.pages_per_block = config.pages_per_block;
+  ssd.geometry.planes_per_die = config.planes_per_die;
+  ssd.geometry.num_dies = config.num_dies;
+  ssd.geometry.num_superblocks = config.num_superblocks;
+  ssd.fdp = FdpConfig::Uniform(8, config.ruh_type);
+  ssd.op_fraction = config.device_op_fraction;
+  ssd.fdp_enabled = config.fdp;
+  ssd.static_wear_leveling = config.static_wear_leveling;
+  return ssd;
+}
+
+// Average cacheable item footprint under the size mixture, for key-space
+// auto-sizing.
+double AvgItemBytes(const KvWorkloadConfig& w) {
+  const double small_avg = 0.5 * (w.small_value_min + w.small_value_max);
+  const double large_avg = 0.5 * (w.large_value_min + w.large_value_max);
+  return w.small_key_fraction * small_avg + (1.0 - w.small_key_fraction) * large_avg + 17.0;
+}
+
+}  // namespace
+
+ExperimentRunner::ExperimentRunner(const ExperimentConfig& config) : config_(config) {
+  ssd_ = std::make_unique<SimulatedSsd>(MakeSsdConfig(config_));
+  allocator_ = std::make_unique<PlacementHandleAllocator>(
+      config_.fdp ? ssd_->IdentifyFdp().num_ruhs : 0);
+
+  const uint64_t logical = ssd_->logical_capacity_bytes();
+  cache_bytes_per_tenant_ = static_cast<uint64_t>(
+      static_cast<double>(logical) * config_.utilization / config_.num_tenants);
+  // Paper default DRAM:NVM ratio is 42 GB : 930 GB (~4.5%).
+  ram_bytes_ = config_.ram_bytes != 0
+                   ? config_.ram_bytes
+                   : static_cast<uint64_t>(static_cast<double>(cache_bytes_per_tenant_) * 0.045);
+
+  KvWorkloadConfig workload = config_.workload;
+  if (config_.num_keys_override != 0) {
+    workload.num_keys = config_.num_keys_override;
+  } else {
+    // Key space is sized from the *device*, independent of utilization, so
+    // utilization sweeps vary cache size against a fixed working set — the
+    // paper's Figure 6 methodology (same trace, different cache sizes).
+    const double working_set_bytes =
+        0.9 * static_cast<double>(logical) / config_.num_tenants;
+    workload.num_keys = std::max<uint64_t>(
+        10'000, static_cast<uint64_t>(working_set_bytes / AvgItemBytes(workload)));
+  }
+
+  for (uint32_t t = 0; t < config_.num_tenants; ++t) {
+    const auto nsid = ssd_->CreateNamespace(cache_bytes_per_tenant_);
+    auto tenant = std::make_unique<Tenant>();
+    tenant->device = std::make_unique<SimSsdDevice>(ssd_.get(), *nsid, &clock_);
+
+    HybridCacheConfig cache_config;
+    cache_config.ram_bytes = ram_bytes_;
+    cache_config.navy.small_item_max_bytes = config_.small_item_max_bytes;
+    cache_config.navy.soc_fraction = config_.soc_fraction;
+    cache_config.navy.loc_region_size = config_.loc_region_size;
+    cache_config.navy.loc_eviction = config_.loc_eviction;
+    cache_config.navy.loc_trim_on_evict = config_.loc_trim_on_evict;
+    cache_config.navy.use_placement_handles = config_.fdp;
+    tenant->cache =
+        std::make_unique<HybridCache>(tenant->device.get(), cache_config, allocator_.get());
+
+    KvWorkloadConfig tenant_workload = workload;
+    tenant_workload.seed = config_.seed + 1000003ull * t;
+    tenant->generator = std::make_unique<KvTraceGenerator>(tenant_workload);
+    tenants_.push_back(std::move(tenant));
+  }
+}
+
+ExperimentRunner::~ExperimentRunner() = default;
+
+void ExperimentRunner::MaybeBackpressure() {
+  const TimeNs horizon = ssd_->MaxDieBusyUntil();
+  if (horizon > clock_.now() + config_.device_backlog_window_ns) {
+    clock_.AdvanceTo(horizon - config_.device_backlog_window_ns);
+  }
+}
+
+void ExperimentRunner::ExecuteOp(Tenant& tenant, const Op& op) {
+  clock_.Advance(config_.host_cpu_ns_per_op);
+  const std::string key = KeyString(op.key_id);
+  switch (op.type) {
+    case OpType::kSet: {
+      const uint32_t version = ++tenant.versions[op.key_id];
+      tenant.cache->Set(key, ValuePayload(op.key_id, version, op.value_size));
+      break;
+    }
+    case OpType::kGet: {
+      std::string value;
+      if (tenant.cache->Get(key, &value)) {
+        if (config_.verify_values) {
+          const auto it = tenant.versions.find(op.key_id);
+          const uint32_t version = it == tenant.versions.end() ? 1 : it->second;
+          if (value != ValuePayload(op.key_id, version, op.value_size)) {
+            ++tenant.verify_failures;
+          }
+        }
+      } else {
+        // Cache miss: fetch from the backend and fill (CacheBench get path).
+        clock_.Advance(config_.backend_fetch_ns);
+        uint32_t& version = tenant.versions[op.key_id];
+        if (version == 0) {
+          version = 1;
+        }
+        tenant.cache->Set(key, ValuePayload(op.key_id, version, op.value_size));
+      }
+      break;
+    }
+    case OpType::kDelete: {
+      tenant.cache->Remove(key);
+      tenant.versions.erase(op.key_id);
+      break;
+    }
+  }
+  MaybeBackpressure();
+}
+
+MetricsReport ExperimentRunner::Run() {
+  // --- Warm-up: fill the flash cache, then reset statistics -----------------
+  const uint64_t warmup_bytes = static_cast<uint64_t>(
+      config_.warmup_cache_writes *
+      static_cast<double>(cache_bytes_per_tenant_ * config_.num_tenants));
+  uint64_t warmup_ops = 0;
+  while (ssd_->GetFdpStatisticsLog().host_bytes_written < warmup_bytes &&
+         warmup_ops < config_.max_warmup_ops) {
+    for (auto& tenant : tenants_) {
+      const auto op = tenant->generator->Next();
+      ExecuteOp(*tenant, *op);
+      ++warmup_ops;
+    }
+  }
+  ssd_->ftl().ResetStats();
+  for (auto& tenant : tenants_) {
+    tenant->cache->ResetStats();
+    tenant->device->ResetStats();
+    tenant->verify_failures = 0;
+  }
+  const TimeNs measure_start = clock_.now();
+
+  // --- Measured phase with interval DLWA sampling ---------------------------
+  MetricsReport report;
+  const uint64_t sample_interval =
+      std::max<uint64_t>(1, config_.total_ops / std::max(1u, config_.dlwa_samples));
+  FdpStatistics last_sample = ssd_->GetFdpStatisticsLog();
+  uint64_t executed = 0;
+  while (executed < config_.total_ops) {
+    for (auto& tenant : tenants_) {
+      const auto op = tenant->generator->Next();
+      ExecuteOp(*tenant, *op);
+      ++executed;
+    }
+    if (executed % sample_interval < tenants_.size()) {
+      const FdpStatistics now_stats = ssd_->GetFdpStatisticsLog();
+      if (now_stats.host_bytes_written > last_sample.host_bytes_written) {
+        report.interval_dlwa.push_back(FdpStatistics::IntervalDlwa(last_sample, now_stats));
+        last_sample = now_stats;
+      }
+    }
+  }
+
+  // --- Collect ----------------------------------------------------------------
+  const TimeNs elapsed = clock_.now() - measure_start;
+  report.elapsed_virtual_ns = elapsed;
+  report.ops_executed = executed;
+  report.final_dlwa = ssd_->GetFdpStatisticsLog().Dlwa();
+  report.host_bytes_written = ssd_->GetFdpStatisticsLog().host_bytes_written;
+  report.throughput_kops =
+      elapsed == 0 ? 0.0
+                   : static_cast<double>(executed) / (static_cast<double>(elapsed) / 1e9) / 1e3;
+
+  Histogram reads;
+  Histogram writes;
+  uint64_t gets = 0;
+  uint64_t sets = 0;
+  double hit_num = 0;
+  double nvm_hit_num = 0;
+  double nvm_lookups = 0;
+  double item_bytes = 0;
+  double dev_bytes = 0;
+  double soc_dev_bytes = 0;
+  for (auto& tenant : tenants_) {
+    const auto& cache_stats = tenant->cache->stats();
+    gets += cache_stats.gets;
+    sets += cache_stats.sets;
+    hit_num += static_cast<double>(cache_stats.ram_hits + cache_stats.nvm_hits);
+    nvm_hit_num += static_cast<double>(cache_stats.nvm_hits);
+    nvm_lookups += static_cast<double>(cache_stats.nvm_lookups);
+    reads.Merge(tenant->device->stats().read_latency_ns);
+    writes.Merge(tenant->device->stats().write_latency_ns);
+    const NavyStats navy = tenant->cache->navy().stats();
+    item_bytes += static_cast<double>(navy.soc.item_bytes_written + navy.loc.item_bytes_written);
+    dev_bytes += static_cast<double>(navy.soc.bytes_written + navy.loc.bytes_written);
+    soc_dev_bytes += static_cast<double>(navy.soc.bytes_written);
+    report.verify_failures += tenant->verify_failures;
+  }
+  report.gets = gets;
+  report.sets = sets;
+  report.hit_ratio = gets == 0 ? 0.0 : hit_num / static_cast<double>(gets);
+  report.nvm_hit_ratio = nvm_lookups == 0 ? 0.0 : nvm_hit_num / nvm_lookups;
+  report.alwa = item_bytes == 0 ? 1.0 : dev_bytes / item_bytes;
+  report.soc_write_share = dev_bytes == 0 ? 0.0 : soc_dev_bytes / dev_bytes;
+  report.p50_read_ns = reads.Percentile(50);
+  report.p99_read_ns = reads.Percentile(99);
+  report.p999_read_ns = reads.Percentile(99.9);
+  report.p50_write_ns = writes.Percentile(50);
+  report.p99_write_ns = writes.Percentile(99);
+  report.p999_write_ns = writes.Percentile(99.9);
+
+  const SsdTelemetry telemetry = ssd_->Telemetry(elapsed);
+  report.gc_events = telemetry.gc_events;
+  report.gc_relocated_pages = telemetry.gc_relocated_pages;
+  report.clean_ru_erases = telemetry.clean_ru_erases;
+  report.op_energy_uj = telemetry.op_energy_uj;
+  report.total_energy_uj = telemetry.total_energy_uj;
+  report.wear_max_pe = telemetry.max_pe_cycles;
+
+  report.cache_bytes = cache_bytes_per_tenant_;
+  report.ram_bytes = ram_bytes_;
+  report.device_physical_bytes = ssd_->physical_capacity_bytes();
+  return report;
+}
+
+}  // namespace fdpcache

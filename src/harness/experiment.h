@@ -1,0 +1,147 @@
+// Experiment harness: maps the paper's CacheBench deployments onto the
+// simulated stack and collects the metrics the evaluation section reports.
+//
+// A run builds a SimulatedSsd, carves one namespace per tenant, stands up a
+// HybridCache per tenant (sharing one placement-handle allocator, as the
+// upstreamed CacheLib change does), replays a synthetic trace through a
+// virtual clock, and samples interval DLWA from the FDP statistics log the
+// way the paper samples `nvme get-log` every ten minutes.
+#ifndef SRC_HARNESS_EXPERIMENT_H_
+#define SRC_HARNESS_EXPERIMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cache/hybrid_cache.h"
+#include "src/common/clock.h"
+#include "src/navy/sim_ssd_device.h"
+#include "src/ssd/ssd.h"
+#include "src/workload/workload.h"
+
+namespace fdpcache {
+
+struct ExperimentConfig {
+  // --- Device (scaled PM9D3: 8 II RUHs, 1 RG) -------------------------------
+  // 2 MiB reclaim units so the device has ~256 RUs: the RU-count:device
+  // ratio matters (open-RU stranding must be small relative to OP, as it is
+  // on the paper's 313-RU device), not the absolute RU size.
+  uint32_t pages_per_block = 32;
+  uint32_t planes_per_die = 2;
+  uint32_t num_dies = 8;
+  uint32_t num_superblocks = 256;  // 256 x 2 MiB = 512 MiB physical.
+  double device_op_fraction = 0.10;
+  // FDP on: device honours placement directives and CacheLib segregates
+  // SOC/LOC. FDP off: both disabled (the paper's Non-FDP baseline).
+  bool fdp = true;
+  RuhType ruh_type = RuhType::kInitiallyIsolated;
+  bool static_wear_leveling = false;
+
+  // --- Deployment -----------------------------------------------------------
+  double utilization = 0.5;        // Fraction of logical capacity used to cache.
+  double soc_fraction = 0.04;      // SOC share of the flash cache (paper: 4%).
+  // DRAM cache size; 0 derives the paper's default ratio (42 GB : 930 GB).
+  uint64_t ram_bytes = 0;
+  uint32_t num_tenants = 1;
+  uint64_t loc_region_size = 512 * 1024;
+  uint64_t small_item_max_bytes = 2048;
+  LocEvictionPolicy loc_eviction = LocEvictionPolicy::kFifo;
+  bool loc_trim_on_evict = false;
+
+  // --- Workload ---------------------------------------------------------------
+  KvWorkloadConfig workload = KvWorkloadConfig::MetaKvCache();
+  // 0 auto-sizes the key space so the cacheable footprint is ~2x the flash
+  // cache (working set exceeds cache, producing churn like the traces).
+  uint64_t num_keys_override = 0;
+
+  // --- Run --------------------------------------------------------------------
+  uint64_t total_ops = 2'000'000;
+  // Warm-up runs until the host has written this many multiples of the flash
+  // cache size, then statistics reset (steady-state measurement).
+  double warmup_cache_writes = 1.0;
+  uint64_t max_warmup_ops = 30'000'000;
+  TimeNs host_cpu_ns_per_op = 1500;
+  TimeNs backend_fetch_ns = 10'000;   // Extra host time on a cache miss.
+  TimeNs device_backlog_window_ns = 4'000'000;  // Backpressure threshold.
+  uint32_t dlwa_samples = 24;
+  bool verify_values = false;  // End-to-end payload verification (slower).
+  uint64_t seed = 42;
+};
+
+struct MetricsReport {
+  // DLWA (paper's primary metric).
+  double final_dlwa = 1.0;
+  std::vector<double> interval_dlwa;
+  double alwa = 1.0;
+
+  // Cache metrics.
+  double hit_ratio = 0.0;
+  double nvm_hit_ratio = 0.0;
+  uint64_t gets = 0;
+  uint64_t sets = 0;
+
+  // Performance.
+  double throughput_kops = 0.0;
+  uint64_t p50_read_ns = 0;
+  uint64_t p99_read_ns = 0;
+  uint64_t p999_read_ns = 0;
+  uint64_t p50_write_ns = 0;
+  uint64_t p99_write_ns = 0;
+  uint64_t p999_write_ns = 0;
+
+  // Device.
+  uint64_t gc_events = 0;            // Media-relocated events.
+  uint64_t gc_relocated_pages = 0;
+  uint64_t clean_ru_erases = 0;
+  uint64_t host_bytes_written = 0;
+  double op_energy_uj = 0.0;
+  double total_energy_uj = 0.0;
+  double wear_max_pe = 0.0;
+
+  // Write-stream composition (SOC share of flash-cache device write bytes).
+  double soc_write_share = 0.0;
+
+  // Run bookkeeping.
+  uint64_t elapsed_virtual_ns = 0;
+  uint64_t ops_executed = 0;
+  uint64_t verify_failures = 0;
+  uint64_t cache_bytes = 0;          // Flash cache size per tenant.
+  uint64_t ram_bytes = 0;
+  uint64_t device_physical_bytes = 0;
+};
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(const ExperimentConfig& config);
+  ~ExperimentRunner();
+
+  // Runs warm-up then the measured phase; returns the collected metrics.
+  MetricsReport Run();
+
+  SimulatedSsd& ssd() { return *ssd_; }
+
+ private:
+  struct Tenant {
+    std::unique_ptr<SimSsdDevice> device;
+    std::unique_ptr<HybridCache> cache;
+    std::unique_ptr<KvTraceGenerator> generator;
+    std::unordered_map<uint64_t, uint32_t> versions;
+    uint64_t verify_failures = 0;
+  };
+
+  void ExecuteOp(Tenant& tenant, const Op& op);
+  void MaybeBackpressure();
+
+  ExperimentConfig config_;
+  VirtualClock clock_;
+  std::unique_ptr<SimulatedSsd> ssd_;
+  std::unique_ptr<PlacementHandleAllocator> allocator_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  uint64_t cache_bytes_per_tenant_ = 0;
+  uint64_t ram_bytes_ = 0;
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,110 @@
+#include "src/harness/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace fdpcache {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      out << (c == 0 ? "" : "  ") << cell << std::string(widths[c] - cell.size(), ' ');
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  size_t total = 0;
+  for (const size_t w : widths) {
+    total += w + 2;
+  }
+  out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FormatPercent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string FormatNsAsUs(uint64_t ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(ns) / 1000.0);
+  return buf;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= (1ull << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.2fGiB", static_cast<double>(bytes) / (1ull << 30));
+  } else if (bytes >= (1ull << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1fMiB", static_cast<double>(bytes) / (1ull << 20));
+  } else if (bytes >= (1ull << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.1fKiB", static_cast<double>(bytes) / (1ull << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluB", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatDlwaSeries(const std::string& label, const std::vector<double>& series,
+                             double max_scale) {
+  std::ostringstream out;
+  int i = 0;
+  for (const double dlwa : series) {
+    const int bars =
+        static_cast<int>(std::clamp(dlwa, 0.0, max_scale) / max_scale * 40.0);
+    out << label << " t" << (i < 10 ? "0" : "") << i << "  dlwa=" << FormatDouble(dlwa, 3)
+        << "  |" << std::string(bars, '#') << std::string(40 - bars, ' ') << "|\n";
+    ++i;
+  }
+  return out.str();
+}
+
+std::string SummarizeReport(const std::string& label, const MetricsReport& r) {
+  std::ostringstream out;
+  out << label << ": dlwa=" << FormatDouble(r.final_dlwa, 3)
+      << " alwa=" << FormatDouble(r.alwa, 2) << " hit=" << FormatPercent(r.hit_ratio)
+      << " nvm_hit=" << FormatPercent(r.nvm_hit_ratio)
+      << " kops=" << FormatDouble(r.throughput_kops, 1)
+      << " p99r=" << FormatNsAsUs(r.p99_read_ns) << " p99w=" << FormatNsAsUs(r.p99_write_ns)
+      << " gc_events=" << r.gc_events;
+  return out.str();
+}
+
+double BenchScale() {
+  const char* env = std::getenv("FDPBENCH_SCALE");
+  if (env == nullptr) {
+    return 1.0;
+  }
+  const double v = std::atof(env);
+  return std::clamp(v, 0.1, 10.0);
+}
+
+}  // namespace fdpcache

@@ -1,0 +1,80 @@
+// Carbon-emission models (paper §4.2.1, Theorems 2 and 3).
+//
+// Embodied: SSDs are replaced when their endurance is consumed; DLWA
+// multiplies the replacement rate, so embodied CO2e over a system lifecycle
+// scales linearly with DLWA (Theorem 2). DRAM embodied carbon is modelled per
+// GB (used for Table 2, where deployments trade DRAM for SSD).
+// Operational: energy is proportional to host operations plus GC migrations
+// (Theorem 3); converted to CO2e with a grid-intensity factor.
+#ifndef SRC_MODEL_CARBON_MODEL_H_
+#define SRC_MODEL_CARBON_MODEL_H_
+
+#include <cstdint>
+
+namespace fdpcache {
+
+struct CarbonParams {
+  // kg CO2e per GB of SSD manufactured (paper uses 0.16, citing Tannu&Nair).
+  double ssd_kg_co2e_per_gb = 0.16;
+  // kg CO2e per GB of DRAM manufactured (an order of magnitude above SSD).
+  double dram_kg_co2e_per_gb = 2.3;
+  // System lifecycle in years and rated SSD warranty in years (paper: 5 / 5).
+  double system_lifecycle_years = 5.0;
+  double ssd_warranty_years = 5.0;
+  // Grid carbon intensity for operational conversion (kg CO2e per kWh,
+  // EPA greenhouse-gas equivalence calculator ballpark).
+  double grid_kg_co2e_per_kwh = 0.43;
+};
+
+class CarbonModel {
+ public:
+  explicit CarbonModel(const CarbonParams& params = CarbonParams{}) : params_(params) {}
+
+  // Theorem 2: C_embodied = DLWA * Devicecap * (T / L_dev) * C_SSD.
+  // `device_capacity_gb` is the physical capacity in GB.
+  double EmbodiedSsdKg(double dlwa, double device_capacity_gb) const {
+    return dlwa * device_capacity_gb *
+           (params_.system_lifecycle_years / params_.ssd_warranty_years) *
+           params_.ssd_kg_co2e_per_gb;
+  }
+
+  double EmbodiedDramKg(double dram_gb) const {
+    return dram_gb * params_.dram_kg_co2e_per_gb;
+  }
+
+  // Converts operational energy (microjoules) to kg CO2e.
+  double OperationalKg(double energy_uj) const {
+    const double kwh = energy_uj / 1e6 / 3.6e6;  // uJ -> J -> kWh.
+    return kwh * params_.grid_kg_co2e_per_kwh;
+  }
+
+  // Total deployment CO2e for Table 2 style comparisons.
+  double TotalKg(double dlwa, double device_capacity_gb, double dram_gb,
+                 double energy_uj) const {
+    return EmbodiedSsdKg(dlwa, device_capacity_gb) + EmbodiedDramKg(dram_gb) +
+           OperationalKg(energy_uj);
+  }
+
+  const CarbonParams& params() const { return params_; }
+
+ private:
+  CarbonParams params_;
+};
+
+// Theorem 3: operational energy is proportional to host operations plus GC
+// migrations. This helper expresses the paper's proportionality directly so
+// benches can report model-form energy alongside the simulator's measured
+// energy.
+struct OperationalEnergyModel {
+  double host_op_uj = 0.25;      // Energy per host page operation.
+  double migration_uj = 0.25;    // Energy per relocated page.
+
+  double EnergyUj(uint64_t host_ops, uint64_t migrated_pages) const {
+    return host_op_uj * static_cast<double>(host_ops) +
+           migration_uj * static_cast<double>(migrated_pages);
+  }
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_MODEL_CARBON_MODEL_H_

@@ -1,0 +1,74 @@
+#include "src/model/dlwa_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/model/lambert_w.h"
+
+namespace fdpcache {
+
+double SocDlwaModel::Delta(const SocDlwaInputs& in) {
+  if (in.soc_bytes <= 0 || in.physical_soc_bytes <= 0) {
+    return 0.0;
+  }
+  const double r = in.physical_soc_bytes / in.soc_bytes;  // >= 1 with any OP.
+  if (r <= 1.0) {
+    // No spare space at all: every victim is fully valid; DLWA diverges.
+    return 1.0;
+  }
+  const double x = -r * std::exp(-r);
+  const auto w0 = LambertW0(x);
+  if (!w0.has_value()) {
+    return 1.0;
+  }
+  // delta = -(1/r) * W0(-r e^-r); the trivial root delta == 1 lives on W-1.
+  const double delta = -*w0 / r;
+  return std::clamp(delta, 0.0, 1.0);
+}
+
+double SocDlwaModel::Dlwa(const SocDlwaInputs& in) {
+  const double delta = Delta(in);
+  if (delta >= 1.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return 1.0 / (1.0 - delta);
+}
+
+double SocDlwaModel::DeltaByBisection(const SocDlwaInputs& in) {
+  if (in.soc_bytes <= 0 || in.physical_soc_bytes <= 0) {
+    return 0.0;
+  }
+  const double target = in.soc_bytes / in.physical_soc_bytes;  // S/SP in (0,1].
+  if (target >= 1.0) {
+    return 1.0;
+  }
+  // g(delta) = (delta - 1) / ln(delta) is increasing from 0 (delta->0+)
+  // to 1 (delta->1-); bisect for g(delta) == target.
+  double lo = 1e-12;
+  double hi = 1.0 - 1e-12;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double g = (mid - 1.0) / std::log(mid);
+    if (g < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double SocDlwaModel::DeploymentDlwa(double device_bytes, double utilization,
+                                    double soc_fraction, double op_fraction) {
+  const double cache_bytes = device_bytes * utilization;
+  const double soc_bytes = cache_bytes * soc_fraction;
+  // Space usable by SOC data: its own logical footprint, the device OP, and
+  // any host-unused capacity (1 - utilization acts as host OP).
+  const double spare = device_bytes * op_fraction + device_bytes * (1.0 - utilization);
+  SocDlwaInputs in;
+  in.soc_bytes = soc_bytes;
+  in.physical_soc_bytes = soc_bytes + spare;
+  return Dlwa(in);
+}
+
+}  // namespace fdpcache

@@ -1,0 +1,53 @@
+// Theoretical DLWA model for FDP-enabled CacheLib (paper §4.2, Appendix A).
+//
+// With SOC/LOC segregation the LOC contributes no write amplification (purely
+// sequential, self-invalidating), so device DLWA equals the SOC's DLWA. For a
+// uniform-random SOC workload over S_SOC bytes with S_P-SOC bytes of physical
+// space (SOC logical size plus the device overprovisioning it can use
+// exclusively), Theorem 1 gives
+//
+//     delta = -(S_SOC / S_P-SOC) * W0(-(S_P-SOC / S_SOC) * e^(-S_P-SOC / S_SOC))
+//     DLWA  = 1 / (1 - delta)
+//
+// where delta is the average fraction of still-valid SOC buckets in a victim
+// erase block under greedy GC.
+#ifndef SRC_MODEL_DLWA_MODEL_H_
+#define SRC_MODEL_DLWA_MODEL_H_
+
+#include <cstdint>
+
+namespace fdpcache {
+
+struct SocDlwaInputs {
+  // Logical SOC size in bytes.
+  double soc_bytes = 0;
+  // Physical space available to SOC data: SOC size + device OP (Eq. 6).
+  double physical_soc_bytes = 0;
+};
+
+class SocDlwaModel {
+ public:
+  // Average live SOC bucket fraction at GC time (Eq. 15). Returns a value in
+  // [0, 1); 0 when physical space vastly exceeds logical.
+  static double Delta(const SocDlwaInputs& in);
+
+  // DLWA per Theorem 1: 1 / (1 - delta).
+  static double Dlwa(const SocDlwaInputs& in);
+
+  // Numeric cross-check: solves Eq. 14, S/SP = (delta - 1) / ln(delta), by
+  // bisection on delta in (0, 1). Used by tests to validate the Lambert-W
+  // closed form.
+  static double DeltaByBisection(const SocDlwaInputs& in);
+
+  // Convenience: model the paper's CacheLib deployment. `device_bytes` is the
+  // physical device size, `utilization` the fraction used for caching,
+  // `soc_fraction` the SOC share of the cache, `op_fraction` the device OP.
+  // Assumes no host overprovisioning beyond (1 - utilization), which the
+  // model folds into the space available to SOC data.
+  static double DeploymentDlwa(double device_bytes, double utilization, double soc_fraction,
+                               double op_fraction);
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_MODEL_DLWA_MODEL_H_

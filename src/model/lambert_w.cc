@@ -1,0 +1,80 @@
+#include "src/model/lambert_w.h"
+
+#include <cmath>
+
+namespace fdpcache {
+
+namespace {
+
+constexpr double kInvE = 0.36787944117144233;  // 1/e
+constexpr int kMaxIterations = 64;
+constexpr double kTolerance = 1e-14;
+
+// Halley's method on f(w) = w e^w - x.
+double Halley(double w, double x) {
+  for (int i = 0; i < kMaxIterations; ++i) {
+    const double ew = std::exp(w);
+    const double f = w * ew - x;
+    const double fp = ew * (1.0 + w);
+    const double fpp = ew * (2.0 + w);
+    const double denom = fp - f * fpp / (2.0 * fp);
+    const double next = w - f / denom;
+    if (std::abs(next - w) <= kTolerance * (1.0 + std::abs(next))) {
+      return next;
+    }
+    w = next;
+  }
+  return w;
+}
+
+// Series expansion about the branch point x = -1/e (Corless et al. 1996).
+double BranchPointGuess(double x, bool principal) {
+  const double p = std::sqrt(2.0 * (std::exp(1.0) * x + 1.0));
+  const double signed_p = principal ? p : -p;
+  return -1.0 + signed_p - signed_p * signed_p / 3.0 +
+         11.0 * signed_p * signed_p * signed_p / 72.0;
+}
+
+}  // namespace
+
+std::optional<double> LambertW0(double x) {
+  if (x < -kInvE - 1e-15 || std::isnan(x)) {
+    return std::nullopt;
+  }
+  if (x == 0.0) {
+    return 0.0;
+  }
+  // At the branch point f'(w) vanishes and Halley cannot iterate.
+  if (std::abs(std::exp(1.0) * x + 1.0) < 1e-12) {
+    return -1.0;
+  }
+  double guess;
+  if (x < -0.32) {
+    guess = BranchPointGuess(x, /*principal=*/true);
+  } else if (x < 1.0) {
+    guess = x * (1.0 - x);  // Series around 0: W0(x) = x - x^2 + ...
+  } else {
+    const double l = std::log(x);
+    guess = l - std::log(l > 1.0 ? l : 1.0);
+  }
+  return Halley(guess, x);
+}
+
+std::optional<double> LambertWm1(double x) {
+  if (x < -kInvE - 1e-15 || x >= 0.0 || std::isnan(x)) {
+    return std::nullopt;
+  }
+  if (std::abs(std::exp(1.0) * x + 1.0) < 1e-12) {
+    return -1.0;
+  }
+  double guess;
+  if (x < -0.32) {
+    guess = BranchPointGuess(x, /*principal=*/false);
+  } else {
+    const double l = std::log(-x);
+    guess = l - std::log(-l);
+  }
+  return Halley(guess, x);
+}
+
+}  // namespace fdpcache

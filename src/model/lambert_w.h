@@ -1,0 +1,23 @@
+// Real-branch Lambert W function.
+//
+// W(x) solves w * e^w = x. The DLWA model (paper Appendix A, Eq. 15) needs
+// the principal branch W0 on [-1/e, 0); W-1 is provided for completeness and
+// for cross-checking in tests.
+#ifndef SRC_MODEL_LAMBERT_W_H_
+#define SRC_MODEL_LAMBERT_W_H_
+
+#include <optional>
+
+namespace fdpcache {
+
+// Principal branch W0: defined for x >= -1/e, W0(x) >= -1.
+// Returns nullopt outside the domain.
+std::optional<double> LambertW0(double x);
+
+// Lower branch W-1: defined for x in [-1/e, 0), W-1(x) <= -1.
+// Returns nullopt outside the domain.
+std::optional<double> LambertWm1(double x);
+
+}  // namespace fdpcache
+
+#endif  // SRC_MODEL_LAMBERT_W_H_

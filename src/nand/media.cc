@@ -1,0 +1,98 @@
+#include "src/nand/media.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fdpcache {
+
+NandMedia::NandMedia(const NandGeometry& geometry, const NandEnduranceParams& endurance)
+    : geometry_(geometry),
+      endurance_(endurance),
+      states_(geometry.TotalPages(), PageState::kFree),
+      lpns_(geometry.TotalPages(), ~0ull),
+      next_page_in_block_(geometry.TotalBlocks(), 0),
+      erase_counts_(geometry.TotalBlocks(), 0) {}
+
+MediaStatus NandMedia::ProgramPage(uint64_t ppn, uint64_t lpn) {
+  if (ppn >= states_.size()) {
+    return MediaStatus::kBadAddress;
+  }
+  if (states_[ppn] != PageState::kFree) {
+    return MediaStatus::kProgramNotFree;
+  }
+  const uint32_t sb = geometry_.SuperblockOfPpn(ppn);
+  const uint32_t offset = geometry_.OffsetOfPpn(ppn);
+  const uint64_t block = geometry_.GlobalBlockId(sb, geometry_.BlockInSuperblock(offset));
+  const uint32_t page_in_block = geometry_.PageInBlock(offset);
+  if (next_page_in_block_[block] != page_in_block) {
+    return MediaStatus::kProgramOutOfOrder;
+  }
+  if (erase_counts_[block] > endurance_.rated_pe_cycles) {
+    return MediaStatus::kBlockWornOut;
+  }
+  next_page_in_block_[block] = page_in_block + 1;
+  states_[ppn] = PageState::kValid;
+  lpns_[ppn] = lpn;
+  ++counts_.page_programs;
+  return MediaStatus::kOk;
+}
+
+MediaStatus NandMedia::InvalidatePage(uint64_t ppn) {
+  if (ppn >= states_.size()) {
+    return MediaStatus::kBadAddress;
+  }
+  if (states_[ppn] != PageState::kValid) {
+    return MediaStatus::kReadNotProgrammed;
+  }
+  states_[ppn] = PageState::kInvalid;
+  return MediaStatus::kOk;
+}
+
+MediaStatus NandMedia::ReadPage(uint64_t ppn) {
+  if (ppn >= states_.size()) {
+    return MediaStatus::kBadAddress;
+  }
+  if (states_[ppn] == PageState::kFree) {
+    return MediaStatus::kReadNotProgrammed;
+  }
+  ++counts_.page_reads;
+  return MediaStatus::kOk;
+}
+
+MediaStatus NandMedia::EraseSuperblock(uint32_t superblock) {
+  if (superblock >= geometry_.num_superblocks) {
+    return MediaStatus::kBadAddress;
+  }
+  const uint64_t first_ppn = geometry_.PpnOf(superblock, 0);
+  const uint32_t pages = geometry_.PagesPerSuperblock();
+  std::fill_n(states_.begin() + static_cast<int64_t>(first_ppn), pages, PageState::kFree);
+  std::fill_n(lpns_.begin() + static_cast<int64_t>(first_ppn), pages, ~0ull);
+  for (uint32_t b = 0; b < geometry_.BlocksPerSuperblock(); ++b) {
+    const uint64_t block = geometry_.GlobalBlockId(superblock, b);
+    next_page_in_block_[block] = 0;
+    ++erase_counts_[block];
+    ++counts_.block_erases;
+  }
+  return MediaStatus::kOk;
+}
+
+uint32_t NandMedia::max_erase_count() const {
+  return *std::max_element(erase_counts_.begin(), erase_counts_.end());
+}
+
+double NandMedia::mean_erase_count() const {
+  const uint64_t total = std::accumulate(erase_counts_.begin(), erase_counts_.end(), 0ull);
+  return static_cast<double>(total) / static_cast<double>(erase_counts_.size());
+}
+
+double NandMedia::op_energy_uj(const NandEnergyParams& energy) const {
+  return static_cast<double>(counts_.page_reads) * energy.read_page_uj +
+         static_cast<double>(counts_.page_programs) * energy.program_page_uj +
+         static_cast<double>(counts_.block_erases) * energy.erase_block_uj;
+}
+
+uint64_t NandMedia::CountPagesInState(PageState state) const {
+  return static_cast<uint64_t>(std::count(states_.begin(), states_.end(), state));
+}
+
+}  // namespace fdpcache

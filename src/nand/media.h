@@ -1,0 +1,90 @@
+// NAND media state machine.
+//
+// Tracks the physical state of every page (free / valid / invalid), enforces
+// the erase-before-write and in-order-program constraints of real NAND, and
+// accounts operation counts, wear (P/E cycles), and energy. It knows nothing
+// about logical addresses beyond the reverse-map back-pointer the FTL stores
+// with each programmed page.
+#ifndef SRC_NAND_MEDIA_H_
+#define SRC_NAND_MEDIA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/nand/geometry.h"
+#include "src/nand/params.h"
+
+namespace fdpcache {
+
+enum class PageState : uint8_t {
+  kFree,     // Erased, programmable.
+  kValid,    // Programmed, holds live data.
+  kInvalid,  // Programmed, data superseded or deallocated.
+};
+
+struct NandOpCounts {
+  uint64_t page_reads = 0;
+  uint64_t page_programs = 0;
+  uint64_t block_erases = 0;
+};
+
+// Outcome of a media operation; the media never silently corrupts state.
+enum class MediaStatus : uint8_t {
+  kOk,
+  kProgramOutOfOrder,   // NAND pages within a block must be programmed in order.
+  kProgramNotFree,      // Erase-before-write violated.
+  kReadNotProgrammed,   // Page is not readable (free).
+  kBlockWornOut,        // P/E budget exceeded.
+  kBadAddress,
+};
+
+class NandMedia {
+ public:
+  explicit NandMedia(const NandGeometry& geometry,
+                     const NandEnduranceParams& endurance = NandEnduranceParams{});
+
+  const NandGeometry& geometry() const { return geometry_; }
+
+  // Programs physical page `ppn`, recording the owning logical page `lpn` as a
+  // reverse-map back-pointer for garbage collection.
+  MediaStatus ProgramPage(uint64_t ppn, uint64_t lpn);
+
+  // Marks a previously valid page invalid (data superseded / deallocated).
+  MediaStatus InvalidatePage(uint64_t ppn);
+
+  // Reads a page; counts the operation. Fails on free pages.
+  MediaStatus ReadPage(uint64_t ppn);
+
+  // Erases every block of a superblock. All pages become free.
+  MediaStatus EraseSuperblock(uint32_t superblock);
+
+  PageState page_state(uint64_t ppn) const { return states_[ppn]; }
+  uint64_t page_lpn(uint64_t ppn) const { return lpns_[ppn]; }
+  uint32_t block_erase_count(uint64_t global_block) const { return erase_counts_[global_block]; }
+  uint32_t max_erase_count() const;
+  double mean_erase_count() const;
+
+  const NandOpCounts& counts() const { return counts_; }
+
+  // Total energy consumed by media operations so far, in microjoules
+  // (idle energy is accounted by the device layer, which owns time).
+  double op_energy_uj(const NandEnergyParams& energy) const;
+
+  // Returns the number of pages in each state across the device (O(n); used
+  // by tests and invariant checks).
+  uint64_t CountPagesInState(PageState state) const;
+
+ private:
+  NandGeometry geometry_;
+  NandEnduranceParams endurance_;
+  std::vector<PageState> states_;
+  std::vector<uint64_t> lpns_;
+  // Next in-order program index expected per block.
+  std::vector<uint32_t> next_page_in_block_;
+  std::vector<uint32_t> erase_counts_;
+  NandOpCounts counts_;
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_NAND_MEDIA_H_

@@ -1,0 +1,40 @@
+// NAND timing, energy, and endurance parameters.
+//
+// Defaults approximate a contemporary TLC data-center SSD. Absolute values do
+// not need to match the paper's PM9D3 (which is not publicly characterised);
+// only the ratios between read/program/erase costs matter for the shape of
+// the latency and energy results.
+#ifndef SRC_NAND_PARAMS_H_
+#define SRC_NAND_PARAMS_H_
+
+#include <cstdint>
+
+#include "src/common/units.h"
+
+namespace fdpcache {
+
+struct NandTimingParams {
+  TimeNs read_page_ns = 40 * kMicrosecond;
+  TimeNs program_page_ns = 600 * kMicrosecond;
+  TimeNs erase_block_ns = 3 * kMillisecond;
+  // Controller/interface transfer overhead per 4 KiB page.
+  TimeNs transfer_page_ns = 5 * kMicrosecond;
+};
+
+struct NandEnergyParams {
+  // Energy per operation in microjoules.
+  double read_page_uj = 25.0;
+  double program_page_uj = 220.0;
+  double erase_block_uj = 2000.0;
+  // Device idle power draw in watts (energy accrues over virtual time).
+  double idle_power_w = 1.5;
+};
+
+struct NandEnduranceParams {
+  // Rated program/erase cycles before a block wears out.
+  uint32_t rated_pe_cycles = 3000;
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_NAND_PARAMS_H_

@@ -1,0 +1,149 @@
+// Flash admission policies (paper §2.3: threshold/probabilistic admission is
+// the classic lever production caches use against limited flash endurance).
+#ifndef SRC_NAVY_ADMISSION_H_
+#define SRC_NAVY_ADMISSION_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+
+namespace fdpcache {
+
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+  // Whether the item may be written to flash.
+  virtual bool Accept(std::string_view key, uint64_t item_bytes) = 0;
+  // Fed with actual device write traffic so adaptive policies can react.
+  virtual void OnBytesWritten(uint64_t /*bytes*/) {}
+};
+
+class AlwaysAdmit final : public AdmissionPolicy {
+ public:
+  bool Accept(std::string_view, uint64_t) override { return true; }
+};
+
+// Admits a fixed fraction of items, like CacheLib's `random` policy.
+class RejectRandomAdmission final : public AdmissionPolicy {
+ public:
+  RejectRandomAdmission(double admit_probability, uint64_t seed = 1)
+      : p_(admit_probability), rng_(seed) {}
+
+  bool Accept(std::string_view, uint64_t) override { return rng_.NextBool(p_); }
+
+ private:
+  double p_;
+  Rng rng_;
+};
+
+// Reject-first admission (CacheLib's `reject_first_ap`): an item is admitted
+// only on its Nth insertion attempt, filtering single-access objects out of
+// flash. Attempt counts are tracked approximately in rotating bloom-style
+// hash tables so memory stays constant.
+class RejectFirstAdmission final : public AdmissionPolicy {
+ public:
+  // `admit_on_attempt`: 2 admits on the second attempt. `window_entries`:
+  // how many distinct keys each rotating generation remembers.
+  explicit RejectFirstAdmission(uint32_t admit_on_attempt = 2,
+                                size_t window_entries = 1 << 16)
+      : admit_on_attempt_(admit_on_attempt),
+        mask_(NextPow2(window_entries) - 1),
+        current_(mask_ + 1, 0),
+        previous_(mask_ + 1, 0) {}
+
+  bool Accept(std::string_view key, uint64_t) override {
+    const uint64_t h = HashBytes(key.data(), key.size());
+    const size_t slot = h & mask_;
+    const auto tag = static_cast<uint32_t>(h >> 32) | 1;
+    uint32_t attempts = 1;
+    if (current_[slot] == tag || previous_[slot] == tag) {
+      attempts = 1 + seen_bump_;
+    }
+    if (attempts >= admit_on_attempt_) {
+      return true;
+    }
+    current_[slot] = tag;
+    if (++inserted_ > mask_ / 2) {
+      // Rotate generations so the window tracks recent traffic.
+      std::swap(current_, previous_);
+      std::fill(current_.begin(), current_.end(), 0);
+      inserted_ = 0;
+    }
+    return false;
+  }
+
+ private:
+  static size_t NextPow2(size_t v) {
+    size_t p = 1;
+    while (p < v) {
+      p <<= 1;
+    }
+    return p;
+  }
+
+  uint32_t admit_on_attempt_;
+  // Seeing a key in the window counts as one prior attempt.
+  static constexpr uint32_t seen_bump_ = 1;
+  size_t mask_;
+  std::vector<uint32_t> current_;
+  std::vector<uint32_t> previous_;
+  size_t inserted_ = 0;
+};
+
+// Adaptive probabilistic admission targeting a device write-rate budget, a
+// simplified CacheLib `dynamic_random`: the admit probability is rescaled
+// each window so observed write bandwidth tracks the target.
+class DynamicRandomAdmission final : public AdmissionPolicy {
+ public:
+  DynamicRandomAdmission(const VirtualClock* clock, double target_bytes_per_sec,
+                         uint64_t seed = 1)
+      : clock_(clock), target_(target_bytes_per_sec), rng_(seed) {}
+
+  bool Accept(std::string_view, uint64_t) override {
+    MaybeRotateWindow();
+    return rng_.NextBool(p_);
+  }
+
+  void OnBytesWritten(uint64_t bytes) override { window_bytes_ += bytes; }
+
+  double admit_probability() const { return p_; }
+
+ private:
+  static constexpr TimeNs kWindow = kSecond;
+
+  void MaybeRotateWindow() {
+    const TimeNs now = clock_->now();
+    if (now < window_start_ + kWindow) {
+      return;
+    }
+    const double elapsed_sec =
+        static_cast<double>(now - window_start_) / static_cast<double>(kSecond);
+    const double observed = static_cast<double>(window_bytes_) / elapsed_sec;
+    if (observed > 0.0) {
+      // Proportional controller with clamping; identical in spirit to
+      // CacheLib's probability re-scaling.
+      p_ = std::clamp(p_ * target_ / observed, 0.001, 1.0);
+    } else {
+      p_ = std::min(1.0, p_ * 2.0);
+    }
+    window_start_ = now;
+    window_bytes_ = 0;
+  }
+
+  const VirtualClock* clock_;
+  double target_;
+  Rng rng_;
+  double p_ = 1.0;
+  TimeNs window_start_ = 0;
+  uint64_t window_bytes_ = 0;
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_NAVY_ADMISSION_H_

@@ -1,0 +1,76 @@
+// Per-bucket bloom filters for the small object cache.
+//
+// Negative lookups skip the 4 KiB bucket read entirely (CacheLib's BigHash
+// keeps the same structure in DRAM). Filters are rebuilt exactly on every
+// bucket rewrite, so there are no stale positives from removals.
+#ifndef SRC_NAVY_BLOOM_FILTER_H_
+#define SRC_NAVY_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/hash.h"
+
+namespace fdpcache {
+
+class BucketBloomFilters {
+ public:
+  // `bits_per_bucket` must be a power of two (default 64 bits = 8 bytes per
+  // bucket, 4 probes: ~2.4% false positives at 8 items per bucket).
+  BucketBloomFilters(uint64_t num_buckets, uint32_t bits_per_bucket = 64,
+                     uint32_t num_probes = 4)
+      : num_buckets_(num_buckets),
+        bits_per_bucket_(bits_per_bucket),
+        num_probes_(num_probes),
+        words_per_bucket_(bits_per_bucket / 64),
+        words_(num_buckets * (bits_per_bucket / 64), 0) {}
+
+  void Add(uint64_t bucket, uint64_t key_hash) {
+    for (uint32_t p = 0; p < num_probes_; ++p) {
+      SetBit(bucket, ProbeBit(key_hash, p));
+    }
+  }
+
+  bool MayContain(uint64_t bucket, uint64_t key_hash) const {
+    for (uint32_t p = 0; p < num_probes_; ++p) {
+      if (!GetBit(bucket, ProbeBit(key_hash, p))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void ClearBucket(uint64_t bucket) {
+    for (uint32_t w = 0; w < words_per_bucket_; ++w) {
+      words_[bucket * words_per_bucket_ + w] = 0;
+    }
+  }
+
+  uint64_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+  uint64_t num_buckets() const { return num_buckets_; }
+
+ private:
+  uint32_t ProbeBit(uint64_t key_hash, uint32_t probe) const {
+    // Double hashing: h1 + p*h2, classic Kirsch-Mitzenmacher construction.
+    const uint64_t h1 = key_hash;
+    const uint64_t h2 = Mix64(key_hash) | 1;
+    return static_cast<uint32_t>((h1 + probe * h2) & (bits_per_bucket_ - 1));
+  }
+
+  void SetBit(uint64_t bucket, uint32_t bit) {
+    words_[bucket * words_per_bucket_ + bit / 64] |= 1ull << (bit % 64);
+  }
+  bool GetBit(uint64_t bucket, uint32_t bit) const {
+    return (words_[bucket * words_per_bucket_ + bit / 64] >> (bit % 64)) & 1;
+  }
+
+  uint64_t num_buckets_;
+  uint32_t bits_per_bucket_;
+  uint32_t num_probes_;
+  uint32_t words_per_bucket_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_NAVY_BLOOM_FILTER_H_

@@ -1,0 +1,128 @@
+#include "src/navy/bucket.h"
+
+#include <cstring>
+
+#include "src/common/hash.h"
+
+namespace fdpcache {
+
+namespace {
+
+uint32_t PayloadChecksum(const uint8_t* payload, uint64_t len) {
+  return static_cast<uint32_t>(HashBytes(payload, len));
+}
+
+void PutU16(uint8_t* p, uint16_t v) { std::memcpy(p, &v, sizeof(v)); }
+void PutU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+uint16_t GetU16(const uint8_t* p) {
+  uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::optional<Bucket> Bucket::Deserialize(const uint8_t* data, uint64_t capacity_bytes) {
+  Bucket bucket(capacity_bytes);
+  const uint32_t magic = GetU32(data);
+  if (magic == 0) {
+    // Never written (deallocated reads return zeroes): an empty bucket.
+    return bucket;
+  }
+  if (magic != kMagic) {
+    return std::nullopt;
+  }
+  const uint32_t checksum = GetU32(data + 4);
+  const uint32_t num_entries = GetU32(data + 8);
+  const uint32_t payload_len = GetU32(data + 12);
+  if (kHeaderBytes + payload_len > capacity_bytes) {
+    return std::nullopt;
+  }
+  if (PayloadChecksum(data + kHeaderBytes, payload_len) != checksum) {
+    return std::nullopt;
+  }
+  const uint8_t* p = data + kHeaderBytes;
+  const uint8_t* end = p + payload_len;
+  for (uint32_t i = 0; i < num_entries; ++i) {
+    if (p + kPerEntryOverhead > end) {
+      return std::nullopt;
+    }
+    const uint16_t key_size = GetU16(p);
+    const uint32_t value_size = GetU32(p + 2);
+    p += kPerEntryOverhead;
+    if (p + key_size + value_size > end) {
+      return std::nullopt;
+    }
+    BucketEntry entry;
+    entry.key.assign(reinterpret_cast<const char*>(p), key_size);
+    entry.value.assign(reinterpret_cast<const char*>(p + key_size), value_size);
+    p += key_size + value_size;
+    bucket.used_ += EntryBytes(entry.key, entry.value);
+    bucket.entries_.push_back(std::move(entry));
+  }
+  return bucket;
+}
+
+void Bucket::Serialize(uint8_t* out) const {
+  std::memset(out, 0, capacity_);
+  uint8_t* p = out + kHeaderBytes;
+  for (const BucketEntry& entry : entries_) {
+    PutU16(p, static_cast<uint16_t>(entry.key.size()));
+    PutU32(p + 2, static_cast<uint32_t>(entry.value.size()));
+    p += kPerEntryOverhead;
+    std::memcpy(p, entry.key.data(), entry.key.size());
+    p += entry.key.size();
+    std::memcpy(p, entry.value.data(), entry.value.size());
+    p += entry.value.size();
+  }
+  const uint64_t payload_len = static_cast<uint64_t>(p - (out + kHeaderBytes));
+  PutU32(out, kMagic);
+  PutU32(out + 4, PayloadChecksum(out + kHeaderBytes, payload_len));
+  PutU32(out + 8, static_cast<uint32_t>(entries_.size()));
+  PutU32(out + 12, static_cast<uint32_t>(payload_len));
+}
+
+bool Bucket::Insert(std::string_view key, std::string_view value, uint64_t* evicted) {
+  const uint64_t need = EntryBytes(key, value);
+  if (kHeaderBytes + need > capacity_) {
+    return false;
+  }
+  Remove(key);  // Replace semantics; not counted as an eviction.
+  while (used_ + need > capacity_ && !entries_.empty()) {
+    used_ -= EntryBytes(entries_.front().key, entries_.front().value);
+    entries_.pop_front();
+    if (evicted != nullptr) {
+      ++*evicted;
+    }
+  }
+  entries_.push_back(BucketEntry{std::string(key), std::string(value)});
+  used_ += need;
+  return true;
+}
+
+const BucketEntry* Bucket::Find(std::string_view key) const {
+  for (const BucketEntry& entry : entries_) {
+    if (entry.key == key) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+bool Bucket::Remove(std::string_view key) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->key == key) {
+      used_ -= EntryBytes(it->key, it->value);
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace fdpcache

@@ -1,0 +1,65 @@
+// On-flash bucket format for the small object cache.
+//
+// A bucket is a fixed-size page (4 KiB by default) holding a FIFO of small
+// key/value entries. Inserting evicts from the front until the new entry
+// fits — CacheLib's BigHash behaviour. The serialized form carries a magic
+// and checksum so torn or corrupted buckets degrade to empty instead of
+// returning garbage.
+#ifndef SRC_NAVY_BUCKET_H_
+#define SRC_NAVY_BUCKET_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace fdpcache {
+
+struct BucketEntry {
+  std::string key;
+  std::string value;
+};
+
+class Bucket {
+ public:
+  static constexpr uint32_t kMagic = 0x534f4342;  // "BCOS"
+  static constexpr uint64_t kHeaderBytes = 16;
+  static constexpr uint64_t kPerEntryOverhead = 6;  // u16 key size + u32 value size.
+
+  explicit Bucket(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  // Parses a serialized bucket. Returns an empty bucket for all-zero or
+  // never-written storage; nullopt for corrupted contents (bad checksum or
+  // inconsistent sizes), which callers count and treat as empty.
+  static std::optional<Bucket> Deserialize(const uint8_t* data, uint64_t capacity_bytes);
+
+  // Writes exactly capacity_bytes, zero-padded.
+  void Serialize(uint8_t* out) const;
+
+  // Inserts an entry, replacing any entry with the same key and evicting
+  // oldest entries as needed. Returns false when the entry can never fit
+  // (even in an empty bucket); *evicted counts entries dropped to make room.
+  bool Insert(std::string_view key, std::string_view value, uint64_t* evicted);
+
+  const BucketEntry* Find(std::string_view key) const;
+  bool Remove(std::string_view key);
+
+  uint64_t used_bytes() const { return used_; }
+  uint64_t capacity_bytes() const { return capacity_; }
+  size_t num_entries() const { return entries_.size(); }
+  const std::deque<BucketEntry>& entries() const { return entries_; }
+
+  static uint64_t EntryBytes(std::string_view key, std::string_view value) {
+    return kPerEntryOverhead + key.size() + value.size();
+  }
+
+ private:
+  uint64_t capacity_;
+  uint64_t used_ = kHeaderBytes;
+  std::deque<BucketEntry> entries_;
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_NAVY_BUCKET_H_

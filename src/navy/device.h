@@ -1,0 +1,69 @@
+// Navy device abstraction (paper Figure 4: the FDP-aware device layer).
+//
+// Cache engines address a flat byte space and tag writes with abstract
+// placement handles; concrete devices translate handles to whatever the
+// hardware understands (FDP placement identifiers for the simulated SSD,
+// nothing for a plain file). This is the layer the paper added to CacheLib
+// to keep FDP semantics out of the engines.
+#ifndef SRC_NAVY_DEVICE_H_
+#define SRC_NAVY_DEVICE_H_
+
+#include <cstdint>
+
+#include "src/common/histogram.h"
+#include "src/nvme/types.h"
+
+namespace fdpcache {
+
+// Opaque placement handle. 0 means "no placement preference" (the default
+// RUH); engines obtain real handles from the PlacementHandleAllocator.
+using PlacementHandle = uint32_t;
+constexpr PlacementHandle kNoPlacement = 0;
+
+struct DeviceStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t read_bytes = 0;
+  uint64_t write_bytes = 0;
+  uint64_t trims = 0;
+  uint64_t io_errors = 0;
+  Histogram read_latency_ns;
+  Histogram write_latency_ns;
+};
+
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  // Offsets and sizes must be multiples of page_size().
+  virtual bool Write(uint64_t offset, const void* data, uint64_t size,
+                     PlacementHandle handle) = 0;
+  virtual bool Read(uint64_t offset, void* out, uint64_t size) = 0;
+  virtual bool Trim(uint64_t offset, uint64_t size) = 0;
+
+  virtual uint64_t size_bytes() const = 0;
+  virtual uint64_t page_size() const = 0;
+
+  // FDP discovery (paper §5.3: the allocator auto-discovers the topology).
+  virtual FdpCapabilities QueryFdp() const { return FdpCapabilities{}; }
+
+  // Number of distinct placement handles this device can honour (excluding
+  // the default). 0 for devices without data placement.
+  virtual uint32_t NumPlacementHandles() const { return 0; }
+
+  const DeviceStats& stats() const { return stats_; }
+  void ResetStats() {
+    stats_.reads = stats_.writes = stats_.read_bytes = stats_.write_bytes = 0;
+    stats_.trims = stats_.io_errors = 0;
+    stats_.read_latency_ns.Clear();
+    stats_.write_latency_ns.Clear();
+  }
+  DeviceStats& mutable_stats() { return stats_; }
+
+ protected:
+  DeviceStats stats_;
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_NAVY_DEVICE_H_

@@ -1,0 +1,337 @@
+#include "src/navy/loc.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fdpcache {
+
+namespace {
+
+void PutU16(uint8_t* p, uint16_t v) { std::memcpy(p, &v, sizeof(v)); }
+void PutU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+uint16_t GetU16(const uint8_t* p) {
+  uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+LargeObjectCache::LargeObjectCache(Device* device, const LocConfig& config)
+    : device_(device),
+      config_(config),
+      num_regions_(static_cast<uint32_t>(config.size_bytes / config.region_size)),
+      regions_(num_regions_),
+      open_buffer_(config.region_size, 0) {
+  free_regions_.reserve(num_regions_);
+  for (uint32_t r = num_regions_; r-- > 1;) {
+    free_regions_.push_back(r);
+  }
+  open_region_ = 0;
+}
+
+uint64_t LargeObjectCache::IndexMemoryBytes() const {
+  // Rough DRAM accounting: map node + key + location record. This is the
+  // "LOC tracks objects in DRAM" overhead the paper contrasts with the SOC.
+  uint64_t bytes = 0;
+  for (const auto& [key, loc] : index_) {
+    bytes += key.size() + sizeof(ItemLoc) + 48;
+  }
+  return bytes;
+}
+
+bool LargeObjectCache::Insert(std::string_view key, std::string_view value) {
+  if (num_regions_ < 2) {
+    ++stats_.insert_failures;
+    return false;
+  }
+  const uint64_t need = ItemBytes(key, value);
+  if (need > config_.region_size) {
+    ++stats_.insert_failures;
+    return false;
+  }
+  if (open_offset_ + need > config_.region_size) {
+    if (!SealAndRotate()) {
+      ++stats_.insert_failures;
+      return false;
+    }
+  }
+  uint8_t* p = open_buffer_.data() + open_offset_;
+  PutU32(p, kItemMagic);
+  PutU16(p + 4, static_cast<uint16_t>(key.size()));
+  PutU32(p + 6, static_cast<uint32_t>(value.size()));
+  std::memcpy(p + kItemHeaderBytes, key.data(), key.size());
+  std::memcpy(p + kItemHeaderBytes + key.size(), value.data(), value.size());
+
+  ItemLoc loc;
+  loc.region = open_region_;
+  loc.offset = static_cast<uint32_t>(open_offset_);
+  loc.length = static_cast<uint32_t>(need);
+  index_[std::string(key)] = loc;
+  regions_[open_region_].keys.emplace_back(key);
+
+  open_offset_ += need;
+  ++stats_.inserts;
+  stats_.item_bytes_written += key.size() + value.size();
+  return true;
+}
+
+bool LargeObjectCache::SealAndRotate() {
+  // Write the full region (CacheLib writes whole regions; the unused tail is
+  // part of the LOC's application-level write amplification).
+  if (!device_->Write(RegionBase(open_region_), open_buffer_.data(), config_.region_size,
+                      config_.placement)) {
+    return false;
+  }
+  stats_.bytes_written += config_.region_size;
+  RegionInfo& sealed = regions_[open_region_];
+  sealed.sealed = true;
+  sealed.seal_seq = ++seal_seq_;
+  sealed.last_access_seq = access_seq_;
+  ++stats_.regions_sealed;
+
+  uint32_t next;
+  if (!free_regions_.empty()) {
+    next = free_regions_.back();
+    free_regions_.pop_back();
+  } else {
+    next = PickEvictionVictim();
+    EvictRegion(next);
+  }
+  open_region_ = next;
+  open_offset_ = 0;
+  std::fill(open_buffer_.begin(), open_buffer_.end(), 0);
+  return true;
+}
+
+uint32_t LargeObjectCache::PickEvictionVictim() {
+  uint32_t best = 0;
+  uint64_t best_score = ~0ull;
+  for (uint32_t r = 0; r < num_regions_; ++r) {
+    if (r == open_region_ || !regions_[r].sealed) {
+      continue;
+    }
+    const uint64_t score = config_.eviction == LocEvictionPolicy::kFifo
+                               ? regions_[r].seal_seq
+                               : regions_[r].last_access_seq;
+    if (score < best_score) {
+      best_score = score;
+      best = r;
+    }
+  }
+  return best;
+}
+
+void LargeObjectCache::EvictRegion(uint32_t region) {
+  RegionInfo& info = regions_[region];
+  for (const std::string& key : info.keys) {
+    const auto it = index_.find(key);
+    if (it != index_.end() && it->second.region == region) {
+      index_.erase(it);
+      ++stats_.items_evicted;
+    }
+  }
+  info.keys.clear();
+  info.sealed = false;
+  info.seal_seq = 0;
+  if (config_.trim_on_evict) {
+    device_->Trim(RegionBase(region), config_.region_size);
+  }
+  ++stats_.regions_evicted;
+}
+
+std::optional<std::string> LargeObjectCache::Lookup(std::string_view key) {
+  ++stats_.lookups;
+  const auto it = index_.find(std::string(key));
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  const ItemLoc loc = it->second;
+  regions_[loc.region].last_access_seq = ++access_seq_;
+  std::string value;
+  if (loc.region == open_region_) {
+    // Served from the open region's RAM buffer.
+    const uint8_t* p = open_buffer_.data() + loc.offset;
+    const uint16_t key_size = GetU16(p + 4);
+    const uint32_t value_size = GetU32(p + 6);
+    value.assign(reinterpret_cast<const char*>(p + kItemHeaderBytes + key_size), value_size);
+  } else {
+    // Page-aligned read spanning the item.
+    const uint64_t page = device_->page_size();
+    const uint64_t item_start = RegionBase(loc.region) + loc.offset;
+    const uint64_t aligned_start = item_start / page * page;
+    const uint64_t aligned_end = (item_start + loc.length + page - 1) / page * page;
+    std::vector<uint8_t> buf(aligned_end - aligned_start);
+    if (!device_->Read(aligned_start, buf.data(), buf.size())) {
+      return std::nullopt;
+    }
+    const uint8_t* p = buf.data() + (item_start - aligned_start);
+    if (GetU32(p) != kItemMagic) {
+      ++stats_.corrupt_items;
+      index_.erase(it);
+      return std::nullopt;
+    }
+    const uint16_t key_size = GetU16(p + 4);
+    const uint32_t value_size = GetU32(p + 6);
+    if (key_size != key.size() ||
+        std::memcmp(p + kItemHeaderBytes, key.data(), key.size()) != 0) {
+      ++stats_.corrupt_items;
+      index_.erase(it);
+      return std::nullopt;
+    }
+    value.assign(reinterpret_cast<const char*>(p + kItemHeaderBytes + key_size), value_size);
+  }
+  ++stats_.hits;
+  return value;
+}
+
+bool LargeObjectCache::Remove(std::string_view key) {
+  const auto it = index_.find(std::string(key));
+  if (it == index_.end()) {
+    return false;
+  }
+  index_.erase(it);
+  ++stats_.removes;
+  return true;
+}
+
+bool LargeObjectCache::Flush() {
+  if (open_offset_ == 0) {
+    return true;
+  }
+  return SealAndRotate();
+}
+
+namespace {
+constexpr uint32_t kStateMagic = 0x4c4f4353;  // "SCOL"
+constexpr uint32_t kStateVersion = 1;
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+bool TakeU32(const std::string& in, size_t* pos, uint32_t* v) {
+  if (*pos + sizeof(*v) > in.size()) {
+    return false;
+  }
+  std::memcpy(v, in.data() + *pos, sizeof(*v));
+  *pos += sizeof(*v);
+  return true;
+}
+bool TakeU64(const std::string& in, size_t* pos, uint64_t* v) {
+  if (*pos + sizeof(*v) > in.size()) {
+    return false;
+  }
+  std::memcpy(v, in.data() + *pos, sizeof(*v));
+  *pos += sizeof(*v);
+  return true;
+}
+}  // namespace
+
+bool LargeObjectCache::SerializeState(std::string* out) {
+  if (!Flush()) {
+    return false;
+  }
+  out->clear();
+  AppendU32(out, kStateMagic);
+  AppendU32(out, kStateVersion);
+  AppendU32(out, num_regions_);
+  AppendU64(out, static_cast<uint64_t>(config_.region_size));
+  AppendU64(out, seal_seq_);
+  AppendU32(out, open_region_);
+  // Region metadata (keys lists are reconstructed from the index below).
+  for (const RegionInfo& region : regions_) {
+    AppendU64(out, region.seal_seq);
+    AppendU32(out, region.sealed ? 1 : 0);
+  }
+  // Index entries.
+  AppendU64(out, index_.size());
+  for (const auto& [key, loc] : index_) {
+    AppendU32(out, static_cast<uint32_t>(key.size()));
+    out->append(key);
+    AppendU32(out, loc.region);
+    AppendU32(out, loc.offset);
+    AppendU32(out, loc.length);
+  }
+  return true;
+}
+
+bool LargeObjectCache::RestoreState(const std::string& blob) {
+  size_t pos = 0;
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint32_t num_regions = 0;
+  uint64_t region_size = 0;
+  if (!TakeU32(blob, &pos, &magic) || magic != kStateMagic ||
+      !TakeU32(blob, &pos, &version) || version != kStateVersion ||
+      !TakeU32(blob, &pos, &num_regions) || num_regions != num_regions_ ||
+      !TakeU64(blob, &pos, &region_size) || region_size != config_.region_size) {
+    return false;
+  }
+  if (!TakeU64(blob, &pos, &seal_seq_)) {
+    return false;
+  }
+  uint32_t open_region = 0;
+  if (!TakeU32(blob, &pos, &open_region) || open_region >= num_regions_) {
+    return false;
+  }
+  for (RegionInfo& region : regions_) {
+    uint64_t seq = 0;
+    uint32_t sealed = 0;
+    if (!TakeU64(blob, &pos, &seq) || !TakeU32(blob, &pos, &sealed)) {
+      return false;
+    }
+    region.seal_seq = seq;
+    region.sealed = sealed != 0;
+    region.keys.clear();
+    region.last_access_seq = seq;
+  }
+  uint64_t entries = 0;
+  if (!TakeU64(blob, &pos, &entries)) {
+    return false;
+  }
+  index_.clear();
+  for (uint64_t i = 0; i < entries; ++i) {
+    uint32_t key_size = 0;
+    if (!TakeU32(blob, &pos, &key_size) || pos + key_size > blob.size()) {
+      return false;
+    }
+    std::string key = blob.substr(pos, key_size);
+    pos += key_size;
+    ItemLoc loc;
+    if (!TakeU32(blob, &pos, &loc.region) || !TakeU32(blob, &pos, &loc.offset) ||
+        !TakeU32(blob, &pos, &loc.length) || loc.region >= num_regions_) {
+      return false;
+    }
+    regions_[loc.region].keys.push_back(key);
+    index_[std::move(key)] = loc;
+  }
+  // Rebuild the free list: everything never sealed and not open is free.
+  free_regions_.clear();
+  for (uint32_t r = num_regions_; r-- > 0;) {
+    if (!regions_[r].sealed && r != open_region) {
+      free_regions_.push_back(r);
+    }
+  }
+  open_region_ = open_region;
+  open_offset_ = 0;
+  std::fill(open_buffer_.begin(), open_buffer_.end(), 0);
+  return true;
+}
+
+std::optional<uint32_t> LargeObjectCache::RegionOf(std::string_view key) const {
+  const auto it = index_.find(std::string(key));
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  return it->second.region;
+}
+
+}  // namespace fdpcache

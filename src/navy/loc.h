@@ -1,0 +1,141 @@
+// Large Object Cache: a log-structured, region-based flash cache
+// (CacheLib's BlockCache; paper §2.3).
+//
+// Items are appended into an in-RAM open region; full regions are sealed and
+// written to the device sequentially. Eviction recycles whole regions (FIFO
+// or region-LRU), which makes the device-visible write pattern purely
+// sequential — the stream the paper leaves at DLWA ~ 1.
+#ifndef SRC_NAVY_LOC_H_
+#define SRC_NAVY_LOC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/navy/device.h"
+
+namespace fdpcache {
+
+enum class LocEvictionPolicy : uint8_t {
+  kFifo,  // Recycle regions in seal order (paper default).
+  kLru,   // Recycle the least recently read region.
+};
+
+struct LocConfig {
+  uint64_t base_offset = 0;
+  uint64_t size_bytes = 0;            // Must be a multiple of region_size.
+  uint64_t region_size = 2 * 1024 * 1024;
+  PlacementHandle placement = kNoPlacement;
+  LocEvictionPolicy eviction = LocEvictionPolicy::kFifo;
+  // Issue a TRIM for a region when it is evicted (the paper's shelved
+  // RU-aware eviction exploration, §5.5 lesson 1; off by default).
+  bool trim_on_evict = false;
+};
+
+struct LocStats {
+  uint64_t inserts = 0;
+  uint64_t insert_failures = 0;
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t removes = 0;
+  uint64_t regions_sealed = 0;
+  uint64_t regions_evicted = 0;
+  uint64_t items_evicted = 0;      // Index entries dropped with their region.
+  uint64_t bytes_written = 0;      // Device bytes (whole regions).
+  uint64_t item_bytes_written = 0;
+  uint64_t corrupt_items = 0;
+
+  double Alwa() const {
+    return item_bytes_written == 0
+               ? 1.0
+               : static_cast<double>(bytes_written) / static_cast<double>(item_bytes_written);
+  }
+};
+
+class LargeObjectCache {
+ public:
+  LargeObjectCache(Device* device, const LocConfig& config);
+
+  // Inserts an item (key+value must fit one region).
+  bool Insert(std::string_view key, std::string_view value);
+
+  std::optional<std::string> Lookup(std::string_view key);
+
+  // Drops the index entry; the flash copy becomes dead space in its region.
+  bool Remove(std::string_view key);
+
+  // Seals the open region early, writing it out zero-padded. Mostly for
+  // tests and orderly shutdown.
+  bool Flush();
+
+  const LocStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = LocStats{}; }
+  uint32_t num_regions() const { return num_regions_; }
+  uint64_t IndexMemoryBytes() const;
+
+  // Which region currently backs an item (tests / RU-alignment studies).
+  std::optional<uint32_t> RegionOf(std::string_view key) const;
+
+  // --- Persistence (CacheLib-style warm restart) ----------------------------
+  // Serializes the in-RAM index and region metadata into a blob the host
+  // stores wherever it likes (a metadata file / namespace). Seals the open
+  // region first so everything referenced is on the device.
+  bool SerializeState(std::string* out);
+  // Restores a previously serialized state onto a fresh instance over the
+  // same device contents. Returns false on format mismatch.
+  bool RestoreState(const std::string& blob);
+
+ private:
+  struct ItemLoc {
+    uint32_t region = 0;
+    uint32_t offset = 0;     // Byte offset within the region.
+    uint32_t length = 0;     // Serialized length (header + key + value).
+  };
+
+  struct RegionInfo {
+    uint64_t seal_seq = 0;        // FIFO order; 0 = never sealed.
+    uint64_t last_access_seq = 0; // For LRU.
+    std::vector<std::string> keys;  // Keys written into this region.
+    bool sealed = false;
+  };
+
+  static constexpr uint32_t kItemMagic = 0x434f4c49;  // "ILOC"
+  static constexpr uint64_t kItemHeaderBytes = 10;    // magic + key/value sizes.
+
+  // Serialized item size.
+  static uint64_t ItemBytes(std::string_view key, std::string_view value) {
+    return kItemHeaderBytes + key.size() + value.size();
+  }
+
+  uint64_t RegionBase(uint32_t region) const {
+    return config_.base_offset + static_cast<uint64_t>(region) * config_.region_size;
+  }
+
+  // Seals the open region to the device and rotates to a fresh one,
+  // evicting if no free region remains. Returns false on device error.
+  bool SealAndRotate();
+  uint32_t PickEvictionVictim();
+  void EvictRegion(uint32_t region);
+
+  Device* device_;
+  LocConfig config_;
+  uint32_t num_regions_;
+  std::unordered_map<std::string, ItemLoc> index_;
+  std::vector<RegionInfo> regions_;
+  std::vector<uint32_t> free_regions_;
+
+  uint32_t open_region_ = 0;
+  uint64_t open_offset_ = 0;
+  std::vector<uint8_t> open_buffer_;
+  uint64_t seal_seq_ = 0;
+  uint64_t access_seq_ = 0;
+
+  LocStats stats_;
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_NAVY_LOC_H_

@@ -1,0 +1,113 @@
+#include "src/navy/navy_cache.h"
+
+#include "src/common/units.h"
+
+namespace fdpcache {
+
+NavyCache::NavyCache(Device* device, const NavyConfig& config,
+                     PlacementHandleAllocator* allocator, AdmissionPolicy* admission)
+    : device_(device), config_(config), admission_(admission) {
+  const uint64_t page = device_->page_size();
+  const uint64_t total = config_.size_bytes == 0 ? device_->size_bytes() : config_.size_bytes;
+  // SOC gets its fraction rounded to whole buckets; LOC gets whole regions.
+  soc_size_ = RoundUp(static_cast<uint64_t>(static_cast<double>(total) * config_.soc_fraction),
+                      config_.soc_bucket_size);
+  const uint64_t loc_space = total - soc_size_;
+  loc_size_ = loc_space / config_.loc_region_size * config_.loc_region_size;
+
+  if (config_.use_placement_handles && allocator != nullptr) {
+    soc_handle_ = allocator->Allocate();
+    loc_handle_ = allocator->Allocate();
+  }
+
+  SocConfig soc;
+  soc.base_offset = config_.base_offset;
+  soc.size_bytes = soc_size_;
+  soc.bucket_size = config_.soc_bucket_size;
+  soc.placement = soc_handle_;
+  soc.use_bloom_filters = config_.soc_bloom_filters;
+  soc_ = std::make_unique<SmallObjectCache>(device_, soc);
+
+  LocConfig loc;
+  loc.base_offset = config_.base_offset + soc_size_;
+  loc.size_bytes = loc_size_;
+  loc.region_size = config_.loc_region_size;
+  loc.placement = loc_handle_;
+  loc.eviction = config_.loc_eviction;
+  loc.trim_on_evict = config_.loc_trim_on_evict;
+  loc_ = std::make_unique<LargeObjectCache>(device_, loc);
+  (void)page;
+}
+
+bool NavyCache::Insert(std::string_view key, std::string_view value) {
+  if (admission_ != nullptr && !admission_->Accept(key, key.size() + value.size())) {
+    ++admission_rejects_;
+    return false;
+  }
+  bool ok;
+  uint64_t bytes_before;
+  if (IsSmall(key, value)) {
+    bytes_before = soc_->stats().bytes_written;
+    ok = soc_->Insert(key, value);
+    if (admission_ != nullptr) {
+      admission_->OnBytesWritten(soc_->stats().bytes_written - bytes_before);
+    }
+    // A small item supersedes any stale large copy and vice versa.
+    if (ok) {
+      loc_->Remove(key);
+    }
+  } else {
+    bytes_before = loc_->stats().bytes_written;
+    ok = loc_->Insert(key, value);
+    if (admission_ != nullptr) {
+      admission_->OnBytesWritten(loc_->stats().bytes_written - bytes_before);
+    }
+    // Drop any stale small copy; the bloom filter makes the common case free.
+    if (ok && soc_->MayContain(key)) {
+      soc_->Remove(key);
+    }
+  }
+  return ok;
+}
+
+std::optional<std::string> NavyCache::Lookup(std::string_view key) {
+  // Try the SOC first (small items dominate lookups in the paper's
+  // workloads); fall through to the LOC.
+  auto value = soc_->Lookup(key);
+  if (value.has_value()) {
+    return value;
+  }
+  return loc_->Lookup(key);
+}
+
+bool NavyCache::Remove(std::string_view key) {
+  const bool soc_removed = soc_->Remove(key);
+  const bool loc_removed = loc_->Remove(key);
+  return soc_removed || loc_removed;
+}
+
+bool NavyCache::Persist(std::string* state) { return loc_->SerializeState(state); }
+
+bool NavyCache::Recover(const std::string& state) {
+  if (!loc_->RestoreState(state)) {
+    return false;
+  }
+  soc_->RecoverBloomFilters();
+  return true;
+}
+
+void NavyCache::ResetStats() {
+  soc_->ResetStats();
+  loc_->ResetStats();
+  admission_rejects_ = 0;
+}
+
+NavyStats NavyCache::stats() const {
+  NavyStats stats;
+  stats.soc = soc_->stats();
+  stats.loc = loc_->stats();
+  stats.admission_rejects = admission_rejects_;
+  return stats;
+}
+
+}  // namespace fdpcache

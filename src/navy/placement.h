@@ -1,0 +1,49 @@
+// Placement handle allocator (paper §5.3, Figure 4 1a).
+//
+// Modules that want data segregation request a handle at initialization.
+// When the device supports FDP, each allocation is bound to a distinct
+// reclaim unit handle; when it does not (or FDP is disabled), the default
+// no-preference handle is returned, which keeps CacheLib behaviour unchanged
+// on conventional SSDs — the paper's backward-compatibility requirement.
+#ifndef SRC_NAVY_PLACEMENT_H_
+#define SRC_NAVY_PLACEMENT_H_
+
+#include <cstdint>
+
+#include "src/navy/device.h"
+
+namespace fdpcache {
+
+class PlacementHandleAllocator {
+ public:
+  explicit PlacementHandleAllocator(const Device& device)
+      : num_handles_(device.NumPlacementHandles()) {}
+
+  // Constructs an allocator for a known handle count (tests).
+  explicit PlacementHandleAllocator(uint32_t num_handles) : num_handles_(num_handles) {}
+
+  // Allocates the next placement handle. Returns kNoPlacement when the device
+  // has no data placement support. When consumers outnumber the device's
+  // RUHs, handles wrap around — consumers then share reclaim unit handles,
+  // which degrades isolation gracefully rather than failing.
+  PlacementHandle Allocate() {
+    if (num_handles_ == 0) {
+      return kNoPlacement;
+    }
+    const PlacementHandle handle = 1 + (next_ % num_handles_);
+    ++next_;
+    return handle;
+  }
+
+  // Number of distinct handles the device can honour.
+  uint32_t capacity() const { return num_handles_; }
+  uint32_t allocated() const { return next_; }
+
+ private:
+  uint32_t num_handles_;
+  uint32_t next_ = 0;
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_NAVY_PLACEMENT_H_

@@ -1,0 +1,83 @@
+#include "src/navy/sim_ssd_device.h"
+
+namespace fdpcache {
+
+SimSsdDevice::SimSsdDevice(SimulatedSsd* ssd, uint32_t nsid, VirtualClock* clock)
+    : ssd_(ssd), nsid_(nsid), clock_(clock) {
+  size_bytes_ = ssd_->namespaces()[nsid - 1].size_pages * ssd_->page_size();
+}
+
+uint32_t SimSsdDevice::NumPlacementHandles() const {
+  const FdpCapabilities caps = ssd_->IdentifyFdp();
+  return caps.fdp_enabled ? caps.num_ruhs : 0;
+}
+
+void SimSsdDevice::TranslateHandle(PlacementHandle handle, DirectiveType* dtype,
+                                   uint16_t* dspec) const {
+  if (handle == kNoPlacement) {
+    *dtype = DirectiveType::kNone;
+    *dspec = 0;
+    return;
+  }
+  // Handle h (1-based) names RUH h-1 in reclaim group 0; the allocator wraps
+  // handles so this is always a valid PID on the device.
+  *dtype = DirectiveType::kDataPlacement;
+  *dspec = EncodeDspec(PlacementId{0, static_cast<uint16_t>(handle - 1)});
+}
+
+bool SimSsdDevice::Write(uint64_t offset, const void* data, uint64_t size,
+                         PlacementHandle handle) {
+  const uint64_t page = page_size();
+  if (offset % page != 0 || size % page != 0 || size == 0) {
+    ++stats_.io_errors;
+    return false;
+  }
+  DirectiveType dtype = DirectiveType::kNone;
+  uint16_t dspec = 0;
+  TranslateHandle(handle, &dtype, &dspec);
+  const NvmeCompletion c = ssd_->Write(nsid_, offset / page, static_cast<uint32_t>(size / page),
+                                       data, dtype, dspec, clock_->now());
+  if (!c.ok()) {
+    ++stats_.io_errors;
+    return false;
+  }
+  ++stats_.writes;
+  stats_.write_bytes += size;
+  stats_.write_latency_ns.Record(c.latency());
+  return true;
+}
+
+bool SimSsdDevice::Read(uint64_t offset, void* out, uint64_t size) {
+  const uint64_t page = page_size();
+  if (offset % page != 0 || size % page != 0 || size == 0) {
+    ++stats_.io_errors;
+    return false;
+  }
+  const NvmeCompletion c =
+      ssd_->Read(nsid_, offset / page, static_cast<uint32_t>(size / page), out, clock_->now());
+  if (!c.ok()) {
+    ++stats_.io_errors;
+    return false;
+  }
+  ++stats_.reads;
+  stats_.read_bytes += size;
+  stats_.read_latency_ns.Record(c.latency());
+  return true;
+}
+
+bool SimSsdDevice::Trim(uint64_t offset, uint64_t size) {
+  const uint64_t page = page_size();
+  if (offset % page != 0 || size % page != 0) {
+    ++stats_.io_errors;
+    return false;
+  }
+  const NvmeCompletion c = ssd_->Deallocate(nsid_, offset / page, size / page, clock_->now());
+  if (!c.ok()) {
+    ++stats_.io_errors;
+    return false;
+  }
+  ++stats_.trims;
+  return true;
+}
+
+}  // namespace fdpcache

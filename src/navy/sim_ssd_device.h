@@ -1,0 +1,48 @@
+// Device implementation over the simulated FDP SSD.
+//
+// Mirrors the paper's FDP-aware I/O management (§5.4): placement handles are
+// translated to FDP placement identifiers, attached to writes as DTYPE/DSPEC
+// directive fields, and submitted to the device. Reads are unchanged.
+#ifndef SRC_NAVY_SIM_SSD_DEVICE_H_
+#define SRC_NAVY_SIM_SSD_DEVICE_H_
+
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/navy/device.h"
+#include "src/ssd/ssd.h"
+
+namespace fdpcache {
+
+class SimSsdDevice final : public Device {
+ public:
+  // Exposes namespace `nsid` of `ssd` as a flat byte space. The clock is
+  // shared with the driving harness; device completions are recorded against
+  // it. Neither pointer is owned and both must outlive the device.
+  SimSsdDevice(SimulatedSsd* ssd, uint32_t nsid, VirtualClock* clock);
+
+  bool Write(uint64_t offset, const void* data, uint64_t size, PlacementHandle handle) override;
+  bool Read(uint64_t offset, void* out, uint64_t size) override;
+  bool Trim(uint64_t offset, uint64_t size) override;
+
+  uint64_t size_bytes() const override { return size_bytes_; }
+  uint64_t page_size() const override { return ssd_->page_size(); }
+
+  FdpCapabilities QueryFdp() const override { return ssd_->IdentifyFdp(); }
+  uint32_t NumPlacementHandles() const override;
+
+  SimulatedSsd* ssd() { return ssd_; }
+
+ private:
+  // Translates a placement handle to the NVMe directive fields.
+  void TranslateHandle(PlacementHandle handle, DirectiveType* dtype, uint16_t* dspec) const;
+
+  SimulatedSsd* ssd_;
+  uint32_t nsid_;
+  VirtualClock* clock_;
+  uint64_t size_bytes_;
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_NAVY_SIM_SSD_DEVICE_H_

@@ -1,0 +1,150 @@
+#include "src/navy/soc.h"
+
+#include "src/common/hash.h"
+
+namespace fdpcache {
+
+SmallObjectCache::SmallObjectCache(Device* device, const SocConfig& config)
+    : device_(device),
+      config_(config),
+      num_buckets_(config.size_bytes / config.bucket_size),
+      scratch_(config.bucket_size) {
+  if (config_.use_bloom_filters && num_buckets_ > 0) {
+    blooms_.emplace(num_buckets_, config_.bloom_bits_per_bucket);
+  }
+}
+
+uint64_t SmallObjectCache::BucketOf(std::string_view key) const {
+  return HashString(key) % num_buckets_;
+}
+
+Bucket SmallObjectCache::LoadBucket(uint64_t bucket_id, bool* io_ok) {
+  const uint64_t offset = config_.base_offset + bucket_id * config_.bucket_size;
+  if (!device_->Read(offset, scratch_.data(), config_.bucket_size)) {
+    *io_ok = false;
+    return Bucket(config_.bucket_size);
+  }
+  *io_ok = true;
+  auto bucket = Bucket::Deserialize(scratch_.data(), config_.bucket_size);
+  if (!bucket.has_value()) {
+    ++stats_.corrupt_buckets;
+    return Bucket(config_.bucket_size);
+  }
+  return std::move(*bucket);
+}
+
+bool SmallObjectCache::StoreBucket(uint64_t bucket_id, const Bucket& bucket) {
+  bucket.Serialize(scratch_.data());
+  const uint64_t offset = config_.base_offset + bucket_id * config_.bucket_size;
+  if (!device_->Write(offset, scratch_.data(), config_.bucket_size, config_.placement)) {
+    return false;
+  }
+  stats_.bytes_written += config_.bucket_size;
+  if (blooms_.has_value()) {
+    blooms_->ClearBucket(bucket_id);
+    for (const BucketEntry& entry : bucket.entries()) {
+      blooms_->Add(bucket_id, HashString(entry.key));
+    }
+  }
+  return true;
+}
+
+bool SmallObjectCache::Insert(std::string_view key, std::string_view value) {
+  if (num_buckets_ == 0) {
+    ++stats_.insert_failures;
+    return false;
+  }
+  const uint64_t bucket_id = BucketOf(key);
+  bool io_ok = true;
+  Bucket bucket = LoadBucket(bucket_id, &io_ok);
+  if (!io_ok) {
+    ++stats_.insert_failures;
+    return false;
+  }
+  uint64_t evicted = 0;
+  if (!bucket.Insert(key, value, &evicted)) {
+    ++stats_.insert_failures;
+    return false;
+  }
+  if (!StoreBucket(bucket_id, bucket)) {
+    ++stats_.insert_failures;
+    return false;
+  }
+  stats_.evictions += evicted;
+  ++stats_.inserts;
+  stats_.item_bytes_written += key.size() + value.size();
+  return true;
+}
+
+std::optional<std::string> SmallObjectCache::Lookup(std::string_view key) {
+  ++stats_.lookups;
+  if (num_buckets_ == 0) {
+    return std::nullopt;
+  }
+  const uint64_t bucket_id = BucketOf(key);
+  if (blooms_.has_value() && !blooms_->MayContain(bucket_id, HashString(key))) {
+    ++stats_.bloom_rejects;
+    return std::nullopt;
+  }
+  bool io_ok = true;
+  Bucket bucket = LoadBucket(bucket_id, &io_ok);
+  if (!io_ok) {
+    return std::nullopt;
+  }
+  const BucketEntry* entry = bucket.Find(key);
+  if (entry == nullptr) {
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return entry->value;
+}
+
+uint64_t SmallObjectCache::RecoverBloomFilters() {
+  if (!blooms_.has_value()) {
+    return 0;
+  }
+  uint64_t populated = 0;
+  for (uint64_t bucket_id = 0; bucket_id < num_buckets_; ++bucket_id) {
+    blooms_->ClearBucket(bucket_id);
+    bool io_ok = true;
+    const Bucket bucket = LoadBucket(bucket_id, &io_ok);
+    if (!io_ok || bucket.num_entries() == 0) {
+      continue;
+    }
+    ++populated;
+    for (const BucketEntry& entry : bucket.entries()) {
+      blooms_->Add(bucket_id, HashString(entry.key));
+    }
+  }
+  return populated;
+}
+
+bool SmallObjectCache::MayContain(std::string_view key) const {
+  if (num_buckets_ == 0) {
+    return false;
+  }
+  if (!blooms_.has_value()) {
+    return true;
+  }
+  return blooms_->MayContain(BucketOf(key), HashString(key));
+}
+
+bool SmallObjectCache::Remove(std::string_view key) {
+  if (num_buckets_ == 0) {
+    return false;
+  }
+  const uint64_t bucket_id = BucketOf(key);
+  bool io_ok = true;
+  Bucket bucket = LoadBucket(bucket_id, &io_ok);
+  if (!io_ok || bucket.Find(key) == nullptr) {
+    return false;
+  }
+  bucket.Remove(key);
+  if (!StoreBucket(bucket_id, bucket)) {
+    return false;
+  }
+  ++stats_.removes;
+  return true;
+}
+
+}  // namespace fdpcache

@@ -1,0 +1,96 @@
+// Small Object Cache: a set-associative flash cache for tiny items
+// (CacheLib's BigHash; paper §2.3).
+//
+// The key is hashed uniformly to one of N fixed 4 KiB buckets; every insert
+// rewrites the whole bucket in place. This gives near-zero DRAM overhead for
+// billions of objects at the cost of a random small-write pattern to the SSD
+// — exactly the stream the paper segregates with its own reclaim unit handle.
+#ifndef SRC_NAVY_SOC_H_
+#define SRC_NAVY_SOC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/navy/bloom_filter.h"
+#include "src/navy/bucket.h"
+#include "src/navy/device.h"
+
+namespace fdpcache {
+
+struct SocConfig {
+  uint64_t base_offset = 0;    // Byte offset of the SOC area on the device.
+  uint64_t size_bytes = 0;     // Total SOC size; must be a bucket multiple.
+  uint32_t bucket_size = 4096; // One device page per bucket.
+  PlacementHandle placement = kNoPlacement;
+  uint32_t bloom_bits_per_bucket = 64;
+  bool use_bloom_filters = true;
+};
+
+struct SocStats {
+  uint64_t inserts = 0;
+  uint64_t insert_failures = 0;   // Item too large or device error.
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t bloom_rejects = 0;     // Negative lookups served without I/O.
+  uint64_t evictions = 0;         // Entries dropped by bucket overflow.
+  uint64_t removes = 0;
+  uint64_t corrupt_buckets = 0;   // Checksum/format failures (treated empty).
+  uint64_t bytes_written = 0;     // Device bytes (whole buckets).
+  uint64_t item_bytes_written = 0;  // Logical item payload bytes.
+
+  // Application-level write amplification of the SOC (paper Eq. 2): whole
+  // buckets are written per small item.
+  double Alwa() const {
+    return item_bytes_written == 0
+               ? 1.0
+               : static_cast<double>(bytes_written) / static_cast<double>(item_bytes_written);
+  }
+};
+
+class SmallObjectCache {
+ public:
+  // `device` must outlive the cache.
+  SmallObjectCache(Device* device, const SocConfig& config);
+
+  // Inserts a small item; the whole target bucket is rewritten. Fails when
+  // the item cannot fit a bucket or on device errors.
+  bool Insert(std::string_view key, std::string_view value);
+
+  std::optional<std::string> Lookup(std::string_view key);
+
+  // Removes the item if present (rewrites the bucket). Returns presence.
+  bool Remove(std::string_view key);
+
+  // Cheap bloom-filter check; false means the key is definitely absent.
+  bool MayContain(std::string_view key) const;
+
+  // Warm restart: the SOC's on-flash format is self-describing, so a new
+  // instance over an existing device only needs its bloom filters rebuilt.
+  // Scans every bucket (device reads); returns buckets found non-empty.
+  uint64_t RecoverBloomFilters();
+
+  uint64_t num_buckets() const { return num_buckets_; }
+  uint64_t BucketOf(std::string_view key) const;
+  const SocStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = SocStats{}; }
+  uint64_t MemoryBytes() const { return blooms_ ? blooms_->MemoryBytes() : 0; }
+
+ private:
+  // Reads and parses the bucket; corrupted contents count and become empty.
+  Bucket LoadBucket(uint64_t bucket_id, bool* io_ok);
+  bool StoreBucket(uint64_t bucket_id, const Bucket& bucket);
+
+  Device* device_;
+  SocConfig config_;
+  uint64_t num_buckets_;
+  std::optional<BucketBloomFilters> blooms_;
+  std::vector<uint8_t> scratch_;  // One bucket of I/O scratch space.
+  SocStats stats_;
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_NAVY_SOC_H_

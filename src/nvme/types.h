@@ -1,0 +1,74 @@
+// NVMe-flavoured command types used at the host/device boundary.
+//
+// The simulator exposes the same contract the paper's host stack uses through
+// io_uring passthru: 4 KiB logical blocks, write commands carrying DTYPE /
+// DSPEC placement-directive fields, DSM deallocate (TRIM), and log pages for
+// FDP statistics and events.
+#ifndef SRC_NVME_TYPES_H_
+#define SRC_NVME_TYPES_H_
+
+#include <cstdint>
+
+#include "src/common/units.h"
+#include "src/fdp/types.h"
+
+namespace fdpcache {
+
+enum class NvmeStatus : uint8_t {
+  kSuccess = 0,
+  kInvalidField,       // e.g. invalid placement identifier.
+  kLbaOutOfRange,
+  kInvalidNamespace,
+  kCapacityExceeded,   // Device could not allocate space (GC starved).
+  kInternalError,
+};
+
+inline const char* ToString(NvmeStatus status) {
+  switch (status) {
+    case NvmeStatus::kSuccess:
+      return "Success";
+    case NvmeStatus::kInvalidField:
+      return "InvalidField";
+    case NvmeStatus::kLbaOutOfRange:
+      return "LbaOutOfRange";
+    case NvmeStatus::kInvalidNamespace:
+      return "InvalidNamespace";
+    case NvmeStatus::kCapacityExceeded:
+      return "CapacityExceeded";
+    case NvmeStatus::kInternalError:
+      return "InternalError";
+  }
+  return "Unknown";
+}
+
+// Completion of an I/O command in virtual time.
+struct NvmeCompletion {
+  NvmeStatus status = NvmeStatus::kSuccess;
+  TimeNs submitted_at = 0;
+  TimeNs completed_at = 0;
+
+  TimeNs latency() const { return completed_at - submitted_at; }
+  bool ok() const { return status == NvmeStatus::kSuccess; }
+};
+
+// Identify-style summary of a namespace.
+struct NamespaceInfo {
+  uint32_t nsid = 0;       // 1-based, like NVMe.
+  uint64_t base_lpn = 0;   // First device LPN backing this namespace.
+  uint64_t size_pages = 0;
+};
+
+// Identify-style device capabilities relevant to FDP discovery (paper §5.3:
+// the placement handle allocator auto-discovers these at initialization).
+struct FdpCapabilities {
+  bool fdp_supported = false;
+  bool fdp_enabled = false;
+  uint32_t num_ruhs = 0;
+  uint32_t num_reclaim_groups = 0;
+  uint64_t ru_size_bytes = 0;
+  RuhType ruh_type = RuhType::kInitiallyIsolated;
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_NVME_TYPES_H_

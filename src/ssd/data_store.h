@@ -1,0 +1,75 @@
+// Byte storage for the simulated device.
+//
+// Frames are keyed by logical page: overwrites replace the frame, TRIM drops
+// it, and reads of unmapped pages return zeroes (NVMe deallocated-read
+// behaviour). Keying by LPN means GC relocation moves no bytes — physically
+// the FTL copies pages, and the simulator charges that in time, energy, and
+// WAF counters, but the payload is reachable from the logical address either
+// way, so the copy itself is elided for speed.
+#ifndef SRC_SSD_DATA_STORE_H_
+#define SRC_SSD_DATA_STORE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace fdpcache {
+
+class DataStore {
+ public:
+  DataStore(uint64_t num_pages, uint64_t page_size, bool enabled)
+      : page_size_(page_size), enabled_(enabled) {
+    if (enabled_) {
+      frames_.resize(num_pages);
+    }
+  }
+
+  void Write(uint64_t lpn, const void* data) {
+    if (!enabled_ || data == nullptr) {
+      return;
+    }
+    if (!frames_[lpn]) {
+      frames_[lpn] = std::make_unique<uint8_t[]>(page_size_);
+    }
+    std::memcpy(frames_[lpn].get(), data, page_size_);
+  }
+
+  // Fills `out` with the page contents, or zeroes when never written/trimmed.
+  void Read(uint64_t lpn, void* out) const {
+    if (enabled_ && frames_[lpn]) {
+      std::memcpy(out, frames_[lpn].get(), page_size_);
+    } else {
+      std::memset(out, 0, page_size_);
+    }
+  }
+
+  void Trim(uint64_t lpn) {
+    if (enabled_) {
+      frames_[lpn].reset();
+    }
+  }
+
+  uint64_t page_size() const { return page_size_; }
+  bool enabled() const { return enabled_; }
+
+  // Bytes currently resident (for memory-usage introspection in tests).
+  uint64_t ResidentBytes() const {
+    uint64_t n = 0;
+    for (const auto& f : frames_) {
+      if (f) {
+        n += page_size_;
+      }
+    }
+    return n;
+  }
+
+ private:
+  uint64_t page_size_;
+  bool enabled_;
+  std::vector<std::unique_ptr<uint8_t[]>> frames_;
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_SSD_DATA_STORE_H_

@@ -1,0 +1,225 @@
+#include "src/ssd/ssd.h"
+
+#include <algorithm>
+
+namespace fdpcache {
+
+namespace {
+
+FtlConfig MakeFtlConfig(const SsdConfig& config) {
+  FtlConfig ftl;
+  ftl.geometry = config.geometry;
+  ftl.endurance = config.endurance;
+  ftl.fdp = config.fdp;
+  ftl.op_fraction = config.op_fraction;
+  ftl.gc_free_ru_watermark = config.gc_free_ru_watermark;
+  ftl.fdp_enabled = config.fdp_enabled;
+  ftl.static_wear_leveling = config.static_wear_leveling;
+  ftl.wear_delta_threshold = config.wear_delta_threshold;
+  return ftl;
+}
+
+NvmeStatus ToNvmeStatus(FtlStatus status) {
+  switch (status) {
+    case FtlStatus::kOk:
+      return NvmeStatus::kSuccess;
+    case FtlStatus::kLbaOutOfRange:
+      return NvmeStatus::kLbaOutOfRange;
+    case FtlStatus::kInvalidPlacementId:
+      return NvmeStatus::kInvalidField;
+    case FtlStatus::kDeviceFull:
+      return NvmeStatus::kCapacityExceeded;
+    case FtlStatus::kInternalError:
+      return NvmeStatus::kInternalError;
+  }
+  return NvmeStatus::kInternalError;
+}
+
+}  // namespace
+
+SimulatedSsd::SimulatedSsd(const SsdConfig& config)
+    : config_(config),
+      ftl_(std::make_unique<Ftl>(MakeFtlConfig(config), this)),
+      dies_(config.geometry.num_dies),
+      data_(ftl_->logical_pages(), config.geometry.page_size_bytes, config.store_data) {}
+
+std::optional<uint32_t> SimulatedSsd::CreateNamespace(uint64_t size_bytes) {
+  const uint64_t pages = CeilDiv(size_bytes, config_.geometry.page_size_bytes);
+  if (pages == 0 || allocated_pages_ + pages > ftl_->logical_pages()) {
+    return std::nullopt;
+  }
+  NamespaceInfo info;
+  info.nsid = static_cast<uint32_t>(namespaces_.size()) + 1;
+  info.base_lpn = allocated_pages_;
+  info.size_pages = pages;
+  namespaces_.push_back(info);
+  allocated_pages_ += pages;
+  return info.nsid;
+}
+
+uint64_t SimulatedSsd::UnallocatedBytes() const {
+  return (ftl_->logical_pages() - allocated_pages_) * config_.geometry.page_size_bytes;
+}
+
+std::optional<uint64_t> SimulatedSsd::Translate(uint32_t nsid, uint64_t slba,
+                                                uint64_t nlb) const {
+  if (nsid == 0 || nsid > namespaces_.size()) {
+    return std::nullopt;
+  }
+  const NamespaceInfo& ns = namespaces_[nsid - 1];
+  if (slba + nlb > ns.size_pages) {
+    return std::nullopt;
+  }
+  return ns.base_lpn + slba;
+}
+
+NvmeCompletion SimulatedSsd::Write(uint32_t nsid, uint64_t slba, uint32_t nlb,
+                                   const void* data, DirectiveType dtype, uint16_t dspec,
+                                   TimeNs now) {
+  NvmeCompletion completion;
+  completion.submitted_at = now;
+  completion.completed_at = now;
+  const std::optional<uint64_t> base = Translate(nsid, slba, nlb);
+  if (!base.has_value()) {
+    completion.status = nsid == 0 || nsid > namespaces_.size() ? NvmeStatus::kInvalidNamespace
+                                                               : NvmeStatus::kLbaOutOfRange;
+    return completion;
+  }
+  op_now_ = now;
+  host_op_completion_ = now;
+  const uint64_t page_size = config_.geometry.page_size_bytes;
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  for (uint32_t i = 0; i < nlb; ++i) {
+    const uint64_t lpn = *base + i;
+    const FtlStatus st = ftl_->WritePage(lpn, dtype, dspec);
+    if (st != FtlStatus::kOk) {
+      completion.status = ToNvmeStatus(st);
+      return completion;
+    }
+    data_.Write(lpn, bytes == nullptr ? nullptr : bytes + i * page_size);
+  }
+  completion.completed_at = host_op_completion_ + config_.timing.transfer_page_ns * nlb;
+  return completion;
+}
+
+NvmeCompletion SimulatedSsd::Read(uint32_t nsid, uint64_t slba, uint32_t nlb, void* out,
+                                  TimeNs now) {
+  NvmeCompletion completion;
+  completion.submitted_at = now;
+  completion.completed_at = now;
+  const std::optional<uint64_t> base = Translate(nsid, slba, nlb);
+  if (!base.has_value()) {
+    completion.status = nsid == 0 || nsid > namespaces_.size() ? NvmeStatus::kInvalidNamespace
+                                                               : NvmeStatus::kLbaOutOfRange;
+    return completion;
+  }
+  op_now_ = now;
+  host_op_completion_ = now;
+  const uint64_t page_size = config_.geometry.page_size_bytes;
+  auto* bytes = static_cast<uint8_t*>(out);
+  for (uint32_t i = 0; i < nlb; ++i) {
+    const uint64_t lpn = *base + i;
+    ftl_->ReadPage(lpn);  // Unmapped pages read back as zeroes below.
+    if (bytes != nullptr) {
+      data_.Read(lpn, bytes + i * page_size);
+    }
+  }
+  completion.completed_at = host_op_completion_ + config_.timing.transfer_page_ns * nlb;
+  return completion;
+}
+
+NvmeCompletion SimulatedSsd::Deallocate(uint32_t nsid, uint64_t slba, uint64_t nlb,
+                                        TimeNs now) {
+  NvmeCompletion completion;
+  completion.submitted_at = now;
+  // Deallocate is a metadata operation; it completes "immediately" in the
+  // simulator (a fixed small controller cost).
+  completion.completed_at = now + 2 * kMicrosecond;
+  const std::optional<uint64_t> base = Translate(nsid, slba, nlb);
+  if (!base.has_value()) {
+    completion.status = nsid == 0 || nsid > namespaces_.size() ? NvmeStatus::kInvalidNamespace
+                                                               : NvmeStatus::kLbaOutOfRange;
+    return completion;
+  }
+  for (uint64_t i = 0; i < nlb; ++i) {
+    const uint64_t lpn = *base + i;
+    ftl_->TrimPage(lpn);
+    data_.Trim(lpn);
+  }
+  return completion;
+}
+
+FdpCapabilities SimulatedSsd::IdentifyFdp() const {
+  FdpCapabilities caps;
+  caps.fdp_supported = true;
+  caps.fdp_enabled = ftl_->fdp_enabled();
+  caps.num_ruhs = config_.fdp.num_ruhs();
+  caps.num_reclaim_groups = config_.fdp.num_reclaim_groups;
+  caps.ru_size_bytes = config_.geometry.SuperblockBytes();
+  caps.ruh_type = config_.fdp.ruhs.empty() ? RuhType::kInitiallyIsolated
+                                           : config_.fdp.ruhs.front().type;
+  return caps;
+}
+
+bool SimulatedSsd::SetFdpEnabled(bool enabled) {
+  if (ftl_->mapped_pages() != 0) {
+    return false;  // Real devices require reformat; we require an empty FTL.
+  }
+  ftl_->set_fdp_enabled(enabled);
+  return true;
+}
+
+void SimulatedSsd::TrimAll(bool reset_stats) {
+  for (const NamespaceInfo& ns : namespaces_) {
+    for (uint64_t i = 0; i < ns.size_pages; ++i) {
+      ftl_->TrimPage(ns.base_lpn + i);
+      data_.Trim(ns.base_lpn + i);
+    }
+  }
+  if (reset_stats) {
+    ftl_->ResetStats();
+  }
+}
+
+SsdTelemetry SimulatedSsd::Telemetry(TimeNs elapsed) const {
+  SsdTelemetry t;
+  t.nand = ftl_->media().counts();
+  t.ftl = ftl_->counters();
+  t.fdp_stats = ftl_->stats();
+  t.gc_events = ftl_->event_log().TotalOf(FdpEventType::kMediaRelocated);
+  t.gc_relocated_pages = ftl_->event_log().relocated_pages_total();
+  t.clean_ru_erases = ftl_->counters().clean_ru_erases;
+  t.op_energy_uj = ftl_->media().op_energy_uj(config_.energy);
+  t.total_energy_uj =
+      t.op_energy_uj + config_.energy.idle_power_w * (static_cast<double>(elapsed) / 1e3);
+  t.die_busy_ns = dies_.TotalBusyNs();
+  t.max_pe_cycles = ftl_->media().max_erase_count();
+  t.mean_pe_cycles = ftl_->media().mean_erase_count();
+  t.dlwa = ftl_->stats().Dlwa();
+  return t;
+}
+
+void SimulatedSsd::OnPageRead(uint64_t ppn, bool is_gc) {
+  const uint32_t die = config_.geometry.DieOfPpn(ppn);
+  const TimeNs done = dies_.Schedule(die, op_now_, config_.timing.read_page_ns);
+  if (!is_gc) {
+    host_op_completion_ = std::max(host_op_completion_, done);
+  }
+}
+
+void SimulatedSsd::OnPageProgram(uint64_t ppn, bool is_gc) {
+  const uint32_t die = config_.geometry.DieOfPpn(ppn);
+  const TimeNs done = dies_.Schedule(die, op_now_, config_.timing.program_page_ns);
+  if (!is_gc) {
+    host_op_completion_ = std::max(host_op_completion_, done);
+  }
+}
+
+void SimulatedSsd::OnSuperblockErase(uint32_t /*superblock*/) {
+  // All planes of each die erase in parallel: one erase interval per die.
+  for (uint32_t die = 0; die < config_.geometry.num_dies; ++die) {
+    dies_.Schedule(die, op_now_, config_.timing.erase_block_ns);
+  }
+}
+
+}  // namespace fdpcache

@@ -1,0 +1,130 @@
+// SimulatedSsd: the complete FDP-capable device.
+//
+// Composes the NAND media, the FTL, a die-level latency scheduler, an energy
+// meter, and a byte store behind an NVMe-flavoured API: namespaces, 4 KiB
+// LBAs, write commands with placement directives, DSM deallocate, and log
+// pages (FDP statistics / FDP events). This is the stand-in for the paper's
+// Samsung PM9D3 FDP SSD.
+#ifndef SRC_SSD_SSD_H_
+#define SRC_SSD_SSD_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/fdp/events.h"
+#include "src/fdp/stats.h"
+#include "src/fdp/types.h"
+#include "src/ftl/ftl.h"
+#include "src/nand/params.h"
+#include "src/nvme/types.h"
+#include "src/ssd/data_store.h"
+#include "src/ssd/die_scheduler.h"
+
+namespace fdpcache {
+
+struct SsdConfig {
+  NandGeometry geometry;
+  FdpConfig fdp = FdpConfig::Pm9d3Like();
+  double op_fraction = 0.07;
+  uint32_t gc_free_ru_watermark = 1;
+  bool fdp_enabled = true;
+  bool static_wear_leveling = false;
+  uint32_t wear_delta_threshold = 40;
+  NandTimingParams timing;
+  NandEnergyParams energy;
+  NandEnduranceParams endurance;
+  // When false, write payloads are discarded and reads return zeroes; useful
+  // for placement-only studies that do not validate data.
+  bool store_data = true;
+};
+
+// Point-in-time device telemetry for the harness and benches.
+struct SsdTelemetry {
+  NandOpCounts nand;
+  FtlCounters ftl;
+  FdpStatistics fdp_stats;
+  uint64_t gc_events = 0;            // Media-relocated events (paper Fig. 10b).
+  uint64_t gc_relocated_pages = 0;
+  uint64_t clean_ru_erases = 0;
+  double op_energy_uj = 0.0;         // NAND operation energy.
+  double total_energy_uj = 0.0;      // Including idle power over elapsed time.
+  TimeNs die_busy_ns = 0;
+  uint32_t max_pe_cycles = 0;
+  double mean_pe_cycles = 0.0;
+  double dlwa = 1.0;
+};
+
+class SimulatedSsd final : public FtlEventListener {
+ public:
+  explicit SimulatedSsd(const SsdConfig& config);
+
+  // --- Namespace management -------------------------------------------------
+
+  // Creates a namespace of `size_bytes` (rounded up to whole pages) carved
+  // from the remaining advertised capacity. Returns the nsid or nullopt.
+  std::optional<uint32_t> CreateNamespace(uint64_t size_bytes);
+  const std::vector<NamespaceInfo>& namespaces() const { return namespaces_; }
+
+  // Remaining advertised capacity not yet claimed by a namespace.
+  uint64_t UnallocatedBytes() const;
+  uint64_t logical_capacity_bytes() const { return ftl_->logical_bytes(); }
+  uint64_t physical_capacity_bytes() const { return config_.geometry.PhysicalBytes(); }
+  uint64_t page_size() const { return config_.geometry.page_size_bytes; }
+
+  // --- I/O path (all sizes in 4 KiB logical blocks) --------------------------
+
+  // `data` must hold nlb * page_size bytes (or be null when store_data=false).
+  NvmeCompletion Write(uint32_t nsid, uint64_t slba, uint32_t nlb, const void* data,
+                       DirectiveType dtype, uint16_t dspec, TimeNs now);
+  NvmeCompletion Read(uint32_t nsid, uint64_t slba, uint32_t nlb, void* out, TimeNs now);
+  NvmeCompletion Deallocate(uint32_t nsid, uint64_t slba, uint64_t nlb, TimeNs now);
+
+  // --- Admin path -------------------------------------------------------------
+
+  FdpCapabilities IdentifyFdp() const;
+  FdpStatistics GetFdpStatisticsLog() const { return ftl_->stats(); }
+  std::vector<FdpEvent> DrainFdpEventsLog() { return ftl_->event_log().Drain(); }
+
+  // Toggles the FDP configuration, like `nvme set-feature` in the paper's
+  // methodology. Only honoured while the device is empty.
+  bool SetFdpEnabled(bool enabled);
+
+  // Deallocates every LBA of every namespace (the paper's pre-experiment
+  // whole-device TRIM) and optionally clears statistics.
+  void TrimAll(bool reset_stats);
+
+  SsdTelemetry Telemetry(TimeNs elapsed) const;
+
+  // Furthest-out die completion; the harness uses it for backpressure.
+  TimeNs MaxDieBusyUntil() const { return dies_.MaxBusyUntil(); }
+
+  Ftl& ftl() { return *ftl_; }
+  const Ftl& ftl() const { return *ftl_; }
+  const SsdConfig& config() const { return config_; }
+
+  // --- FtlEventListener -------------------------------------------------------
+  void OnPageRead(uint64_t ppn, bool is_gc) override;
+  void OnPageProgram(uint64_t ppn, bool is_gc) override;
+  void OnSuperblockErase(uint32_t superblock) override;
+
+ private:
+  // Translates (nsid, slba) to a device LPN; nullopt on invalid input.
+  std::optional<uint64_t> Translate(uint32_t nsid, uint64_t slba, uint64_t nlb) const;
+
+  SsdConfig config_;
+  std::unique_ptr<Ftl> ftl_;
+  DieScheduler dies_;
+  DataStore data_;
+  std::vector<NamespaceInfo> namespaces_;
+  uint64_t allocated_pages_ = 0;
+
+  // Per-command scratch used by the listener callbacks.
+  TimeNs op_now_ = 0;
+  TimeNs host_op_completion_ = 0;
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_SSD_SSD_H_

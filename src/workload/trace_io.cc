@@ -1,0 +1,85 @@
+#include "src/workload/trace_io.h"
+
+#include <cstring>
+
+namespace fdpcache {
+
+namespace {
+
+const char* OpName(OpType type) {
+  switch (type) {
+    case OpType::kGet:
+      return "GET";
+    case OpType::kSet:
+      return "SET";
+    case OpType::kDelete:
+      return "DEL";
+  }
+  return "GET";
+}
+
+}  // namespace
+
+TraceFileWriter::TraceFileWriter(const std::string& path) { file_ = std::fopen(path.c_str(), "w"); }
+
+TraceFileWriter::~TraceFileWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+bool TraceFileWriter::Append(const Op& op) {
+  if (file_ == nullptr) {
+    return false;
+  }
+  if (std::fprintf(file_, "%s,%llu,%u\n", OpName(op.type),
+                   static_cast<unsigned long long>(op.key_id), op.value_size) < 0) {
+    return false;
+  }
+  ++ops_;
+  return true;
+}
+
+TraceFileReader::TraceFileReader(const std::string& path) { file_ = std::fopen(path.c_str(), "r"); }
+
+TraceFileReader::~TraceFileReader() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+std::optional<Op> TraceFileReader::Next() {
+  if (file_ == nullptr) {
+    return std::nullopt;
+  }
+  char line[256];
+  while (std::fgets(line, sizeof(line), file_) != nullptr) {
+    if (line[0] == '#' || line[0] == '\n') {
+      continue;
+    }
+    char op_name[8];
+    unsigned long long key_id = 0;
+    unsigned value_size = 0;
+    if (std::sscanf(line, "%7[^,],%llu,%u", op_name, &key_id, &value_size) != 3) {
+      ++parse_errors_;
+      continue;
+    }
+    Op op;
+    if (std::strcmp(op_name, "GET") == 0) {
+      op.type = OpType::kGet;
+    } else if (std::strcmp(op_name, "SET") == 0) {
+      op.type = OpType::kSet;
+    } else if (std::strcmp(op_name, "DEL") == 0) {
+      op.type = OpType::kDelete;
+    } else {
+      ++parse_errors_;
+      continue;
+    }
+    op.key_id = key_id;
+    op.value_size = value_size;
+    return op;
+  }
+  return std::nullopt;
+}
+
+}  // namespace fdpcache

@@ -1,0 +1,53 @@
+// CSV trace files: record synthetic streams or replay externally captured
+// traces (e.g. downsampled Meta/Twitter traces converted to this format).
+//
+// Format: one op per line, `op,key_id,value_size` with op in {GET,SET,DEL}.
+// Lines starting with '#' are comments.
+#ifndef SRC_WORKLOAD_TRACE_IO_H_
+#define SRC_WORKLOAD_TRACE_IO_H_
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "src/workload/workload.h"
+
+namespace fdpcache {
+
+class TraceFileWriter {
+ public:
+  explicit TraceFileWriter(const std::string& path);
+  ~TraceFileWriter();
+
+  TraceFileWriter(const TraceFileWriter&) = delete;
+  TraceFileWriter& operator=(const TraceFileWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+  bool Append(const Op& op);
+  uint64_t ops_written() const { return ops_; }
+
+ private:
+  FILE* file_ = nullptr;
+  uint64_t ops_ = 0;
+};
+
+class TraceFileReader final : public OpStream {
+ public:
+  explicit TraceFileReader(const std::string& path);
+  ~TraceFileReader() override;
+
+  TraceFileReader(const TraceFileReader&) = delete;
+  TraceFileReader& operator=(const TraceFileReader&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+  std::optional<Op> Next() override;
+  uint64_t parse_errors() const { return parse_errors_; }
+
+ private:
+  FILE* file_ = nullptr;
+  uint64_t parse_errors_ = 0;
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_WORKLOAD_TRACE_IO_H_

@@ -1,0 +1,67 @@
+#include "src/workload/workload.h"
+
+#include <cstdio>
+
+namespace fdpcache {
+
+KvTraceGenerator::KvTraceGenerator(const KvWorkloadConfig& config)
+    : config_(config),
+      zipf_(config.num_keys, config.zipf_alpha),
+      rng_(config.seed) {}
+
+bool KvTraceGenerator::IsSmallKey(uint64_t key_id) const {
+  // Stable size class per key, independent of sampling order.
+  const double u = static_cast<double>(HashU64(key_id ^ 0xa5a5a5a5ull) >> 11) * 0x1.0p-53;
+  return u < config_.small_key_fraction;
+}
+
+uint32_t KvTraceGenerator::ValueSizeOf(uint64_t key_id) const {
+  const uint64_t h = HashU64(key_id ^ 0x5a5a5a5aull);
+  if (IsSmallKey(key_id)) {
+    const uint32_t span = config_.small_value_max - config_.small_value_min + 1;
+    return config_.small_value_min + static_cast<uint32_t>(h % span);
+  }
+  const uint32_t span = config_.large_value_max - config_.large_value_min + 1;
+  return config_.large_value_min + static_cast<uint32_t>(h % span);
+}
+
+std::optional<Op> KvTraceGenerator::Next() {
+  Op op;
+  // Rank -> key id scrambling decorrelates popularity from key locality.
+  const uint64_t rank = zipf_.Sample(rng_);
+  op.key_id = HashU64(rank) % config_.num_keys;
+  const double dice = rng_.NextDouble();
+  if (dice < config_.get_fraction) {
+    op.type = OpType::kGet;
+  } else if (dice < config_.get_fraction + config_.set_fraction) {
+    op.type = OpType::kSet;
+  } else {
+    op.type = OpType::kDelete;
+  }
+  op.value_size = ValueSizeOf(op.key_id);
+  return op;
+}
+
+std::string KeyString(uint64_t key_id) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "k%016llx", static_cast<unsigned long long>(key_id));
+  return std::string(buf);
+}
+
+std::string ValuePayload(uint64_t key_id, uint64_t version, uint32_t size) {
+  std::string value(size, '\0');
+  uint64_t state = HashU64(key_id) ^ (version * 0x9e3779b97f4a7c15ull);
+  size_t i = 0;
+  while (i + 8 <= value.size()) {
+    const uint64_t word = SplitMix64(state);
+    __builtin_memcpy(&value[i], &word, 8);
+    i += 8;
+  }
+  if (i < value.size()) {
+    const uint64_t word = SplitMix64(state);
+    __builtin_memcpy(&value[i], &word, value.size() - i);
+  }
+  return value;
+}
+
+}  // namespace fdpcache

@@ -1,0 +1,72 @@
+#include "src/workload/zipf.h"
+
+#include <cmath>
+
+namespace fdpcache {
+
+namespace {
+
+// (exp(t) - 1) / t with a series fallback for small |t|.
+double Helper2(double t) {
+  if (std::abs(t) > 1e-8) {
+    return std::expm1(t) / t;
+  }
+  return 1.0 + t / 2.0 * (1.0 + t / 3.0 * (1.0 + t / 4.0));
+}
+
+// log(1 + t) / t with a series fallback for small |t|.
+double Helper1(double t) {
+  if (std::abs(t) > 1e-8) {
+    return std::log1p(t) / t;
+  }
+  return 1.0 - t / 2.0 * (1.0 - 2.0 * t / 3.0 * (1.0 - 3.0 * t / 4.0));
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(uint64_t num_elements, double alpha)
+    : n_(num_elements == 0 ? 1 : num_elements), alpha_(alpha) {
+  h_integral_x1_ = H(1.5) - 1.0;
+  h_integral_n_ = H(static_cast<double>(n_) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - Pmf(2.0));
+}
+
+double ZipfSampler::H(double x) const {
+  const double log_x = std::log(x);
+  return Helper2((1.0 - alpha_) * log_x) * log_x;
+}
+
+double ZipfSampler::HInverse(double x) const {
+  double t = x * (1.0 - alpha_);
+  if (t < -1.0) {
+    t = -1.0;
+  }
+  return std::exp(Helper1(t) * x);
+}
+
+double ZipfSampler::Pmf(double x) const { return std::exp(-alpha_ * std::log(x)); }
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  if (n_ == 1) {
+    return 1;
+  }
+  while (true) {
+    const double u =
+        h_integral_n_ + rng.NextDouble() * (h_integral_x1_ - h_integral_n_);
+    const double x = HInverse(u);
+    double kd = x + 0.5;
+    if (kd < 1.0) {
+      kd = 1.0;
+    }
+    if (kd > static_cast<double>(n_)) {
+      kd = static_cast<double>(n_);
+    }
+    const auto k = static_cast<uint64_t>(kd);
+    if (static_cast<double>(k) - x <= s_ ||
+        u >= H(static_cast<double>(k) + 0.5) - Pmf(static_cast<double>(k))) {
+      return k;
+    }
+  }
+}
+
+}  // namespace fdpcache

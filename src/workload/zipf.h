@@ -1,0 +1,40 @@
+// Zipf-distributed key sampling via rejection-inversion (Hörmann & Derflinger
+// 1996), O(1) per sample with no per-key tables, exact for any number of keys
+// and any exponent. This is the popularity model behind the Meta/Twitter
+// cache workloads (paper's trace sources are Zipf-like with heavy skew).
+#ifndef SRC_WORKLOAD_ZIPF_H_
+#define SRC_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace fdpcache {
+
+class ZipfSampler {
+ public:
+  // P(rank = k) proportional to 1 / k^alpha over ranks [1, num_elements].
+  // alpha == 0 degenerates to uniform.
+  ZipfSampler(uint64_t num_elements, double alpha);
+
+  // Samples a rank in [1, num_elements]; rank 1 is the most popular.
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t num_elements() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+  double Pmf(double x) const;  // h(x) = x^-alpha
+
+  uint64_t n_;
+  double alpha_;
+  double h_integral_x1_;
+  double h_integral_n_;
+  double s_;
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_WORKLOAD_ZIPF_H_

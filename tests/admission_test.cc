@@ -1,0 +1,64 @@
+// Admission policy behaviour, including the reject-first filter.
+#include "src/navy/admission.h"
+
+#include <gtest/gtest.h>
+
+namespace fdpcache {
+namespace {
+
+TEST(RejectFirstTest, FirstAttemptRejectedSecondAdmitted) {
+  RejectFirstAdmission policy(2);
+  EXPECT_FALSE(policy.Accept("key", 100));
+  EXPECT_TRUE(policy.Accept("key", 100));
+  EXPECT_TRUE(policy.Accept("key", 100));
+}
+
+TEST(RejectFirstTest, DistinctKeysTrackedIndependently) {
+  RejectFirstAdmission policy(2);
+  EXPECT_FALSE(policy.Accept("a", 1));
+  EXPECT_FALSE(policy.Accept("b", 1));
+  EXPECT_TRUE(policy.Accept("a", 1));
+  EXPECT_TRUE(policy.Accept("b", 1));
+}
+
+TEST(RejectFirstTest, OneShotTrafficIsFiltered) {
+  RejectFirstAdmission policy(2, 1 << 12);
+  int admitted = 0;
+  for (int i = 0; i < 2000; ++i) {
+    admitted += policy.Accept("one-shot-" + std::to_string(i), 100) ? 1 : 0;
+  }
+  // One-shot keys should almost never be admitted (tag collisions aside).
+  EXPECT_LT(admitted, 2000 / 20);
+}
+
+TEST(RejectFirstTest, RepeatedTrafficPassesAfterWarmup) {
+  RejectFirstAdmission policy(2, 1 << 12);
+  for (int i = 0; i < 100; ++i) {
+    policy.Accept("hot-" + std::to_string(i), 100);
+  }
+  int admitted = 0;
+  for (int i = 0; i < 100; ++i) {
+    admitted += policy.Accept("hot-" + std::to_string(i), 100) ? 1 : 0;
+  }
+  EXPECT_GT(admitted, 90);
+}
+
+TEST(RejectFirstTest, WindowRotationForgetsOldKeys) {
+  RejectFirstAdmission policy(2, 256);
+  policy.Accept("old-key", 1);
+  // Flood far beyond both generations' capacity.
+  for (int i = 0; i < 2000; ++i) {
+    policy.Accept("flood-" + std::to_string(i), 1);
+  }
+  // "old-key" fell out of the window: treated as first attempt again.
+  EXPECT_FALSE(policy.Accept("old-key", 1));
+}
+
+TEST(AlwaysAdmitTest, AdmitsEverything) {
+  AlwaysAdmit policy;
+  EXPECT_TRUE(policy.Accept("anything", 1));
+  EXPECT_TRUE(policy.Accept("", 0));
+}
+
+}  // namespace
+}  // namespace fdpcache

@@ -1,0 +1,97 @@
+#include "src/cache/ram_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fdpcache {
+namespace {
+
+TEST(RamCacheTest, PutGetRoundTrip) {
+  RamCache cache(1 << 20);
+  ASSERT_TRUE(cache.Put("k", "v"));
+  std::string value;
+  ASSERT_TRUE(cache.Get("k", &value));
+  EXPECT_EQ(value, "v");
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(RamCacheTest, MissOnAbsent) {
+  RamCache cache(1 << 20);
+  std::string value;
+  EXPECT_FALSE(cache.Get("absent", &value));
+}
+
+TEST(RamCacheTest, UpdateReplacesValueAndAdjustsBytes) {
+  RamCache cache(1 << 20);
+  ASSERT_TRUE(cache.Put("k", std::string(100, 'a')));
+  const uint64_t used_small = cache.used_bytes();
+  ASSERT_TRUE(cache.Put("k", std::string(1000, 'b')));
+  EXPECT_GT(cache.used_bytes(), used_small);
+  EXPECT_EQ(cache.size(), 1u);
+  std::string value;
+  ASSERT_TRUE(cache.Get("k", &value));
+  EXPECT_EQ(value, std::string(1000, 'b'));
+}
+
+TEST(RamCacheTest, EvictsLruWhenOverBudget) {
+  RamCache cache(10 * (100 + 1 + RamCache::kPerItemOverhead));
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(cache.Put(std::to_string(i), std::string(100, 'x')));
+  }
+  EXPECT_LE(cache.used_bytes(), cache.budget_bytes());
+  EXPECT_GE(cache.stats().evictions, 2u);
+  // Oldest entries were evicted, newest remain.
+  EXPECT_FALSE(cache.Contains("0"));
+  EXPECT_TRUE(cache.Contains("11"));
+}
+
+TEST(RamCacheTest, GetPromotesToMru) {
+  RamCache cache(3 * (1 + 100 + RamCache::kPerItemOverhead));
+  ASSERT_TRUE(cache.Put("a", std::string(100, 'x')));
+  ASSERT_TRUE(cache.Put("b", std::string(100, 'x')));
+  ASSERT_TRUE(cache.Put("c", std::string(100, 'x')));
+  std::string value;
+  ASSERT_TRUE(cache.Get("a", &value));  // Promote "a".
+  ASSERT_TRUE(cache.Put("d", std::string(100, 'x')));  // Evicts LRU = "b".
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_FALSE(cache.Contains("b"));
+}
+
+TEST(RamCacheTest, EvictionCallbackReceivesItems) {
+  RamCache cache(2 * (1 + 10 + RamCache::kPerItemOverhead));
+  std::vector<std::string> evicted;
+  cache.set_eviction_callback(
+      [&](const std::string& key, const std::string&) { evicted.push_back(key); });
+  ASSERT_TRUE(cache.Put("a", std::string(10, 'x')));
+  ASSERT_TRUE(cache.Put("b", std::string(10, 'x')));
+  ASSERT_TRUE(cache.Put("c", std::string(10, 'x')));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], "a");
+}
+
+TEST(RamCacheTest, ItemLargerThanBudgetRejected) {
+  RamCache cache(100);
+  EXPECT_FALSE(cache.Put("k", std::string(200, 'x')));
+  EXPECT_EQ(cache.stats().rejected_too_large, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(RamCacheTest, RemoveFreesBudget) {
+  RamCache cache(1 << 20);
+  ASSERT_TRUE(cache.Put("k", std::string(100, 'x')));
+  EXPECT_TRUE(cache.Remove("k"));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  EXPECT_FALSE(cache.Remove("k"));
+}
+
+TEST(RamCacheTest, UsedBytesNeverExceedsBudgetUnderChurn) {
+  RamCache cache(4096);
+  for (int i = 0; i < 1000; ++i) {
+    cache.Put(std::to_string(i % 37), std::string(1 + i % 200, 'x'));
+    ASSERT_LE(cache.used_bytes(), cache.budget_bytes());
+  }
+}
+
+}  // namespace
+}  // namespace fdpcache

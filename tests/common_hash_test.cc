@@ -1,0 +1,59 @@
+#include "src/common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace fdpcache {
+namespace {
+
+TEST(HashTest, Mix64IsDeterministic) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_NE(Mix64(42), Mix64(43));
+}
+
+TEST(HashTest, Mix64ZeroIsNotZero) {
+  // Mix64 is bijective; only input 0 maps to 0 for fmix64, keys are offset.
+  EXPECT_NE(HashU64(0), 0u);
+}
+
+TEST(HashTest, HashStringMatchesHashBytes) {
+  const std::string s = "hello world";
+  EXPECT_EQ(HashString(s), HashBytes(s.data(), s.size()));
+}
+
+TEST(HashTest, EmptyStringHashStable) {
+  EXPECT_EQ(HashString(""), HashString(std::string_view{}));
+}
+
+TEST(HashTest, NoCollisionsOverSequentialKeys) {
+  std::set<uint64_t> seen;
+  for (uint64_t k = 0; k < 100000; ++k) {
+    seen.insert(HashU64(k));
+  }
+  EXPECT_EQ(seen.size(), 100000u);
+}
+
+TEST(HashTest, BucketDistributionIsUniform) {
+  // Hashing sequential keys into 64 buckets should be close to uniform: this
+  // is the property the SOC's set-associative placement depends on.
+  constexpr int kBuckets = 64;
+  constexpr int kKeys = 640000;
+  std::vector<int> counts(kBuckets, 0);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    ++counts[HashU64(k) % kBuckets];
+  }
+  const double expect = static_cast<double>(kKeys) / kBuckets;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expect, expect * 0.05);
+  }
+}
+
+TEST(HashTest, SmallInputPerturbationChangesHash) {
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  EXPECT_NE(HashString("abc"), HashString("abc "));
+}
+
+}  // namespace
+}  // namespace fdpcache

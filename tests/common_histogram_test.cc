@@ -1,0 +1,117 @@
+#include "src/common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace fdpcache {
+namespace {
+
+TEST(HistogramTest, EmptyHistogramReturnsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(42);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.Percentile(0), 42u);
+  EXPECT_EQ(h.Percentile(50), 42u);
+  EXPECT_EQ(h.Percentile(100), 42u);
+  EXPECT_EQ(h.Min(), 42u);
+  EXPECT_EQ(h.Max(), 42u);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (uint64_t v = 0; v < 32; ++v) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.Percentile(0), 0u);
+  EXPECT_EQ(h.Percentile(100), 31u);
+  // Values below the sub-bucket count are recorded exactly.
+  EXPECT_EQ(h.Percentile(50), 15u);
+}
+
+TEST(HistogramTest, PercentileRelativeErrorBounded) {
+  Histogram h;
+  Rng rng(7);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t v = rng.NextInRange(1, 10'000'000);
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {50.0, 90.0, 99.0, 99.9}) {
+    const uint64_t exact = values[static_cast<size_t>(q / 100.0 * (values.size() - 1))];
+    const uint64_t approx = h.Percentile(q);
+    const double rel =
+        std::abs(static_cast<double>(approx) - static_cast<double>(exact)) / exact;
+    EXPECT_LT(rel, 0.05) << "q=" << q << " exact=" << exact << " approx=" << approx;
+  }
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.Record(~0ull);
+  h.Record(1ull << 62);
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_GE(h.Percentile(100), 1ull << 62);
+}
+
+TEST(HistogramTest, MergeCombinesCountsAndExtremes) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_EQ(a.Min(), 10u);
+  EXPECT_EQ(a.Max(), 1000u);
+}
+
+TEST(HistogramTest, ClearResetsEverything) {
+  Histogram h;
+  h.Record(5);
+  h.Clear();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0u);
+}
+
+TEST(HistogramTest, MeanMatchesArithmeticMean) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+}
+
+TEST(HistogramTest, RecordNWeightsValues) {
+  Histogram h;
+  h.RecordN(7, 100);
+  EXPECT_EQ(h.Count(), 100u);
+  EXPECT_EQ(h.Percentile(50), 7u);
+}
+
+TEST(HistogramTest, MonotonePercentiles) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    h.Record(rng.NextBelow(1u << 20));
+  }
+  uint64_t prev = 0;
+  for (double q = 0; q <= 100.0; q += 2.5) {
+    const uint64_t v = h.Percentile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace fdpcache

@@ -1,0 +1,147 @@
+// Failure injection: corrupted on-flash data, worn-out media, and device
+// errors must degrade to misses and error returns — never to wrong data.
+#include <gtest/gtest.h>
+
+#include "src/cache/hybrid_cache.h"
+#include "src/common/clock.h"
+#include "src/navy/loc.h"
+#include "src/navy/sim_ssd_device.h"
+#include "src/navy/soc.h"
+#include "src/ssd/ssd.h"
+
+namespace fdpcache {
+namespace {
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  FailureInjectionTest() {
+    SsdConfig config;
+    config.geometry.pages_per_block = 16;
+    config.geometry.planes_per_die = 2;
+    config.geometry.num_dies = 4;
+    config.geometry.num_superblocks = 32;
+    config.op_fraction = 0.15;
+    ssd_ = std::make_unique<SimulatedSsd>(config);
+    nsid_ = *ssd_->CreateNamespace(ssd_->logical_capacity_bytes());
+    device_ = std::make_unique<SimSsdDevice>(ssd_.get(), nsid_, &clock_);
+  }
+
+  // Overwrites device bytes behind the cache's back (bit-rot injection).
+  void CorruptPage(uint64_t offset) {
+    std::vector<uint8_t> garbage(4096);
+    for (size_t i = 0; i < garbage.size(); ++i) {
+      garbage[i] = static_cast<uint8_t>(0xa5 ^ i);
+    }
+    ASSERT_TRUE(device_->Write(offset, garbage.data(), 4096, kNoPlacement));
+  }
+
+  VirtualClock clock_;
+  std::unique_ptr<SimulatedSsd> ssd_;
+  std::unique_ptr<SimSsdDevice> device_;
+  uint32_t nsid_ = 0;
+};
+
+TEST_F(FailureInjectionTest, CorruptedSocBucketReadsAsEmpty) {
+  SocConfig config;
+  config.size_bytes = 16 * 4096;
+  SmallObjectCache soc(device_.get(), config);
+  ASSERT_TRUE(soc.Insert("victim", "value"));
+  CorruptPage(soc.BucketOf("victim") * 4096);
+  // The bloom filter may still pass; the bucket checksum must catch it.
+  EXPECT_FALSE(soc.Lookup("victim").has_value());
+  EXPECT_GE(soc.stats().corrupt_buckets, 1u);
+}
+
+TEST_F(FailureInjectionTest, CorruptedSocBucketRecoversOnNextInsert) {
+  SocConfig config;
+  config.size_bytes = 4096;  // Single bucket.
+  SmallObjectCache soc(device_.get(), config);
+  ASSERT_TRUE(soc.Insert("a", "1"));
+  CorruptPage(0);
+  // Insert after corruption: the bucket is treated as empty and rewritten.
+  ASSERT_TRUE(soc.Insert("b", "2"));
+  EXPECT_EQ(*soc.Lookup("b"), "2");
+  EXPECT_FALSE(soc.Lookup("a").has_value());  // Lost with the corruption.
+}
+
+TEST_F(FailureInjectionTest, CorruptedLocItemIsDroppedNotServed) {
+  LocConfig config;
+  config.size_bytes = 8 * 128 * 1024;
+  config.region_size = 128 * 1024;
+  LargeObjectCache loc(device_.get(), config);
+  ASSERT_TRUE(loc.Insert("victim", std::string(60000, 'v')));
+  ASSERT_TRUE(loc.Flush());
+  CorruptPage(0);  // First page of the sealed region: the item header.
+  EXPECT_FALSE(loc.Lookup("victim").has_value());
+  EXPECT_GE(loc.stats().corrupt_items, 1u);
+  // The index entry was dropped; subsequent lookups are plain misses.
+  EXPECT_FALSE(loc.Lookup("victim").has_value());
+}
+
+TEST_F(FailureInjectionTest, HybridCacheNeverServesCorruptedSmallItems) {
+  HybridCacheConfig config;
+  config.ram_bytes = 2048;
+  config.navy.soc_fraction = 0.10;
+  config.navy.loc_region_size = 128 * 1024;
+  HybridCache cache(device_.get(), config);
+  for (int i = 0; i < 200; ++i) {
+    cache.Set("key" + std::to_string(i), std::string(300, 'x'));
+  }
+  // Scribble over the whole SOC area.
+  const uint64_t soc_bytes = cache.navy().soc_size_bytes();
+  for (uint64_t offset = 0; offset < soc_bytes; offset += 4096) {
+    CorruptPage(offset);
+  }
+  // Every get either misses or returns the exact original value (from RAM).
+  std::string value;
+  for (int i = 0; i < 200; ++i) {
+    if (cache.Get("key" + std::to_string(i), &value)) {
+      EXPECT_EQ(value, std::string(300, 'x')) << i;
+    }
+  }
+}
+
+TEST_F(FailureInjectionTest, WornOutMediaFailsWritesNotReads) {
+  SsdConfig config;
+  config.geometry.pages_per_block = 8;
+  config.geometry.planes_per_die = 2;
+  config.geometry.num_dies = 2;
+  config.geometry.num_superblocks = 8;
+  config.op_fraction = 0.25;
+  config.endurance.rated_pe_cycles = 3;
+  SimulatedSsd ssd(config);
+  ssd.CreateNamespace(ssd.logical_capacity_bytes());
+  const uint64_t pages = ssd.logical_capacity_bytes() / 4096;
+  std::vector<uint8_t> data(4096, 1);
+  // Hammer until the endurance budget is gone.
+  NvmeStatus last = NvmeStatus::kSuccess;
+  for (int pass = 0; pass < 40 && last == NvmeStatus::kSuccess; ++pass) {
+    for (uint64_t i = 0; i < pages && last == NvmeStatus::kSuccess; ++i) {
+      last = ssd.Write(1, i, 1, data.data(), DirectiveType::kNone, 0, 0).status;
+    }
+  }
+  EXPECT_NE(last, NvmeStatus::kSuccess);
+  // Previously written data stays readable after write failures.
+  std::vector<uint8_t> out(4096);
+  EXPECT_TRUE(ssd.Read(1, 0, 1, out.data(), 0).ok());
+}
+
+TEST_F(FailureInjectionTest, DeviceWriteErrorSurfacesAsInsertFailure) {
+  // A namespace too small for the SOC layout: writes beyond it fail and the
+  // SOC reports insert failures instead of corrupting state.
+  SocConfig config;
+  config.base_offset = ssd_->logical_capacity_bytes() - 4096;  // 1 page left.
+  config.size_bytes = 16 * 4096;                               // ...but 16 buckets.
+  SmallObjectCache soc(device_.get(), config);
+  int failures = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (!soc.Insert("key" + std::to_string(i), "v")) {
+      ++failures;
+    }
+  }
+  EXPECT_GT(failures, 0);
+  EXPECT_EQ(soc.stats().insert_failures, static_cast<uint64_t>(failures));
+}
+
+}  // namespace
+}  // namespace fdpcache

@@ -1,0 +1,73 @@
+#include "src/fdp/events.h"
+
+#include <gtest/gtest.h>
+
+#include "src/fdp/stats.h"
+
+namespace fdpcache {
+namespace {
+
+TEST(FdpEventLogTest, AppendAndDrain) {
+  FdpEventLog log;
+  log.Append(FdpEvent{FdpEventType::kMediaRelocated, PlacementId{}, 3, 17, 0});
+  log.Append(FdpEvent{FdpEventType::kRuSwitched, PlacementId{0, 1}, 4, 0, 0});
+  EXPECT_EQ(log.pending(), 2u);
+  const auto events = log.Drain();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, FdpEventType::kMediaRelocated);
+  EXPECT_EQ(events[0].pages, 17u);
+  EXPECT_EQ(events[1].ru_id, 4u);
+  EXPECT_EQ(log.pending(), 0u);
+}
+
+TEST(FdpEventLogTest, CumulativeTotalsSurviveDrain) {
+  FdpEventLog log;
+  log.Append(FdpEvent{FdpEventType::kMediaRelocated, PlacementId{}, 1, 5, 0});
+  log.Drain();
+  log.Append(FdpEvent{FdpEventType::kMediaRelocated, PlacementId{}, 2, 7, 0});
+  EXPECT_EQ(log.TotalOf(FdpEventType::kMediaRelocated), 2u);
+  EXPECT_EQ(log.relocated_pages_total(), 12u);
+}
+
+TEST(FdpEventLogTest, BoundedCapacityDropsOldest) {
+  FdpEventLog log(2);
+  for (uint32_t i = 0; i < 5; ++i) {
+    log.Append(FdpEvent{FdpEventType::kRuErasedClean, PlacementId{}, i, 0, 0});
+  }
+  EXPECT_EQ(log.pending(), 2u);
+  EXPECT_EQ(log.dropped(), 3u);
+  const auto events = log.Drain();
+  EXPECT_EQ(events[0].ru_id, 3u);
+  EXPECT_EQ(events[1].ru_id, 4u);
+}
+
+TEST(FdpEventLogTest, ResetClearsEverything) {
+  FdpEventLog log;
+  log.Append(FdpEvent{FdpEventType::kMediaRelocated, PlacementId{}, 1, 5, 0});
+  log.Reset();
+  EXPECT_EQ(log.pending(), 0u);
+  EXPECT_EQ(log.TotalOf(FdpEventType::kMediaRelocated), 0u);
+  EXPECT_EQ(log.relocated_pages_total(), 0u);
+}
+
+TEST(FdpStatisticsTest, DlwaComputation) {
+  FdpStatistics stats;
+  EXPECT_DOUBLE_EQ(stats.Dlwa(), 1.0);  // No writes yet.
+  stats.host_bytes_written = 100;
+  stats.media_bytes_written = 130;
+  EXPECT_DOUBLE_EQ(stats.Dlwa(), 1.3);
+}
+
+TEST(FdpStatisticsTest, IntervalDlwa) {
+  FdpStatistics begin;
+  begin.host_bytes_written = 1000;
+  begin.media_bytes_written = 1500;
+  FdpStatistics end = begin;
+  end.host_bytes_written += 100;
+  end.media_bytes_written += 100;
+  // The interval itself had no amplification even though the lifetime did.
+  EXPECT_DOUBLE_EQ(FdpStatistics::IntervalDlwa(begin, end), 1.0);
+}
+
+}  // namespace
+}  // namespace fdpcache

@@ -1,0 +1,42 @@
+#include "src/fdp/types.h"
+
+#include <gtest/gtest.h>
+
+namespace fdpcache {
+namespace {
+
+TEST(FdpTypesTest, DspecRoundTrip) {
+  for (uint16_t rg : {0, 1, 3, 255}) {
+    for (uint16_t ruh : {0, 1, 7, 255}) {
+      const PlacementId pid{rg, ruh};
+      EXPECT_EQ(DecodeDspec(EncodeDspec(pid)), pid);
+    }
+  }
+}
+
+TEST(FdpTypesTest, Pm9d3ConfigMatchesPaper) {
+  const FdpConfig config = FdpConfig::Pm9d3Like();
+  EXPECT_EQ(config.num_ruhs(), 8u);
+  EXPECT_EQ(config.num_reclaim_groups, 1u);
+  for (const auto& ruh : config.ruhs) {
+    EXPECT_EQ(ruh.type, RuhType::kInitiallyIsolated);
+  }
+}
+
+TEST(FdpTypesTest, PidValidation) {
+  const FdpConfig config = FdpConfig::Pm9d3Like();
+  EXPECT_TRUE(config.IsValidPid({0, 0}));
+  EXPECT_TRUE(config.IsValidPid({0, 7}));
+  EXPECT_FALSE(config.IsValidPid({0, 8}));
+  EXPECT_FALSE(config.IsValidPid({1, 0}));
+}
+
+TEST(FdpTypesTest, UniformConfigBuilder) {
+  const FdpConfig config = FdpConfig::Uniform(4, RuhType::kPersistentlyIsolated, 2);
+  EXPECT_EQ(config.num_ruhs(), 4u);
+  EXPECT_EQ(config.num_reclaim_groups, 2u);
+  EXPECT_EQ(config.ruhs[3].type, RuhType::kPersistentlyIsolated);
+}
+
+}  // namespace
+}  // namespace fdpcache

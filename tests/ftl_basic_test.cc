@@ -1,0 +1,146 @@
+#include "src/ftl/ftl.h"
+
+#include <gtest/gtest.h>
+
+namespace fdpcache {
+namespace {
+
+// Tiny device: 32-page RUs, 8 RUs (256 pages physical), 25% OP -> 192
+// logical pages. Two initially isolated RUHs.
+FtlConfig SmallConfig() {
+  FtlConfig config;
+  config.geometry.pages_per_block = 8;
+  config.geometry.planes_per_die = 2;
+  config.geometry.num_dies = 2;
+  config.geometry.num_superblocks = 8;
+  config.fdp = FdpConfig::Uniform(2, RuhType::kInitiallyIsolated);
+  config.op_fraction = 0.25;
+  return config;
+}
+
+uint16_t DspecFor(uint16_t ruh) { return EncodeDspec(PlacementId{0, ruh}); }
+
+TEST(FtlBasicTest, LogicalCapacityHonoursOverprovisioning) {
+  Ftl ftl(SmallConfig());
+  EXPECT_EQ(ftl.logical_pages(), 192u);
+  EXPECT_EQ(ftl.logical_bytes(), 192u * 4096u);
+  EXPECT_EQ(ftl.free_ru_count(), 8u);
+}
+
+TEST(FtlBasicTest, WriteThenReadMapsPage) {
+  Ftl ftl(SmallConfig());
+  ASSERT_EQ(ftl.WritePage(5, DirectiveType::kNone, 0), FtlStatus::kOk);
+  const auto ppn = ftl.ReadPage(5);
+  ASSERT_TRUE(ppn.has_value());
+  EXPECT_EQ(ftl.media().page_lpn(*ppn), 5u);
+  EXPECT_EQ(ftl.mapped_pages(), 1u);
+}
+
+TEST(FtlBasicTest, ReadOfUnwrittenPageIsUnmapped) {
+  Ftl ftl(SmallConfig());
+  EXPECT_FALSE(ftl.ReadPage(0).has_value());
+}
+
+TEST(FtlBasicTest, OutOfRangeRejected) {
+  Ftl ftl(SmallConfig());
+  EXPECT_EQ(ftl.WritePage(192, DirectiveType::kNone, 0), FtlStatus::kLbaOutOfRange);
+  EXPECT_EQ(ftl.TrimPage(192), FtlStatus::kLbaOutOfRange);
+  EXPECT_FALSE(ftl.ReadPage(192).has_value());
+}
+
+TEST(FtlBasicTest, OverwriteInvalidatesOldCopy) {
+  Ftl ftl(SmallConfig());
+  ASSERT_EQ(ftl.WritePage(5, DirectiveType::kNone, 0), FtlStatus::kOk);
+  const uint64_t first_ppn = *ftl.ReadPage(5);
+  ASSERT_EQ(ftl.WritePage(5, DirectiveType::kNone, 0), FtlStatus::kOk);
+  const uint64_t second_ppn = *ftl.ReadPage(5);
+  EXPECT_NE(first_ppn, second_ppn);
+  EXPECT_EQ(ftl.media().page_state(first_ppn), PageState::kInvalid);
+  EXPECT_EQ(ftl.mapped_pages(), 1u);
+}
+
+TEST(FtlBasicTest, TrimUnmapsPage) {
+  Ftl ftl(SmallConfig());
+  ASSERT_EQ(ftl.WritePage(9, DirectiveType::kNone, 0), FtlStatus::kOk);
+  ASSERT_EQ(ftl.TrimPage(9), FtlStatus::kOk);
+  EXPECT_FALSE(ftl.ReadPage(9).has_value());
+  EXPECT_EQ(ftl.mapped_pages(), 0u);
+  EXPECT_EQ(ftl.counters().trimmed_pages, 1u);
+  // Trimming an unmapped page is a harmless no-op.
+  ASSERT_EQ(ftl.TrimPage(9), FtlStatus::kOk);
+  EXPECT_EQ(ftl.counters().trimmed_pages, 1u);
+}
+
+TEST(FtlBasicTest, StatsTrackHostAndMediaBytes) {
+  Ftl ftl(SmallConfig());
+  for (uint64_t lpn = 0; lpn < 10; ++lpn) {
+    ASSERT_EQ(ftl.WritePage(lpn, DirectiveType::kNone, 0), FtlStatus::kOk);
+  }
+  EXPECT_EQ(ftl.stats().host_bytes_written, 10u * 4096u);
+  EXPECT_EQ(ftl.stats().media_bytes_written, 10u * 4096u);
+  EXPECT_DOUBLE_EQ(ftl.stats().Dlwa(), 1.0);
+}
+
+TEST(FtlBasicTest, PlacementDirectiveSelectsRuh) {
+  Ftl ftl(SmallConfig());
+  ASSERT_EQ(ftl.WritePage(0, DirectiveType::kDataPlacement, DspecFor(0)), FtlStatus::kOk);
+  ASSERT_EQ(ftl.WritePage(1, DirectiveType::kDataPlacement, DspecFor(1)), FtlStatus::kOk);
+  const uint32_t ru0 = ftl.config().geometry.SuperblockOfPpn(*ftl.ReadPage(0));
+  const uint32_t ru1 = ftl.config().geometry.SuperblockOfPpn(*ftl.ReadPage(1));
+  EXPECT_NE(ru0, ru1);
+  EXPECT_EQ(ftl.ru_info(ru0).owner, 0);
+  EXPECT_EQ(ftl.ru_info(ru1).owner, 1);
+}
+
+TEST(FtlBasicTest, NoDirectiveUsesDefaultRuh) {
+  Ftl ftl(SmallConfig());
+  ASSERT_EQ(ftl.WritePage(0, DirectiveType::kNone, DspecFor(1)), FtlStatus::kOk);
+  const uint32_t ru = ftl.config().geometry.SuperblockOfPpn(*ftl.ReadPage(0));
+  EXPECT_EQ(ftl.ru_info(ru).owner, 0);
+}
+
+TEST(FtlBasicTest, FdpDisabledIgnoresDirective) {
+  FtlConfig config = SmallConfig();
+  config.fdp_enabled = false;
+  Ftl ftl(config);
+  ASSERT_EQ(ftl.WritePage(0, DirectiveType::kDataPlacement, DspecFor(1)), FtlStatus::kOk);
+  const uint32_t ru = ftl.config().geometry.SuperblockOfPpn(*ftl.ReadPage(0));
+  EXPECT_EQ(ftl.ru_info(ru).owner, 0);
+}
+
+TEST(FtlBasicTest, InvalidPidRejectedAndLogged) {
+  Ftl ftl(SmallConfig());
+  EXPECT_EQ(ftl.WritePage(0, DirectiveType::kDataPlacement, DspecFor(5)),
+            FtlStatus::kInvalidPlacementId);
+  EXPECT_EQ(ftl.event_log().TotalOf(FdpEventType::kInvalidPlacementId), 1u);
+  EXPECT_FALSE(ftl.ReadPage(0).has_value());
+}
+
+TEST(FtlBasicTest, RuSwitchEventOnFill) {
+  Ftl ftl(SmallConfig());
+  const uint32_t ru_pages = ftl.config().geometry.PagesPerSuperblock();
+  for (uint64_t lpn = 0; lpn < ru_pages; ++lpn) {
+    ASSERT_EQ(ftl.WritePage(lpn, DirectiveType::kNone, 0), FtlStatus::kOk);
+  }
+  EXPECT_EQ(ftl.event_log().TotalOf(FdpEventType::kRuSwitched), 1u);
+}
+
+TEST(FtlBasicTest, ResetStatsKeepsMediaState) {
+  Ftl ftl(SmallConfig());
+  ASSERT_EQ(ftl.WritePage(3, DirectiveType::kNone, 0), FtlStatus::kOk);
+  ftl.ResetStats();
+  EXPECT_EQ(ftl.stats().host_bytes_written, 0u);
+  EXPECT_TRUE(ftl.ReadPage(3).has_value());
+}
+
+TEST(FtlBasicTest, InvariantsHoldAfterBasicOps) {
+  Ftl ftl(SmallConfig());
+  for (uint64_t lpn = 0; lpn < 50; ++lpn) {
+    ASSERT_EQ(ftl.WritePage(lpn % 20, DirectiveType::kNone, 0), FtlStatus::kOk);
+  }
+  ftl.TrimPage(3);
+  EXPECT_EQ(ftl.CheckInvariants(), "");
+}
+
+}  // namespace
+}  // namespace fdpcache

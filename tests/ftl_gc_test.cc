@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/ftl/ftl.h"
+
+namespace fdpcache {
+namespace {
+
+FtlConfig SmallConfig(double op_fraction = 0.25) {
+  FtlConfig config;
+  config.geometry.pages_per_block = 8;
+  config.geometry.planes_per_die = 2;
+  config.geometry.num_dies = 2;
+  config.geometry.num_superblocks = 32;
+  config.fdp = FdpConfig::Uniform(2, RuhType::kInitiallyIsolated);
+  config.op_fraction = op_fraction;
+  return config;
+}
+
+TEST(FtlGcTest, SequentialOverwriteAchievesUnityDlwa) {
+  Ftl ftl(SmallConfig());
+  const uint64_t logical = ftl.logical_pages();
+  // Write the whole logical space six times over, strictly sequentially.
+  for (int pass = 0; pass < 6; ++pass) {
+    for (uint64_t lpn = 0; lpn < logical; ++lpn) {
+      ASSERT_EQ(ftl.WritePage(lpn, DirectiveType::kNone, 0), FtlStatus::kOk);
+    }
+  }
+  // Sequential overwrite fully invalidates old RUs before they are needed:
+  // GC finds clean victims and never relocates a page.
+  EXPECT_EQ(ftl.counters().gc_relocated_pages, 0u);
+  EXPECT_DOUBLE_EQ(ftl.stats().Dlwa(), 1.0);
+  EXPECT_GT(ftl.counters().clean_ru_erases, 0u);
+  EXPECT_EQ(ftl.CheckInvariants(), "");
+}
+
+TEST(FtlGcTest, RandomOverwriteAmplifiesWrites) {
+  Ftl ftl(SmallConfig(/*op_fraction=*/0.125));
+  const uint64_t logical = ftl.logical_pages();
+  Rng rng(42);
+  // Fill once, then random-overwrite 10x the logical space.
+  for (uint64_t lpn = 0; lpn < logical; ++lpn) {
+    ASSERT_EQ(ftl.WritePage(lpn, DirectiveType::kNone, 0), FtlStatus::kOk);
+  }
+  for (uint64_t i = 0; i < 10 * logical; ++i) {
+    ASSERT_EQ(ftl.WritePage(rng.NextBelow(logical), DirectiveType::kNone, 0), FtlStatus::kOk);
+  }
+  EXPECT_GT(ftl.stats().Dlwa(), 1.2);
+  EXPECT_GT(ftl.counters().gc_relocated_pages, 0u);
+  EXPECT_EQ(ftl.CheckInvariants(), "");
+}
+
+TEST(FtlGcTest, MoreOverprovisioningLowersDlwa) {
+  double dlwa_low_op = 0;
+  double dlwa_high_op = 0;
+  for (const double op : {0.125, 0.5}) {
+    Ftl ftl(SmallConfig(op));
+    const uint64_t logical = ftl.logical_pages();
+    Rng rng(7);
+    for (uint64_t lpn = 0; lpn < logical; ++lpn) {
+      ASSERT_EQ(ftl.WritePage(lpn, DirectiveType::kNone, 0), FtlStatus::kOk);
+    }
+    ftl.ResetStats();
+    for (uint64_t i = 0; i < 20 * logical; ++i) {
+      ASSERT_EQ(ftl.WritePage(rng.NextBelow(logical), DirectiveType::kNone, 0),
+                FtlStatus::kOk);
+    }
+    (op < 0.2 ? dlwa_low_op : dlwa_high_op) = ftl.stats().Dlwa();
+  }
+  EXPECT_GT(dlwa_low_op, dlwa_high_op);
+}
+
+TEST(FtlGcTest, FreePoolNeverExhausted) {
+  Ftl ftl(SmallConfig(/*op_fraction=*/0.125));
+  const uint64_t logical = ftl.logical_pages();
+  Rng rng(11);
+  for (uint64_t i = 0; i < 30 * logical; ++i) {
+    ASSERT_EQ(ftl.WritePage(rng.NextBelow(logical), DirectiveType::kNone, 0), FtlStatus::kOk);
+    ASSERT_GE(ftl.free_ru_count() + (i == 0 ? 1 : 0), 1u);
+  }
+}
+
+TEST(FtlGcTest, TrimmedDataIsNotRelocated) {
+  Ftl ftl(SmallConfig());
+  const uint64_t logical = ftl.logical_pages();
+  // Fill, trim everything, then fill again: GC must only see clean victims.
+  for (uint64_t lpn = 0; lpn < logical; ++lpn) {
+    ASSERT_EQ(ftl.WritePage(lpn, DirectiveType::kNone, 0), FtlStatus::kOk);
+  }
+  for (uint64_t lpn = 0; lpn < logical; ++lpn) {
+    ASSERT_EQ(ftl.TrimPage(lpn), FtlStatus::kOk);
+  }
+  for (int pass = 0; pass < 3; ++pass) {
+    for (uint64_t lpn = 0; lpn < logical; ++lpn) {
+      ASSERT_EQ(ftl.WritePage(lpn, DirectiveType::kNone, 0), FtlStatus::kOk);
+    }
+  }
+  EXPECT_EQ(ftl.counters().gc_relocated_pages, 0u);
+  EXPECT_DOUBLE_EQ(ftl.stats().Dlwa(), 1.0);
+}
+
+TEST(FtlGcTest, GcEventsAreLogged) {
+  Ftl ftl(SmallConfig(/*op_fraction=*/0.125));
+  const uint64_t logical = ftl.logical_pages();
+  Rng rng(13);
+  for (uint64_t i = 0; i < 20 * logical; ++i) {
+    ASSERT_EQ(ftl.WritePage(rng.NextBelow(logical), DirectiveType::kNone, 0), FtlStatus::kOk);
+  }
+  EXPECT_EQ(ftl.event_log().TotalOf(FdpEventType::kMediaRelocated),
+            ftl.counters().gc_reclaims_with_move);
+  EXPECT_EQ(ftl.event_log().relocated_pages_total(), ftl.counters().gc_relocated_pages);
+}
+
+TEST(FtlGcTest, MbeTracksErasedBytes) {
+  Ftl ftl(SmallConfig());
+  const uint64_t logical = ftl.logical_pages();
+  for (int pass = 0; pass < 4; ++pass) {
+    for (uint64_t lpn = 0; lpn < logical; ++lpn) {
+      ASSERT_EQ(ftl.WritePage(lpn, DirectiveType::kNone, 0), FtlStatus::kOk);
+    }
+  }
+  const uint64_t reclaims = ftl.counters().gc_reclaims;
+  EXPECT_EQ(ftl.stats().media_bytes_erased,
+            reclaims * ftl.config().geometry.SuperblockBytes());
+}
+
+TEST(FtlGcTest, DeviceFullWhenLogicalSpaceExceedsReclaimable) {
+  // With zero OP the device eventually cannot allocate: every RU stays fully
+  // valid and GC has no victim. The FTL must fail gracefully, not corrupt.
+  FtlConfig config = SmallConfig(/*op_fraction=*/0.0);
+  Ftl ftl(config);
+  const uint64_t logical = ftl.logical_pages();
+  FtlStatus last = FtlStatus::kOk;
+  for (uint64_t lpn = 0; lpn < logical && last == FtlStatus::kOk; ++lpn) {
+    last = ftl.WritePage(lpn, DirectiveType::kNone, 0);
+  }
+  // Either it filled completely (all RUs exactly consumed) or reported full.
+  EXPECT_TRUE(last == FtlStatus::kOk || last == FtlStatus::kDeviceFull);
+  EXPECT_EQ(ftl.CheckInvariants(), "");
+}
+
+TEST(FtlGcTest, WearIsDistributedAcrossSuperblocks) {
+  Ftl ftl(SmallConfig());
+  const uint64_t logical = ftl.logical_pages();
+  for (int pass = 0; pass < 12; ++pass) {
+    for (uint64_t lpn = 0; lpn < logical; ++lpn) {
+      ASSERT_EQ(ftl.WritePage(lpn, DirectiveType::kNone, 0), FtlStatus::kOk);
+    }
+  }
+  // Sequential reuse through the FIFO free list touches every superblock:
+  // max wear must stay within a small factor of the mean.
+  EXPECT_LT(ftl.media().max_erase_count(),
+            static_cast<uint32_t>(ftl.media().mean_erase_count() * 3) + 3);
+}
+
+}  // namespace
+}  // namespace fdpcache

@@ -1,0 +1,159 @@
+// Tests of the paper's central mechanism: segregating a hot random stream
+// (SOC-like) from a cold sequential stream (LOC-like) with RUHs.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/ftl/ftl.h"
+
+namespace fdpcache {
+namespace {
+
+FtlConfig MediumConfig(uint32_t num_ruhs, RuhType type, bool fdp_enabled) {
+  FtlConfig config;
+  config.geometry.pages_per_block = 16;
+  config.geometry.planes_per_die = 2;
+  config.geometry.num_dies = 4;
+  config.geometry.num_superblocks = 48;  // 128 pages/RU, 6144 pages physical.
+  config.fdp = FdpConfig::Uniform(num_ruhs, type);
+  config.op_fraction = 0.15;
+  config.fdp_enabled = fdp_enabled;
+  return config;
+}
+
+constexpr uint16_t kSocDspec = 0x0000;  // RUH 0
+constexpr uint16_t kLocDspec = 0x0001;  // RUH 1
+
+// Drives a CacheLib-shaped workload: a small LBA range is overwritten at
+// random (SOC), a large range is overwritten strictly sequentially (LOC).
+// Write mix: every `soc_per_loc` SOC page writes, one LOC page write.
+double RunMixedWorkload(Ftl& ftl, double soc_fraction, uint64_t total_writes, uint64_t seed,
+                        bool use_placement) {
+  const uint64_t logical = ftl.logical_pages();
+  const uint64_t soc_pages = static_cast<uint64_t>(soc_fraction * static_cast<double>(logical));
+  const uint64_t loc_pages = logical - soc_pages;
+  Rng rng(seed);
+  uint64_t loc_cursor = 0;
+  const DirectiveType dtype = use_placement ? DirectiveType::kDataPlacement : DirectiveType::kNone;
+  for (uint64_t i = 0; i < total_writes; ++i) {
+    // The paper's small-object-dominant workloads: most writes hit the SOC
+    // range; LOC sees a slow sequential stream.
+    if (rng.NextBool(0.8)) {
+      const uint64_t lpn = rng.NextBelow(soc_pages);
+      EXPECT_EQ(ftl.WritePage(lpn, dtype, kSocDspec), FtlStatus::kOk);
+    } else {
+      const uint64_t lpn = soc_pages + (loc_cursor++ % loc_pages);
+      EXPECT_EQ(ftl.WritePage(lpn, dtype, kLocDspec), FtlStatus::kOk);
+    }
+  }
+  return ftl.stats().Dlwa();
+}
+
+TEST(FtlIsolationTest, SegregationReducesDlwaVsSharedRuh) {
+  Ftl fdp_ftl(MediumConfig(2, RuhType::kInitiallyIsolated, /*fdp_enabled=*/true));
+  Ftl conv_ftl(MediumConfig(2, RuhType::kInitiallyIsolated, /*fdp_enabled=*/false));
+  const uint64_t writes = 20 * fdp_ftl.logical_pages();
+  const double fdp_dlwa = RunMixedWorkload(fdp_ftl, 0.06, writes, 99, /*use_placement=*/true);
+  const double conv_dlwa = RunMixedWorkload(conv_ftl, 0.06, writes, 99, /*use_placement=*/false);
+  // Paper Fig. 5/6: segregation keeps DLWA near 1; intermixing amplifies.
+  EXPECT_LT(fdp_dlwa, 1.15);
+  EXPECT_GT(conv_dlwa, fdp_dlwa + 0.1);
+  EXPECT_EQ(fdp_ftl.CheckInvariants(), "");
+  EXPECT_EQ(conv_ftl.CheckInvariants(), "");
+}
+
+TEST(FtlIsolationTest, HostRusContainSingleOriginWhenSegregated) {
+  Ftl ftl(MediumConfig(2, RuhType::kInitiallyIsolated, /*fdp_enabled=*/true));
+  RunMixedWorkload(ftl, 0.06, 10 * ftl.logical_pages(), 3, /*use_placement=*/true);
+  // Every non-GC-destination RU must hold data from exactly one RUH.
+  for (uint32_t ru = 0; ru < ftl.config().geometry.num_superblocks; ++ru) {
+    const ReclaimUnitInfo& info = ftl.ru_info(ru);
+    if (info.state == RuState::kFree || info.is_gc_destination || info.owner < 0) {
+      continue;
+    }
+    EXPECT_LE(ftl.RuOriginMixCount(ru), 1u) << "ru " << ru;
+  }
+}
+
+TEST(FtlIsolationTest, SharedRuhIntermixesData) {
+  Ftl ftl(MediumConfig(2, RuhType::kInitiallyIsolated, /*fdp_enabled=*/false));
+  RunMixedWorkload(ftl, 0.06, 4 * ftl.logical_pages(), 3, /*use_placement=*/true);
+  // With the directive ignored all writes share RUH 0 and RUs mix... but
+  // provenance tracks the *effective* RUH, which is 0 for everyone. The
+  // observable effect is in DLWA (tested above); here we confirm every RU is
+  // owned by the default RUH.
+  for (uint32_t ru = 0; ru < ftl.config().geometry.num_superblocks; ++ru) {
+    const ReclaimUnitInfo& info = ftl.ru_info(ru);
+    if (info.state == RuState::kFree || info.owner < 0) {
+      continue;
+    }
+    EXPECT_EQ(info.owner, 0);
+  }
+}
+
+TEST(FtlIsolationTest, PersistentIsolationHoldsThroughGc) {
+  Ftl ftl(MediumConfig(2, RuhType::kPersistentlyIsolated, /*fdp_enabled=*/true));
+  RunMixedWorkload(ftl, 0.12, 25 * ftl.logical_pages(), 17, /*use_placement=*/true);
+  // CheckInvariants proves every persistently isolated RU (including GC
+  // destinations) holds a single origin.
+  EXPECT_EQ(ftl.CheckInvariants(), "");
+  EXPECT_GT(ftl.counters().gc_reclaims, 0u);
+}
+
+TEST(FtlIsolationTest, InitiallyIsolatedSufficesWhenStreamsSegregate) {
+  // Paper Insight 5: with static SOC/LOC segregation, only SOC data moves
+  // under GC, so initially isolated devices preserve isolation in effect.
+  Ftl ii(MediumConfig(2, RuhType::kInitiallyIsolated, /*fdp_enabled=*/true));
+  Ftl pi(MediumConfig(2, RuhType::kPersistentlyIsolated, /*fdp_enabled=*/true));
+  const uint64_t writes = 25 * ii.logical_pages();
+  const double ii_dlwa = RunMixedWorkload(ii, 0.06, writes, 23, /*use_placement=*/true);
+  const double pi_dlwa = RunMixedWorkload(pi, 0.06, writes, 23, /*use_placement=*/true);
+  EXPECT_NEAR(ii_dlwa, pi_dlwa, 0.05);
+}
+
+TEST(FtlIsolationTest, GcMovesOnlySocData) {
+  Ftl ftl(MediumConfig(2, RuhType::kInitiallyIsolated, /*fdp_enabled=*/true));
+  RunMixedWorkload(ftl, 0.06, 25 * ftl.logical_pages(), 31, /*use_placement=*/true);
+  // All pages living in GC destination RUs must have SOC (RUH 0) provenance:
+  // LOC data never needed relocation.
+  const NandGeometry& g = ftl.config().geometry;
+  for (uint32_t ru = 0; ru < g.num_superblocks; ++ru) {
+    const ReclaimUnitInfo& info = ftl.ru_info(ru);
+    if (info.state == RuState::kFree || !info.is_gc_destination) {
+      continue;
+    }
+    for (uint32_t offset = 0; offset < info.write_ptr; ++offset) {
+      EXPECT_EQ(ftl.page_origin(g.PpnOf(ru, offset)), 0) << "ru " << ru << " off " << offset;
+    }
+  }
+}
+
+TEST(FtlIsolationTest, EightRuhConfigSupportsMultiTenantSegregation) {
+  // Two tenants, each with SOC+LOC handles (paper §6.7).
+  Ftl ftl(MediumConfig(8, RuhType::kInitiallyIsolated, /*fdp_enabled=*/true));
+  const uint64_t logical = ftl.logical_pages();
+  const uint64_t half = logical / 2;
+  Rng rng(41);
+  uint64_t loc_cursor[2] = {0, 0};
+  for (uint64_t i = 0; i < logical * 20; ++i) {
+    const uint32_t tenant = static_cast<uint32_t>(i & 1);
+    const uint64_t base = tenant * half;
+    const uint64_t soc_pages = half / 16;
+    const uint64_t loc_pages = half - soc_pages;
+    if (rng.NextBool(0.8)) {
+      const uint16_t dspec = EncodeDspec({0, static_cast<uint16_t>(tenant * 2)});
+      ASSERT_EQ(ftl.WritePage(base + rng.NextBelow(soc_pages), DirectiveType::kDataPlacement,
+                              dspec),
+                FtlStatus::kOk);
+    } else {
+      const uint16_t dspec = EncodeDspec({0, static_cast<uint16_t>(tenant * 2 + 1)});
+      ASSERT_EQ(ftl.WritePage(base + soc_pages + (loc_cursor[tenant]++ % loc_pages),
+                              DirectiveType::kDataPlacement, dspec),
+                FtlStatus::kOk);
+    }
+  }
+  EXPECT_LT(ftl.stats().Dlwa(), 1.2);
+  EXPECT_EQ(ftl.CheckInvariants(), "");
+}
+
+}  // namespace
+}  // namespace fdpcache

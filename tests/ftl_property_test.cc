@@ -1,0 +1,115 @@
+// Randomised property tests: the FTL must preserve the logical view of the
+// device (an in-memory oracle) across arbitrary write/trim interleavings,
+// any RUH mix, and any overprovisioning, while its invariants hold.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "src/common/rng.h"
+#include "src/ftl/ftl.h"
+
+namespace fdpcache {
+namespace {
+
+struct PropertyParams {
+  uint64_t seed;
+  double op_fraction;
+  uint32_t num_ruhs;
+  RuhType ruh_type;
+  bool fdp_enabled;
+};
+
+class FtlPropertyTest : public ::testing::TestWithParam<PropertyParams> {};
+
+FtlConfig ConfigFor(const PropertyParams& p) {
+  FtlConfig config;
+  config.geometry.pages_per_block = 8;
+  config.geometry.planes_per_die = 2;
+  config.geometry.num_dies = 2;
+  config.geometry.num_superblocks = 12;
+  config.fdp = FdpConfig::Uniform(p.num_ruhs, p.ruh_type);
+  config.op_fraction = p.op_fraction;
+  config.fdp_enabled = p.fdp_enabled;
+  return config;
+}
+
+TEST_P(FtlPropertyTest, OracleConsistencyUnderRandomOps) {
+  const PropertyParams p = GetParam();
+  Ftl ftl(ConfigFor(p));
+  Rng rng(p.seed);
+  const uint64_t logical = ftl.logical_pages();
+  // Oracle: which LPNs are currently written (value = write sequence number).
+  std::map<uint64_t, uint64_t> oracle;
+  uint64_t seq = 0;
+  for (int step = 0; step < 20000; ++step) {
+    const uint64_t lpn = rng.NextBelow(logical);
+    const double dice = rng.NextDouble();
+    if (dice < 0.75) {
+      const uint16_t dspec = EncodeDspec({0, static_cast<uint16_t>(rng.NextBelow(p.num_ruhs))});
+      const FtlStatus st = ftl.WritePage(lpn, DirectiveType::kDataPlacement, dspec);
+      if (st == FtlStatus::kOk) {
+        oracle[lpn] = ++seq;
+      } else {
+        ASSERT_EQ(st, FtlStatus::kDeviceFull);
+      }
+    } else if (dice < 0.9) {
+      ASSERT_EQ(ftl.TrimPage(lpn), FtlStatus::kOk);
+      oracle.erase(lpn);
+    } else {
+      const auto ppn = ftl.ReadPage(lpn);
+      EXPECT_EQ(ppn.has_value(), oracle.contains(lpn)) << "lpn " << lpn;
+    }
+  }
+  // Full audit at the end.
+  ASSERT_EQ(ftl.mapped_pages(), oracle.size());
+  for (const auto& [lpn, unused] : oracle) {
+    const auto ppn = ftl.ReadPage(lpn);
+    ASSERT_TRUE(ppn.has_value()) << "lpn " << lpn << " lost";
+    EXPECT_EQ(ftl.media().page_lpn(*ppn), lpn);
+  }
+  EXPECT_EQ(ftl.CheckInvariants(), "");
+  EXPECT_GE(ftl.stats().Dlwa(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FtlPropertyTest,
+    ::testing::Values(
+        PropertyParams{1, 0.10, 2, RuhType::kInitiallyIsolated, true},
+        PropertyParams{2, 0.25, 2, RuhType::kInitiallyIsolated, true},
+        PropertyParams{3, 0.10, 4, RuhType::kPersistentlyIsolated, true},
+        PropertyParams{4, 0.25, 4, RuhType::kPersistentlyIsolated, true},
+        PropertyParams{5, 0.10, 8, RuhType::kInitiallyIsolated, true},
+        PropertyParams{6, 0.10, 2, RuhType::kInitiallyIsolated, false},
+        PropertyParams{7, 0.40, 8, RuhType::kPersistentlyIsolated, true},
+        PropertyParams{8, 0.25, 1, RuhType::kInitiallyIsolated, true},
+        PropertyParams{9, 0.15, 3, RuhType::kPersistentlyIsolated, false},
+        PropertyParams{10, 0.30, 6, RuhType::kInitiallyIsolated, true}));
+
+class FtlChurnTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FtlChurnTest, SustainedChurnKeepsInvariants) {
+  FtlConfig config;
+  config.geometry.pages_per_block = 8;
+  config.geometry.planes_per_die = 2;
+  config.geometry.num_dies = 2;
+  config.geometry.num_superblocks = 24;
+  config.fdp = FdpConfig::Uniform(2, RuhType::kInitiallyIsolated);
+  config.op_fraction = 0.25;
+  Ftl ftl(config);
+  Rng rng(GetParam());
+  const uint64_t logical = ftl.logical_pages();
+  for (int burst = 0; burst < 10; ++burst) {
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_EQ(ftl.WritePage(rng.NextBelow(logical), DirectiveType::kDataPlacement,
+                              EncodeDspec({0, static_cast<uint16_t>(i & 1)})),
+                FtlStatus::kOk);
+    }
+    ASSERT_EQ(ftl.CheckInvariants(), "") << "burst " << burst;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FtlChurnTest, ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace fdpcache

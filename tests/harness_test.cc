@@ -1,0 +1,124 @@
+// Harness integration tests — including the paper's headline claim as an
+// executable assertion: FDP segregation lowers DLWA to ~1 while the Non-FDP
+// baseline amplifies.
+#include "src/harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "src/harness/report.h"
+
+namespace fdpcache {
+namespace {
+
+ExperimentConfig SmallExperiment(bool fdp) {
+  ExperimentConfig config;
+  config.num_superblocks = 128;  // 256 MiB physical: fast tests.
+  config.device_op_fraction = 0.10;
+  config.fdp = fdp;
+  config.utilization = 1.0;     // Stress configuration (paper Fig. 6 right).
+  config.soc_fraction = 0.04;
+  config.total_ops = 200'000;
+  config.max_warmup_ops = 2'000'000;
+  config.workload = KvWorkloadConfig::MetaKvCache();
+  config.dlwa_samples = 8;
+  return config;
+}
+
+TEST(HarnessTest, FdpReachesNearUnityDlwaAtFullUtilization) {
+  ExperimentRunner runner(SmallExperiment(true));
+  const MetricsReport report = runner.Run();
+  EXPECT_LT(report.final_dlwa, 1.25) << SummarizeReport("fdp", report);
+  EXPECT_GE(report.final_dlwa, 1.0);
+}
+
+TEST(HarnessTest, NonFdpAmplifiesAtFullUtilization) {
+  ExperimentRunner runner(SmallExperiment(false));
+  const MetricsReport report = runner.Run();
+  EXPECT_GT(report.final_dlwa, 1.5) << SummarizeReport("non-fdp", report);
+}
+
+TEST(HarnessTest, FdpBeatsNonFdpOnGcEvents) {
+  ExperimentRunner fdp_runner(SmallExperiment(true));
+  ExperimentRunner non_runner(SmallExperiment(false));
+  const MetricsReport fdp = fdp_runner.Run();
+  const MetricsReport non = non_runner.Run();
+  // Paper Fig. 10b: several times fewer media-relocated events with FDP.
+  EXPECT_LT(fdp.gc_relocated_pages, non.gc_relocated_pages);
+}
+
+TEST(HarnessTest, CacheMetricsUnaffectedBySegregation) {
+  ExperimentRunner fdp_runner(SmallExperiment(true));
+  ExperimentRunner non_runner(SmallExperiment(false));
+  const MetricsReport fdp = fdp_runner.Run();
+  const MetricsReport non = non_runner.Run();
+  // Paper Fig. 6: hit ratios and ALWA unchanged by data placement.
+  EXPECT_NEAR(fdp.hit_ratio, non.hit_ratio, 0.03);
+  EXPECT_NEAR(fdp.alwa, non.alwa, 0.3 * non.alwa);
+}
+
+TEST(HarnessTest, IntegrityHoldsEndToEnd) {
+  ExperimentConfig config = SmallExperiment(true);
+  config.total_ops = 150'000;
+  config.verify_values = true;
+  ExperimentRunner runner(config);
+  const MetricsReport report = runner.Run();
+  EXPECT_EQ(report.verify_failures, 0u);
+}
+
+TEST(HarnessTest, MultiTenantRunsAndSegregates) {
+  ExperimentConfig config = SmallExperiment(true);
+  config.num_tenants = 2;
+  config.workload = KvWorkloadConfig::WriteOnlyKvCache();
+  config.total_ops = 200'000;
+  ExperimentRunner runner(config);
+  const MetricsReport report = runner.Run();
+  EXPECT_LT(report.final_dlwa, 1.35) << SummarizeReport("mt", report);
+  EXPECT_EQ(runner.ssd().ftl().CheckInvariants(), "");
+}
+
+TEST(HarnessTest, IntervalSeriesIsPopulated) {
+  ExperimentConfig config = SmallExperiment(true);
+  config.total_ops = 200'000;
+  ExperimentRunner runner(config);
+  const MetricsReport report = runner.Run();
+  EXPECT_GE(report.interval_dlwa.size(), 4u);
+  for (const double dlwa : report.interval_dlwa) {
+    EXPECT_GE(dlwa, 0.99);
+  }
+}
+
+TEST(HarnessTest, ThroughputAndLatencyArePlausible) {
+  ExperimentRunner runner(SmallExperiment(true));
+  const MetricsReport report = runner.Run();
+  EXPECT_GT(report.throughput_kops, 2.0);
+  EXPECT_GT(report.p99_read_ns, 0u);
+  EXPECT_GT(report.p99_write_ns, 0u);
+  EXPECT_GE(report.p999_read_ns, report.p99_read_ns);
+}
+
+TEST(ReportTest, TextTableAlignsColumns) {
+  TextTable table({"a", "long-header", "c"});
+  table.AddRow({"1", "2", "3"});
+  table.AddRow({"wide-cell", "x", "y"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("wide-cell"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(ReportTest, Formatters) {
+  EXPECT_EQ(FormatDouble(1.2345, 2), "1.23");
+  EXPECT_EQ(FormatPercent(0.5), "50.0%");
+  EXPECT_EQ(FormatNsAsUs(1500), "1.5us");
+  EXPECT_EQ(FormatBytes(2048), "2.0KiB");
+  EXPECT_EQ(FormatBytes(3u << 20), "3.0MiB");
+}
+
+TEST(ReportTest, DlwaSeriesRendering) {
+  const std::string out = FormatDlwaSeries("x", {1.0, 2.0});
+  EXPECT_NE(out.find("dlwa=1.000"), std::string::npos);
+  EXPECT_NE(out.find("dlwa=2.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fdpcache

@@ -1,0 +1,65 @@
+#include "src/model/carbon_model.h"
+
+#include <gtest/gtest.h>
+
+namespace fdpcache {
+namespace {
+
+TEST(CarbonModelTest, EmbodiedScalesLinearlyWithDlwa) {
+  CarbonModel model;
+  const double base = model.EmbodiedSsdKg(1.0, 1880.0);
+  EXPECT_DOUBLE_EQ(model.EmbodiedSsdKg(2.0, 1880.0), 2.0 * base);
+  EXPECT_DOUBLE_EQ(model.EmbodiedSsdKg(3.5, 1880.0), 3.5 * base);
+}
+
+TEST(CarbonModelTest, PaperScaleNumbers) {
+  // Theorem 2 with the paper's constants: 1.88 TB SSD, 0.16 kg/GB, T == L:
+  // DLWA 1 -> ~300 kg CO2e embodied.
+  CarbonModel model;
+  EXPECT_NEAR(model.EmbodiedSsdKg(1.0, 1880.0), 300.8, 0.5);
+  // The paper's headline: ~4x embodied reduction going from DLWA 3.5 to ~1.
+  const double fdp = model.EmbodiedSsdKg(1.03, 1880.0);
+  const double non_fdp = model.EmbodiedSsdKg(3.5, 1880.0);
+  EXPECT_NEAR(non_fdp / fdp, 3.4, 0.2);
+}
+
+TEST(CarbonModelTest, LongerLifecycleMeansMoreReplacements) {
+  CarbonParams params;
+  params.system_lifecycle_years = 10.0;
+  params.ssd_warranty_years = 5.0;
+  CarbonModel model(params);
+  EXPECT_DOUBLE_EQ(model.EmbodiedSsdKg(1.0, 100.0), 2.0 * 100.0 * 0.16);
+}
+
+TEST(CarbonModelTest, DramDominatesPerGb) {
+  CarbonModel model;
+  EXPECT_GT(model.params().dram_kg_co2e_per_gb, 10 * model.params().ssd_kg_co2e_per_gb);
+  EXPECT_DOUBLE_EQ(model.EmbodiedDramKg(42.0), 42.0 * model.params().dram_kg_co2e_per_gb);
+}
+
+TEST(CarbonModelTest, OperationalConversion) {
+  CarbonModel model;
+  // 1 kWh = 3.6e6 J = 3.6e12 uJ.
+  EXPECT_NEAR(model.OperationalKg(3.6e12), model.params().grid_kg_co2e_per_kwh, 1e-9);
+  EXPECT_DOUBLE_EQ(model.OperationalKg(0.0), 0.0);
+}
+
+TEST(CarbonModelTest, TotalSumsComponents) {
+  CarbonModel model;
+  const double total = model.TotalKg(1.5, 1000.0, 16.0, 3.6e15);
+  EXPECT_DOUBLE_EQ(total, model.EmbodiedSsdKg(1.5, 1000.0) + model.EmbodiedDramKg(16.0) +
+                              model.OperationalKg(3.6e15));
+}
+
+TEST(OperationalEnergyModelTest, ProportionalToOpsAndMigrations) {
+  OperationalEnergyModel model;
+  const double only_host = model.EnergyUj(1000, 0);
+  const double with_gc = model.EnergyUj(1000, 1000);
+  EXPECT_GT(with_gc, only_host);
+  EXPECT_DOUBLE_EQ(model.EnergyUj(0, 0), 0.0);
+  // Theorem 3 proportionality: doubling both doubles energy.
+  EXPECT_DOUBLE_EQ(model.EnergyUj(2000, 2000), 2.0 * with_gc);
+}
+
+}  // namespace
+}  // namespace fdpcache

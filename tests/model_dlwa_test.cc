@@ -1,0 +1,98 @@
+#include "src/model/dlwa_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fdpcache {
+namespace {
+
+TEST(SocDlwaModelTest, ClosedFormMatchesBisectionAcrossSweep) {
+  for (double ratio = 1.02; ratio < 30.0; ratio *= 1.3) {
+    SocDlwaInputs in;
+    in.soc_bytes = 1e9;
+    in.physical_soc_bytes = ratio * 1e9;
+    const double closed = SocDlwaModel::Delta(in);
+    const double numeric = SocDlwaModel::DeltaByBisection(in);
+    EXPECT_NEAR(closed, numeric, 1e-6) << "ratio " << ratio;
+  }
+}
+
+TEST(SocDlwaModelTest, DeltaSatisfiesEquation14) {
+  // Eq. 14: S_SOC / S_P-SOC == (delta - 1) / ln(delta).
+  for (const double ratio : {1.1, 1.5, 2.0, 4.0, 10.0}) {
+    SocDlwaInputs in;
+    in.soc_bytes = 1.0;
+    in.physical_soc_bytes = ratio;
+    const double delta = SocDlwaModel::Delta(in);
+    ASSERT_GT(delta, 0.0);
+    ASSERT_LT(delta, 1.0);
+    EXPECT_NEAR((delta - 1.0) / std::log(delta), 1.0 / ratio, 1e-9);
+  }
+}
+
+TEST(SocDlwaModelTest, MoreSpareSpaceMeansLowerDlwa) {
+  double prev = std::numeric_limits<double>::infinity();
+  for (double op = 0.05; op <= 1.0; op += 0.05) {
+    SocDlwaInputs in;
+    in.soc_bytes = 1e9;
+    in.physical_soc_bytes = (1.0 + op) * 1e9;
+    const double dlwa = SocDlwaModel::Dlwa(in);
+    EXPECT_LT(dlwa, prev);
+    EXPECT_GE(dlwa, 1.0);
+    prev = dlwa;
+  }
+}
+
+TEST(SocDlwaModelTest, NoSpareSpaceDiverges) {
+  SocDlwaInputs in;
+  in.soc_bytes = 1e9;
+  in.physical_soc_bytes = 1e9;
+  EXPECT_TRUE(std::isinf(SocDlwaModel::Dlwa(in)));
+}
+
+TEST(SocDlwaModelTest, HugeSpareSpaceApproachesUnity) {
+  SocDlwaInputs in;
+  in.soc_bytes = 1e9;
+  in.physical_soc_bytes = 100e9;
+  EXPECT_NEAR(SocDlwaModel::Dlwa(in), 1.0, 1e-6);
+}
+
+TEST(SocDlwaModelTest, DegenerateInputsAreSafe) {
+  SocDlwaInputs in;
+  EXPECT_DOUBLE_EQ(SocDlwaModel::Delta(in), 0.0);
+  in.soc_bytes = -5;
+  in.physical_soc_bytes = 10;
+  EXPECT_DOUBLE_EQ(SocDlwaModel::Delta(in), 0.0);
+}
+
+TEST(SocDlwaModelTest, PaperDeploymentShape) {
+  // Paper defaults: 4% SOC, 7-20% device OP. At 100% utilization the model
+  // must predict DLWA ~ 1 for FDP-enabled CacheLib (Figure 6),
+  // because OP (>= 7%) exceeds the SOC footprint (4%).
+  const double device = 1.88e12;
+  const double dlwa = SocDlwaModel::DeploymentDlwa(device, 1.0, 0.04, 0.07);
+  EXPECT_LT(dlwa, 1.35);
+  // And a large SOC overwhelms the OP cushion (Figure 9 rising curve).
+  const double dlwa_large_soc = SocDlwaModel::DeploymentDlwa(device, 1.0, 0.64, 0.07);
+  EXPECT_GT(dlwa_large_soc, 2.0);
+}
+
+TEST(SocDlwaModelTest, UtilizationBelowFullActsAsHostOp) {
+  // At 50% utilization the unused half of the device cushions the SOC: DLWA
+  // must be essentially 1 (paper Figure 5: FDP ~1.03 at 50% util).
+  const double dlwa = SocDlwaModel::DeploymentDlwa(1.88e12, 0.5, 0.04, 0.07);
+  EXPECT_LT(dlwa, 1.02);
+}
+
+TEST(SocDlwaModelTest, Figure9SweepIsMonotone) {
+  double prev = 0.0;
+  for (const double soc : {0.04, 0.08, 0.16, 0.32, 0.64, 0.90, 0.96}) {
+    const double dlwa = SocDlwaModel::DeploymentDlwa(1.88e12, 1.0, soc, 0.07);
+    EXPECT_GT(dlwa, prev);
+    prev = dlwa;
+  }
+}
+
+}  // namespace
+}  // namespace fdpcache

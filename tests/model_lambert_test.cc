@@ -1,0 +1,77 @@
+#include "src/model/lambert_w.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fdpcache {
+namespace {
+
+constexpr double kInvE = 0.36787944117144233;
+
+TEST(LambertWTest, IdentityHoldsOnPrincipalBranch) {
+  for (const double x : {-0.36, -0.3, -0.1, -0.01, 0.0, 0.5, 1.0, 2.718281828, 10.0, 1e6}) {
+    const auto w = LambertW0(x);
+    ASSERT_TRUE(w.has_value()) << x;
+    EXPECT_NEAR(*w * std::exp(*w), x, 1e-9 * (1.0 + std::abs(x))) << "x=" << x;
+  }
+}
+
+TEST(LambertWTest, IdentityHoldsOnLowerBranch) {
+  for (const double x : {-0.3678, -0.36, -0.3, -0.2, -0.1, -0.01, -1e-6}) {
+    const auto w = LambertWm1(x);
+    ASSERT_TRUE(w.has_value()) << x;
+    EXPECT_NEAR(*w * std::exp(*w), x, 1e-8) << "x=" << x;
+    EXPECT_LE(*w, -1.0 + 1e-6);
+  }
+}
+
+TEST(LambertWTest, KnownValues) {
+  EXPECT_NEAR(*LambertW0(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(*LambertW0(std::exp(1.0)), 1.0, 1e-10);        // W(e) = 1.
+  EXPECT_NEAR(*LambertW0(-kInvE), -1.0, 1e-5);               // Branch point.
+  EXPECT_NEAR(*LambertWm1(-2.0 * std::exp(-2.0)), -2.0, 1e-9);
+  EXPECT_NEAR(*LambertW0(1.0), 0.5671432904097838, 1e-12);   // Omega constant.
+}
+
+TEST(LambertWTest, DomainEnforced) {
+  EXPECT_FALSE(LambertW0(-0.5).has_value());
+  EXPECT_FALSE(LambertWm1(-0.5).has_value());
+  EXPECT_FALSE(LambertWm1(0.0).has_value());
+  EXPECT_FALSE(LambertWm1(1.0).has_value());
+  EXPECT_FALSE(LambertW0(std::nan("")).has_value());
+}
+
+TEST(LambertWTest, BranchesAgreeAtBranchPoint) {
+  const double x = -kInvE + 1e-12;
+  const auto w0 = LambertW0(x);
+  const auto wm1 = LambertWm1(x);
+  ASSERT_TRUE(w0.has_value());
+  ASSERT_TRUE(wm1.has_value());
+  EXPECT_NEAR(*w0, *wm1, 1e-4);
+}
+
+TEST(LambertWTest, PrincipalBranchIsMonotone) {
+  double prev = -1.0;
+  for (double x = -0.36; x < 10.0; x += 0.05) {
+    const auto w = LambertW0(x);
+    ASSERT_TRUE(w.has_value());
+    EXPECT_GE(*w, prev - 1e-12);
+    prev = *w;
+  }
+}
+
+TEST(LambertWTest, TheTrivialAndNontrivialRootsOfRExpMinusR) {
+  // For r > 1, x = -r e^-r has two roots: W0 gives the nontrivial one used
+  // by the DLWA model; W-1 recovers -r itself.
+  for (const double r : {1.5, 2.0, 3.0, 5.0, 10.0}) {
+    const double x = -r * std::exp(-r);
+    EXPECT_NEAR(*LambertWm1(x), -r, 1e-7 * r);
+    const double w0 = *LambertW0(x);
+    EXPECT_GT(w0, -1.0);
+    EXPECT_LT(w0, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace fdpcache

@@ -1,0 +1,85 @@
+#include "src/nand/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace fdpcache {
+namespace {
+
+NandGeometry DefaultGeometry() { return NandGeometry{}; }
+
+TEST(NandGeometryTest, DefaultSizesAreConsistent) {
+  const NandGeometry g = DefaultGeometry();
+  EXPECT_EQ(g.BlocksPerSuperblock(), 32u);
+  EXPECT_EQ(g.PagesPerSuperblock(), 128u * 32u);
+  EXPECT_EQ(g.SuperblockBytes(), 16_MiB);
+  EXPECT_EQ(g.PhysicalBytes(), 1_GiB);
+  EXPECT_TRUE(g.IsValid());
+}
+
+TEST(NandGeometryTest, PpnRoundTrip) {
+  const NandGeometry g = DefaultGeometry();
+  for (uint32_t sb : {0u, 1u, 63u}) {
+    for (uint32_t off : {0u, 1u, 31u, 32u, 4095u}) {
+      const uint64_t ppn = g.PpnOf(sb, off);
+      EXPECT_EQ(g.SuperblockOfPpn(ppn), sb);
+      EXPECT_EQ(g.OffsetOfPpn(ppn), off);
+    }
+  }
+}
+
+TEST(NandGeometryTest, AppendOrderProgramsBlocksSequentially) {
+  const NandGeometry g = DefaultGeometry();
+  // Striding the append offset by BlocksPerSuperblock returns to the same
+  // block with the next page index.
+  const uint32_t stride = g.BlocksPerSuperblock();
+  EXPECT_EQ(g.BlockInSuperblock(5), g.BlockInSuperblock(5 + stride));
+  EXPECT_EQ(g.PageInBlock(5), 0u);
+  EXPECT_EQ(g.PageInBlock(5 + stride), 1u);
+}
+
+TEST(NandGeometryTest, ConsecutiveAppendsHitDifferentDies) {
+  const NandGeometry g = DefaultGeometry();
+  // The first num_dies appends all land on distinct dies.
+  std::vector<bool> seen(g.num_dies, false);
+  for (uint32_t off = 0; off < g.num_dies; ++off) {
+    const uint32_t die = g.DieOfOffset(off);
+    EXPECT_LT(die, g.num_dies);
+    EXPECT_FALSE(seen[die]);
+    seen[die] = true;
+  }
+}
+
+TEST(NandGeometryTest, GlobalBlockIdsAreUnique) {
+  const NandGeometry g = DefaultGeometry();
+  std::vector<bool> seen(g.TotalBlocks(), false);
+  for (uint32_t sb = 0; sb < g.num_superblocks; ++sb) {
+    for (uint32_t b = 0; b < g.BlocksPerSuperblock(); ++b) {
+      const uint64_t id = g.GlobalBlockId(sb, b);
+      ASSERT_LT(id, g.TotalBlocks());
+      EXPECT_FALSE(seen[id]);
+      seen[id] = true;
+    }
+  }
+}
+
+TEST(NandGeometryTest, InvalidConfigurationsRejected) {
+  NandGeometry g = DefaultGeometry();
+  g.num_superblocks = 2;
+  EXPECT_FALSE(g.IsValid());
+  g = DefaultGeometry();
+  g.page_size_bytes = 256;
+  EXPECT_FALSE(g.IsValid());
+  g = DefaultGeometry();
+  g.num_dies = 0;
+  EXPECT_FALSE(g.IsValid());
+}
+
+TEST(NandGeometryTest, ScaledGeometryKeepsRatios) {
+  NandGeometry g;
+  g.num_superblocks = 128;
+  EXPECT_EQ(g.PhysicalBytes(), 2_GiB);
+  EXPECT_EQ(g.SuperblockBytes(), 16_MiB);
+}
+
+}  // namespace
+}  // namespace fdpcache

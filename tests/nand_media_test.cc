@@ -1,0 +1,124 @@
+#include "src/nand/media.h"
+
+#include <gtest/gtest.h>
+
+namespace fdpcache {
+namespace {
+
+NandGeometry SmallGeometry() {
+  NandGeometry g;
+  g.pages_per_block = 8;
+  g.planes_per_die = 2;
+  g.num_dies = 2;
+  g.num_superblocks = 4;
+  return g;
+}
+
+class NandMediaTest : public ::testing::Test {
+ protected:
+  NandMediaTest() : media_(SmallGeometry()) {}
+  NandMedia media_;
+};
+
+TEST_F(NandMediaTest, FreshMediaIsAllFree) {
+  EXPECT_EQ(media_.CountPagesInState(PageState::kFree), SmallGeometry().TotalPages());
+  EXPECT_EQ(media_.counts().page_programs, 0u);
+}
+
+TEST_F(NandMediaTest, ProgramInAppendOrderSucceeds) {
+  const NandGeometry g = SmallGeometry();
+  for (uint32_t off = 0; off < g.PagesPerSuperblock(); ++off) {
+    EXPECT_EQ(media_.ProgramPage(g.PpnOf(0, off), off), MediaStatus::kOk);
+  }
+  EXPECT_EQ(media_.CountPagesInState(PageState::kValid), g.PagesPerSuperblock());
+  EXPECT_EQ(media_.counts().page_programs, g.PagesPerSuperblock());
+}
+
+TEST_F(NandMediaTest, ProgramOutOfOrderRejected) {
+  const NandGeometry g = SmallGeometry();
+  // Skipping the first stripe of a block violates in-order programming.
+  const uint64_t second_page_of_block0 = g.PpnOf(0, g.BlocksPerSuperblock());
+  EXPECT_EQ(media_.ProgramPage(second_page_of_block0, 1), MediaStatus::kProgramOutOfOrder);
+}
+
+TEST_F(NandMediaTest, DoubleProgramRejected) {
+  const NandGeometry g = SmallGeometry();
+  EXPECT_EQ(media_.ProgramPage(g.PpnOf(0, 0), 7), MediaStatus::kOk);
+  EXPECT_EQ(media_.ProgramPage(g.PpnOf(0, 0), 8), MediaStatus::kProgramNotFree);
+}
+
+TEST_F(NandMediaTest, BackPointerStored) {
+  const NandGeometry g = SmallGeometry();
+  ASSERT_EQ(media_.ProgramPage(g.PpnOf(1, 0), 99), MediaStatus::kOk);
+  EXPECT_EQ(media_.page_lpn(g.PpnOf(1, 0)), 99u);
+}
+
+TEST_F(NandMediaTest, InvalidateRequiresValid) {
+  const NandGeometry g = SmallGeometry();
+  EXPECT_NE(media_.InvalidatePage(g.PpnOf(0, 0)), MediaStatus::kOk);
+  ASSERT_EQ(media_.ProgramPage(g.PpnOf(0, 0), 1), MediaStatus::kOk);
+  EXPECT_EQ(media_.InvalidatePage(g.PpnOf(0, 0)), MediaStatus::kOk);
+  EXPECT_EQ(media_.page_state(g.PpnOf(0, 0)), PageState::kInvalid);
+  // Double invalidate is rejected.
+  EXPECT_NE(media_.InvalidatePage(g.PpnOf(0, 0)), MediaStatus::kOk);
+}
+
+TEST_F(NandMediaTest, ReadRequiresProgrammedPage) {
+  const NandGeometry g = SmallGeometry();
+  EXPECT_EQ(media_.ReadPage(g.PpnOf(0, 0)), MediaStatus::kReadNotProgrammed);
+  ASSERT_EQ(media_.ProgramPage(g.PpnOf(0, 0), 1), MediaStatus::kOk);
+  EXPECT_EQ(media_.ReadPage(g.PpnOf(0, 0)), MediaStatus::kOk);
+  EXPECT_EQ(media_.counts().page_reads, 1u);
+}
+
+TEST_F(NandMediaTest, EraseResetsSuperblockAndCountsWear) {
+  const NandGeometry g = SmallGeometry();
+  for (uint32_t off = 0; off < g.PagesPerSuperblock(); ++off) {
+    ASSERT_EQ(media_.ProgramPage(g.PpnOf(2, off), off), MediaStatus::kOk);
+  }
+  ASSERT_EQ(media_.EraseSuperblock(2), MediaStatus::kOk);
+  EXPECT_EQ(media_.CountPagesInState(PageState::kFree), g.TotalPages());
+  EXPECT_EQ(media_.counts().block_erases, g.BlocksPerSuperblock());
+  EXPECT_EQ(media_.block_erase_count(g.GlobalBlockId(2, 0)), 1u);
+  EXPECT_EQ(media_.block_erase_count(g.GlobalBlockId(0, 0)), 0u);
+  // Erased blocks can be programmed again from page 0.
+  EXPECT_EQ(media_.ProgramPage(g.PpnOf(2, 0), 5), MediaStatus::kOk);
+}
+
+TEST_F(NandMediaTest, WornOutBlockRejectsPrograms) {
+  NandEnduranceParams endurance;
+  endurance.rated_pe_cycles = 2;
+  NandMedia media(SmallGeometry(), endurance);
+  const NandGeometry g = SmallGeometry();
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    ASSERT_EQ(media.EraseSuperblock(0), MediaStatus::kOk);
+  }
+  EXPECT_EQ(media.ProgramPage(g.PpnOf(0, 0), 1), MediaStatus::kBlockWornOut);
+}
+
+TEST_F(NandMediaTest, BadAddressesRejected) {
+  const NandGeometry g = SmallGeometry();
+  EXPECT_EQ(media_.ProgramPage(g.TotalPages(), 0), MediaStatus::kBadAddress);
+  EXPECT_EQ(media_.ReadPage(g.TotalPages()), MediaStatus::kBadAddress);
+  EXPECT_EQ(media_.EraseSuperblock(g.num_superblocks), MediaStatus::kBadAddress);
+}
+
+TEST_F(NandMediaTest, EnergyAccountingTracksOps) {
+  const NandGeometry g = SmallGeometry();
+  NandEnergyParams energy;
+  ASSERT_EQ(media_.ProgramPage(g.PpnOf(0, 0), 1), MediaStatus::kOk);
+  ASSERT_EQ(media_.ReadPage(g.PpnOf(0, 0)), MediaStatus::kOk);
+  const double expected = energy.program_page_uj + energy.read_page_uj;
+  EXPECT_DOUBLE_EQ(media_.op_energy_uj(energy), expected);
+}
+
+TEST_F(NandMediaTest, MeanAndMaxEraseCounts) {
+  ASSERT_EQ(media_.EraseSuperblock(0), MediaStatus::kOk);
+  ASSERT_EQ(media_.EraseSuperblock(0), MediaStatus::kOk);
+  ASSERT_EQ(media_.EraseSuperblock(1), MediaStatus::kOk);
+  EXPECT_EQ(media_.max_erase_count(), 2u);
+  EXPECT_GT(media_.mean_erase_count(), 0.0);
+}
+
+}  // namespace
+}  // namespace fdpcache

@@ -1,0 +1,60 @@
+#include "src/navy/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace fdpcache {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BucketBloomFilters blooms(16);
+  for (uint64_t k = 0; k < 100; ++k) {
+    blooms.Add(k % 16, HashU64(k));
+  }
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_TRUE(blooms.MayContain(k % 16, HashU64(k)));
+  }
+}
+
+TEST(BloomFilterTest, EmptyFilterRejectsEverything) {
+  BucketBloomFilters blooms(4);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_FALSE(blooms.MayContain(k % 4, HashU64(k)));
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateIsReasonable) {
+  BucketBloomFilters blooms(1);
+  // 8 items per bucket at 64 bits / 4 probes: expect a low FP rate.
+  for (uint64_t k = 0; k < 8; ++k) {
+    blooms.Add(0, HashU64(k));
+  }
+  int false_positives = 0;
+  constexpr int kProbes = 100000;
+  for (uint64_t k = 1000; k < 1000 + kProbes; ++k) {
+    if (blooms.MayContain(0, HashU64(k))) {
+      ++false_positives;
+    }
+  }
+  EXPECT_LT(static_cast<double>(false_positives) / kProbes, 0.10);
+}
+
+TEST(BloomFilterTest, ClearBucketIsolatesBuckets) {
+  BucketBloomFilters blooms(2);
+  blooms.Add(0, HashU64(1));
+  blooms.Add(1, HashU64(2));
+  blooms.ClearBucket(0);
+  EXPECT_FALSE(blooms.MayContain(0, HashU64(1)));
+  EXPECT_TRUE(blooms.MayContain(1, HashU64(2)));
+}
+
+TEST(BloomFilterTest, MemoryAccounting) {
+  BucketBloomFilters blooms(1000, 64);
+  EXPECT_EQ(blooms.MemoryBytes(), 1000u * 8u);
+  BucketBloomFilters wide(1000, 128);
+  EXPECT_EQ(wide.MemoryBytes(), 1000u * 16u);
+}
+
+}  // namespace
+}  // namespace fdpcache

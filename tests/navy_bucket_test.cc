@@ -1,0 +1,159 @@
+#include "src/navy/bucket.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace fdpcache {
+namespace {
+
+TEST(BucketTest, EmptyBucketSerializesAndParses) {
+  Bucket bucket(4096);
+  std::vector<uint8_t> buf(4096);
+  bucket.Serialize(buf.data());
+  const auto parsed = Bucket::Deserialize(buf.data(), 4096);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->num_entries(), 0u);
+}
+
+TEST(BucketTest, AllZeroStorageIsEmptyBucket) {
+  std::vector<uint8_t> buf(4096, 0);
+  const auto parsed = Bucket::Deserialize(buf.data(), 4096);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->num_entries(), 0u);
+}
+
+TEST(BucketTest, InsertFindRoundTrip) {
+  Bucket bucket(4096);
+  uint64_t evicted = 0;
+  ASSERT_TRUE(bucket.Insert("key1", "value1", &evicted));
+  ASSERT_TRUE(bucket.Insert("key2", "value2", &evicted));
+  EXPECT_EQ(evicted, 0u);
+  ASSERT_NE(bucket.Find("key1"), nullptr);
+  EXPECT_EQ(bucket.Find("key1")->value, "value1");
+  EXPECT_EQ(bucket.Find("key2")->value, "value2");
+  EXPECT_EQ(bucket.Find("key3"), nullptr);
+}
+
+TEST(BucketTest, SerializeDeserializePreservesEntries) {
+  Bucket bucket(4096);
+  uint64_t evicted = 0;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(bucket.Insert("key" + std::to_string(i), std::string(100, 'a' + i), &evicted));
+  }
+  std::vector<uint8_t> buf(4096);
+  bucket.Serialize(buf.data());
+  const auto parsed = Bucket::Deserialize(buf.data(), 4096);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->num_entries(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    const BucketEntry* e = parsed->Find("key" + std::to_string(i));
+    ASSERT_NE(e, nullptr) << i;
+    EXPECT_EQ(e->value, std::string(100, 'a' + i));
+  }
+  EXPECT_EQ(parsed->used_bytes(), bucket.used_bytes());
+}
+
+TEST(BucketTest, InsertReplacesSameKey) {
+  Bucket bucket(4096);
+  uint64_t evicted = 0;
+  ASSERT_TRUE(bucket.Insert("k", "old", &evicted));
+  ASSERT_TRUE(bucket.Insert("k", "new", &evicted));
+  EXPECT_EQ(bucket.num_entries(), 1u);
+  EXPECT_EQ(bucket.Find("k")->value, "new");
+  EXPECT_EQ(evicted, 0u);  // Replacement is not an eviction.
+}
+
+TEST(BucketTest, FifoEvictionWhenFull) {
+  Bucket bucket(4096);
+  uint64_t evicted = 0;
+  // ~500-byte entries: 8 fit, the 9th evicts the oldest.
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(bucket.Insert("key" + std::to_string(i), std::string(480, 'x'), &evicted));
+  }
+  EXPECT_GE(evicted, 1u);
+  EXPECT_EQ(bucket.Find("key0"), nullptr);
+  EXPECT_NE(bucket.Find("key8"), nullptr);
+  EXPECT_LE(bucket.used_bytes(), 4096u);
+}
+
+TEST(BucketTest, OversizeEntryRejected) {
+  Bucket bucket(4096);
+  uint64_t evicted = 0;
+  EXPECT_FALSE(bucket.Insert("k", std::string(5000, 'x'), &evicted));
+  // Exactly-fitting entry accepted.
+  const uint64_t max_value = 4096 - Bucket::kHeaderBytes - Bucket::kPerEntryOverhead - 1;
+  EXPECT_TRUE(bucket.Insert("k", std::string(max_value, 'x'), &evicted));
+}
+
+TEST(BucketTest, RemoveFreesSpace) {
+  Bucket bucket(4096);
+  uint64_t evicted = 0;
+  ASSERT_TRUE(bucket.Insert("k", std::string(1000, 'x'), &evicted));
+  const uint64_t used = bucket.used_bytes();
+  EXPECT_TRUE(bucket.Remove("k"));
+  EXPECT_LT(bucket.used_bytes(), used);
+  EXPECT_FALSE(bucket.Remove("k"));
+}
+
+TEST(BucketTest, CorruptedChecksumRejected) {
+  Bucket bucket(4096);
+  uint64_t evicted = 0;
+  ASSERT_TRUE(bucket.Insert("k", "v", &evicted));
+  std::vector<uint8_t> buf(4096);
+  bucket.Serialize(buf.data());
+  buf[Bucket::kHeaderBytes + 2] ^= 0xff;  // Flip a byte inside the payload.
+  EXPECT_FALSE(Bucket::Deserialize(buf.data(), 4096).has_value());
+}
+
+TEST(BucketTest, CorruptedMagicRejected) {
+  std::vector<uint8_t> buf(4096, 0);
+  buf[0] = 0xde;
+  buf[1] = 0xad;
+  EXPECT_FALSE(Bucket::Deserialize(buf.data(), 4096).has_value());
+}
+
+TEST(BucketTest, TruncatedPayloadLengthRejected) {
+  Bucket bucket(4096);
+  uint64_t evicted = 0;
+  ASSERT_TRUE(bucket.Insert("k", "v", &evicted));
+  std::vector<uint8_t> buf(4096);
+  bucket.Serialize(buf.data());
+  // Claim a payload larger than the capacity.
+  const uint32_t bogus = 1 << 30;
+  std::memcpy(buf.data() + 12, &bogus, 4);
+  EXPECT_FALSE(Bucket::Deserialize(buf.data(), 4096).has_value());
+}
+
+TEST(BucketTest, RandomizedRoundTripProperty) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    Bucket bucket(4096);
+    uint64_t evicted = 0;
+    std::vector<std::pair<std::string, std::string>> inserted;
+    for (int i = 0; i < 30; ++i) {
+      std::string key = "key" + std::to_string(rng.NextBelow(40));
+      std::string value(rng.NextInRange(1, 300), static_cast<char>('a' + rng.NextBelow(26)));
+      if (bucket.Insert(key, value, &evicted)) {
+        inserted.emplace_back(std::move(key), std::move(value));
+      }
+    }
+    std::vector<uint8_t> buf(4096);
+    bucket.Serialize(buf.data());
+    const auto parsed = Bucket::Deserialize(buf.data(), 4096);
+    ASSERT_TRUE(parsed.has_value());
+    // Everything still in the bucket must parse back identically.
+    for (const BucketEntry& e : bucket.entries()) {
+      const BucketEntry* p = parsed->Find(e.key);
+      ASSERT_NE(p, nullptr);
+      EXPECT_EQ(p->value, e.value);
+    }
+    EXPECT_EQ(parsed->num_entries(), bucket.num_entries());
+  }
+}
+
+}  // namespace
+}  // namespace fdpcache

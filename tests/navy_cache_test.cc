@@ -1,0 +1,172 @@
+// NavyCache router + admission policy tests.
+#include "src/navy/navy_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/clock.h"
+#include "src/navy/sim_ssd_device.h"
+#include "src/ssd/ssd.h"
+
+namespace fdpcache {
+namespace {
+
+class NavyCacheTest : public ::testing::Test {
+ protected:
+  NavyCacheTest() {
+    SsdConfig ssd_config;
+    ssd_config.geometry.pages_per_block = 16;
+    ssd_config.geometry.planes_per_die = 2;
+    ssd_config.geometry.num_dies = 4;
+    ssd_config.geometry.num_superblocks = 32;
+    ssd_config.op_fraction = 0.15;
+    ssd_ = std::make_unique<SimulatedSsd>(ssd_config);
+    nsid_ = *ssd_->CreateNamespace(ssd_->logical_capacity_bytes());
+    device_ = std::make_unique<SimSsdDevice>(ssd_.get(), nsid_, &clock_);
+    allocator_ = std::make_unique<PlacementHandleAllocator>(*device_);
+  }
+
+  NavyConfig DefaultConfig() {
+    NavyConfig config;
+    config.small_item_max_bytes = 1024;
+    config.soc_fraction = 0.10;
+    config.loc_region_size = 128 * 1024;
+    return config;
+  }
+
+  VirtualClock clock_;
+  std::unique_ptr<SimulatedSsd> ssd_;
+  std::unique_ptr<SimSsdDevice> device_;
+  std::unique_ptr<PlacementHandleAllocator> allocator_;
+  uint32_t nsid_ = 0;
+};
+
+TEST_F(NavyCacheTest, RoutesBySize) {
+  NavyCache navy(device_.get(), DefaultConfig(), allocator_.get());
+  ASSERT_TRUE(navy.Insert("small", std::string(100, 's')));
+  ASSERT_TRUE(navy.Insert("large", std::string(50000, 'l')));
+  EXPECT_EQ(navy.stats().soc.inserts, 1u);
+  EXPECT_EQ(navy.stats().loc.inserts, 1u);
+  EXPECT_EQ(*navy.Lookup("small"), std::string(100, 's'));
+  EXPECT_EQ(*navy.Lookup("large"), std::string(50000, 'l'));
+}
+
+TEST_F(NavyCacheTest, EnginesGetDistinctPlacementHandles) {
+  NavyCache navy(device_.get(), DefaultConfig(), allocator_.get());
+  EXPECT_NE(navy.soc_handle(), kNoPlacement);
+  EXPECT_NE(navy.loc_handle(), kNoPlacement);
+  EXPECT_NE(navy.soc_handle(), navy.loc_handle());
+}
+
+TEST_F(NavyCacheTest, PlacementDisabledUsesDefaultHandles) {
+  NavyConfig config = DefaultConfig();
+  config.use_placement_handles = false;
+  NavyCache navy(device_.get(), config, allocator_.get());
+  EXPECT_EQ(navy.soc_handle(), kNoPlacement);
+  EXPECT_EQ(navy.loc_handle(), kNoPlacement);
+}
+
+TEST_F(NavyCacheTest, SocAndLocLandInDifferentReclaimUnits) {
+  NavyCache navy(device_.get(), DefaultConfig(), allocator_.get());
+  ASSERT_TRUE(navy.Insert("small", std::string(100, 's')));
+  ASSERT_TRUE(navy.Insert("large", std::string(60000, 'l')));
+  navy.mutable_loc().Flush();
+  // Inspect RU owners: SOC writes via handle 1 (RUH 0), LOC via handle 2
+  // (RUH 1); their RUs must be disjoint.
+  const NandGeometry& g = ssd_->config().geometry;
+  bool saw_soc = false;
+  bool saw_loc = false;
+  for (uint32_t ru = 0; ru < g.num_superblocks; ++ru) {
+    const auto& info = ssd_->ftl().ru_info(ru);
+    if (info.state == RuState::kFree || info.owner < 0) {
+      continue;
+    }
+    saw_soc |= info.owner == 0;
+    saw_loc |= info.owner == 1;
+  }
+  EXPECT_TRUE(saw_soc);
+  EXPECT_TRUE(saw_loc);
+}
+
+TEST_F(NavyCacheTest, SizeClassChangeSupersedesOldCopy) {
+  NavyCache navy(device_.get(), DefaultConfig(), allocator_.get());
+  ASSERT_TRUE(navy.Insert("k", std::string(100, 'a')));    // SOC.
+  ASSERT_TRUE(navy.Insert("k", std::string(50000, 'b')));  // LOC.
+  const auto big = navy.Lookup("k");
+  ASSERT_TRUE(big.has_value());
+  EXPECT_EQ(big->size(), 50000u);
+  ASSERT_TRUE(navy.Insert("k", std::string(100, 'c')));    // Back to SOC.
+  const auto small = navy.Lookup("k");
+  ASSERT_TRUE(small.has_value());
+  EXPECT_EQ(small->size(), 100u);
+}
+
+TEST_F(NavyCacheTest, RemoveClearsBothEngines) {
+  NavyCache navy(device_.get(), DefaultConfig(), allocator_.get());
+  ASSERT_TRUE(navy.Insert("s", std::string(100, 'a')));
+  ASSERT_TRUE(navy.Insert("l", std::string(50000, 'b')));
+  EXPECT_TRUE(navy.Remove("s"));
+  EXPECT_TRUE(navy.Remove("l"));
+  EXPECT_FALSE(navy.Lookup("s").has_value());
+  EXPECT_FALSE(navy.Lookup("l").has_value());
+}
+
+TEST_F(NavyCacheTest, LayoutUsesConfiguredFractions) {
+  NavyCache navy(device_.get(), DefaultConfig(), allocator_.get());
+  const uint64_t total = device_->size_bytes();
+  EXPECT_NEAR(static_cast<double>(navy.soc_size_bytes()) / static_cast<double>(total), 0.10,
+              0.02);
+  EXPECT_GT(navy.loc_size_bytes(), 0u);
+  EXPECT_LE(navy.soc_size_bytes() + navy.loc_size_bytes(), total);
+}
+
+TEST_F(NavyCacheTest, AdmissionRejectBlocksInserts) {
+  RejectRandomAdmission never(0.0);
+  NavyCache navy(device_.get(), DefaultConfig(), allocator_.get(), &never);
+  EXPECT_FALSE(navy.Insert("k", "v"));
+  EXPECT_EQ(navy.stats().admission_rejects, 1u);
+  EXPECT_EQ(navy.stats().soc.inserts, 0u);
+}
+
+TEST(AdmissionTest, RejectRandomTracksProbability) {
+  RejectRandomAdmission half(0.5, 7);
+  int admitted = 0;
+  for (int i = 0; i < 10000; ++i) {
+    admitted += half.Accept("k", 100) ? 1 : 0;
+  }
+  EXPECT_NEAR(admitted / 10000.0, 0.5, 0.03);
+}
+
+TEST(AdmissionTest, DynamicRandomThrottlesTowardsTarget) {
+  VirtualClock clock;
+  // Target 1 MB/s; feed it 10 MB/s: probability must fall well below 1.
+  DynamicRandomAdmission dynamic(&clock, 1e6, 3);
+  for (int window = 0; window < 20; ++window) {
+    for (int i = 0; i < 100; ++i) {
+      dynamic.Accept("k", 1000);
+      dynamic.OnBytesWritten(100'000);  // 10 MB per simulated second.
+    }
+    clock.Advance(kSecond);
+    dynamic.Accept("k", 1000);  // Trigger window rotation.
+  }
+  EXPECT_LT(dynamic.admit_probability(), 0.5);
+}
+
+TEST(AdmissionTest, DynamicRandomRecoversWhenIdle) {
+  VirtualClock clock;
+  DynamicRandomAdmission dynamic(&clock, 1e6, 3);
+  // Saturate, then go idle: probability climbs back.
+  for (int i = 0; i < 10; ++i) {
+    dynamic.OnBytesWritten(10'000'000);
+    clock.Advance(kSecond);
+    dynamic.Accept("k", 10);
+  }
+  const double low = dynamic.admit_probability();
+  for (int i = 0; i < 10; ++i) {
+    clock.Advance(kSecond);
+    dynamic.Accept("k", 10);
+  }
+  EXPECT_GT(dynamic.admit_probability(), low);
+}
+
+}  // namespace
+}  // namespace fdpcache

@@ -1,0 +1,167 @@
+// Device layer: placement-handle translation, the allocator, and the
+// file-backed device.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/common/clock.h"
+#include "src/navy/file_device.h"
+#include "src/navy/placement.h"
+#include "src/navy/sim_ssd_device.h"
+#include "src/ssd/ssd.h"
+
+namespace fdpcache {
+namespace {
+
+SsdConfig TestSsd(bool fdp_enabled = true) {
+  SsdConfig config;
+  config.geometry.pages_per_block = 8;
+  config.geometry.planes_per_die = 2;
+  config.geometry.num_dies = 2;
+  config.geometry.num_superblocks = 12;
+  config.op_fraction = 0.25;
+  config.fdp_enabled = fdp_enabled;
+  return config;
+}
+
+TEST(SimSsdDeviceTest, HandleZeroMeansNoDirective) {
+  SimulatedSsd ssd(TestSsd());
+  const uint32_t nsid = *ssd.CreateNamespace(ssd.logical_capacity_bytes());
+  VirtualClock clock;
+  SimSsdDevice device(&ssd, nsid, &clock);
+  std::vector<uint8_t> page(4096, 1);
+  ASSERT_TRUE(device.Write(0, page.data(), 4096, kNoPlacement));
+  const auto ppn = ssd.ftl().ReadPage(0);
+  ASSERT_TRUE(ppn.has_value());
+  EXPECT_EQ(ssd.ftl().ru_info(ssd.config().geometry.SuperblockOfPpn(*ppn)).owner, 0);
+}
+
+TEST(SimSsdDeviceTest, HandleNMapsToRuhNMinus1) {
+  SimulatedSsd ssd(TestSsd());
+  const uint32_t nsid = *ssd.CreateNamespace(ssd.logical_capacity_bytes());
+  VirtualClock clock;
+  SimSsdDevice device(&ssd, nsid, &clock);
+  std::vector<uint8_t> page(4096, 1);
+  ASSERT_TRUE(device.Write(0, page.data(), 4096, 4));  // RUH 3.
+  const auto ppn = ssd.ftl().ReadPage(0);
+  EXPECT_EQ(ssd.ftl().ru_info(ssd.config().geometry.SuperblockOfPpn(*ppn)).owner, 3);
+}
+
+TEST(SimSsdDeviceTest, MisalignedIoRejected) {
+  SimulatedSsd ssd(TestSsd());
+  const uint32_t nsid = *ssd.CreateNamespace(ssd.logical_capacity_bytes());
+  VirtualClock clock;
+  SimSsdDevice device(&ssd, nsid, &clock);
+  std::vector<uint8_t> buf(4096, 0);
+  EXPECT_FALSE(device.Write(100, buf.data(), 4096, kNoPlacement));
+  EXPECT_FALSE(device.Write(0, buf.data(), 1000, kNoPlacement));
+  EXPECT_FALSE(device.Read(0, buf.data(), 1000));
+  EXPECT_EQ(device.stats().io_errors, 3u);
+}
+
+TEST(SimSsdDeviceTest, StatsTrackIoAndLatency) {
+  SimulatedSsd ssd(TestSsd());
+  const uint32_t nsid = *ssd.CreateNamespace(ssd.logical_capacity_bytes());
+  VirtualClock clock;
+  SimSsdDevice device(&ssd, nsid, &clock);
+  std::vector<uint8_t> buf(8192, 3);
+  ASSERT_TRUE(device.Write(0, buf.data(), 8192, kNoPlacement));
+  ASSERT_TRUE(device.Read(0, buf.data(), 8192));
+  EXPECT_EQ(device.stats().writes, 1u);
+  EXPECT_EQ(device.stats().reads, 1u);
+  EXPECT_EQ(device.stats().write_bytes, 8192u);
+  EXPECT_GT(device.stats().write_latency_ns.Max(), 0u);
+  EXPECT_GT(device.stats().read_latency_ns.Max(), 0u);
+}
+
+TEST(SimSsdDeviceTest, QueryFdpReflectsDeviceState) {
+  SimulatedSsd fdp_ssd(TestSsd(true));
+  fdp_ssd.CreateNamespace(fdp_ssd.logical_capacity_bytes());
+  VirtualClock clock;
+  SimSsdDevice fdp_dev(&fdp_ssd, 1, &clock);
+  EXPECT_EQ(fdp_dev.NumPlacementHandles(), 8u);
+
+  SimulatedSsd conv_ssd(TestSsd(false));
+  conv_ssd.CreateNamespace(conv_ssd.logical_capacity_bytes());
+  SimSsdDevice conv_dev(&conv_ssd, 1, &clock);
+  EXPECT_EQ(conv_dev.NumPlacementHandles(), 0u);
+}
+
+TEST(PlacementAllocatorTest, AllocatesDistinctHandles) {
+  PlacementHandleAllocator alloc(8);
+  EXPECT_EQ(alloc.Allocate(), 1u);
+  EXPECT_EQ(alloc.Allocate(), 2u);
+  EXPECT_EQ(alloc.Allocate(), 3u);
+  EXPECT_EQ(alloc.capacity(), 8u);
+}
+
+TEST(PlacementAllocatorTest, NoFdpMeansDefaultHandle) {
+  PlacementHandleAllocator alloc(0u);
+  EXPECT_EQ(alloc.Allocate(), kNoPlacement);
+  EXPECT_EQ(alloc.Allocate(), kNoPlacement);
+}
+
+TEST(PlacementAllocatorTest, WrapsWhenConsumersExceedRuhs) {
+  PlacementHandleAllocator alloc(2u);
+  EXPECT_EQ(alloc.Allocate(), 1u);
+  EXPECT_EQ(alloc.Allocate(), 2u);
+  EXPECT_EQ(alloc.Allocate(), 1u);  // Shared, not failed.
+}
+
+TEST(PlacementAllocatorTest, DiscoversFromDevice) {
+  SimulatedSsd ssd(TestSsd(true));
+  ssd.CreateNamespace(ssd.logical_capacity_bytes());
+  VirtualClock clock;
+  SimSsdDevice device(&ssd, 1, &clock);
+  PlacementHandleAllocator alloc(device);
+  EXPECT_EQ(alloc.capacity(), 8u);
+}
+
+TEST(FileDeviceTest, ReadWriteRoundTrip) {
+  const std::string path = testing::TempDir() + "/fdp_file_device_test.bin";
+  FileDevice device(path, 1 * 1024 * 1024);
+  ASSERT_TRUE(device.ok());
+  std::vector<uint8_t> data(8192);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 7);
+  }
+  ASSERT_TRUE(device.Write(4096, data.data(), 8192, kNoPlacement));
+  std::vector<uint8_t> out(8192, 0);
+  ASSERT_TRUE(device.Read(4096, out.data(), 8192));
+  EXPECT_EQ(out, data);
+  std::remove(path.c_str());
+}
+
+TEST(FileDeviceTest, OutOfBoundsRejected) {
+  const std::string path = testing::TempDir() + "/fdp_file_device_oob.bin";
+  FileDevice device(path, 64 * 1024);
+  ASSERT_TRUE(device.ok());
+  std::vector<uint8_t> buf(4096, 0);
+  EXPECT_FALSE(device.Write(64 * 1024, buf.data(), 4096, kNoPlacement));
+  EXPECT_FALSE(device.Read(64 * 1024, buf.data(), 4096));
+  std::remove(path.c_str());
+}
+
+TEST(FileDeviceTest, TrimZeroesRange) {
+  const std::string path = testing::TempDir() + "/fdp_file_device_trim.bin";
+  FileDevice device(path, 64 * 1024);
+  ASSERT_TRUE(device.ok());
+  std::vector<uint8_t> data(4096, 0xcc);
+  ASSERT_TRUE(device.Write(0, data.data(), 4096, kNoPlacement));
+  ASSERT_TRUE(device.Trim(0, 4096));
+  std::vector<uint8_t> out(4096, 1);
+  ASSERT_TRUE(device.Read(0, out.data(), 4096));
+  EXPECT_EQ(out, std::vector<uint8_t>(4096, 0));
+  std::remove(path.c_str());
+}
+
+TEST(FileDeviceTest, HasNoPlacementSupport) {
+  const std::string path = testing::TempDir() + "/fdp_file_device_fdp.bin";
+  FileDevice device(path, 64 * 1024);
+  EXPECT_EQ(device.NumPlacementHandles(), 0u);
+  EXPECT_FALSE(device.QueryFdp().fdp_supported);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fdpcache

@@ -1,0 +1,214 @@
+// Warm-restart tests: the flash tier persists across cache instances over
+// the same device — LOC index serialization, SOC bloom recovery, and the
+// hybrid facade's recover path. Plus static wear leveling behaviour.
+#include <gtest/gtest.h>
+
+#include "src/cache/hybrid_cache.h"
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+#include "src/navy/sim_ssd_device.h"
+#include "src/ssd/ssd.h"
+
+namespace fdpcache {
+namespace {
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  RecoveryTest() {
+    SsdConfig config;
+    config.geometry.pages_per_block = 16;
+    config.geometry.planes_per_die = 2;
+    config.geometry.num_dies = 4;
+    config.geometry.num_superblocks = 32;
+    config.op_fraction = 0.15;
+    ssd_ = std::make_unique<SimulatedSsd>(config);
+    nsid_ = *ssd_->CreateNamespace(ssd_->logical_capacity_bytes());
+    device_ = std::make_unique<SimSsdDevice>(ssd_.get(), nsid_, &clock_);
+  }
+
+  HybridCacheConfig CacheConfig() {
+    HybridCacheConfig config;
+    config.ram_bytes = 32 * 1024;
+    config.navy.soc_fraction = 0.10;
+    config.navy.loc_region_size = 128 * 1024;
+    return config;
+  }
+
+  VirtualClock clock_;
+  std::unique_ptr<SimulatedSsd> ssd_;
+  std::unique_ptr<SimSsdDevice> device_;
+  uint32_t nsid_ = 0;
+};
+
+TEST_F(RecoveryTest, LocStateRoundTripPreservesItems) {
+  LocConfig config;
+  config.size_bytes = 8 * 128 * 1024;
+  config.region_size = 128 * 1024;
+  std::string state;
+  {
+    LargeObjectCache loc(device_.get(), config);
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(loc.Insert("key" + std::to_string(i), std::string(20000, 'a' + i % 26)));
+    }
+    ASSERT_TRUE(loc.SerializeState(&state));
+  }
+  LargeObjectCache recovered(device_.get(), config);
+  ASSERT_TRUE(recovered.RestoreState(state));
+  int hits = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto value = recovered.Lookup("key" + std::to_string(i));
+    if (value.has_value()) {
+      ++hits;
+      EXPECT_EQ(*value, std::string(20000, 'a' + i % 26)) << i;
+    }
+  }
+  EXPECT_GT(hits, 10);  // Some early items may have been region-evicted.
+}
+
+TEST_F(RecoveryTest, LocRestoreContinuesAcceptingInserts) {
+  LocConfig config;
+  config.size_bytes = 6 * 128 * 1024;
+  config.region_size = 128 * 1024;
+  std::string state;
+  {
+    LargeObjectCache loc(device_.get(), config);
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(loc.Insert("old" + std::to_string(i), std::string(30000, 'o')));
+    }
+    ASSERT_TRUE(loc.SerializeState(&state));
+  }
+  LargeObjectCache recovered(device_.get(), config);
+  ASSERT_TRUE(recovered.RestoreState(state));
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(recovered.Insert("new" + std::to_string(i), std::string(30000, 'n')));
+  }
+  EXPECT_TRUE(recovered.Lookup("new29").has_value());
+}
+
+TEST_F(RecoveryTest, LocRestoreRejectsMismatchedState) {
+  LocConfig config;
+  config.size_bytes = 8 * 128 * 1024;
+  config.region_size = 128 * 1024;
+  LargeObjectCache loc(device_.get(), config);
+  ASSERT_TRUE(loc.Insert("k", std::string(5000, 'x')));
+  std::string state;
+  ASSERT_TRUE(loc.SerializeState(&state));
+
+  // Different geometry: refuse.
+  LocConfig other = config;
+  other.size_bytes = 4 * 128 * 1024;
+  LargeObjectCache smaller(device_.get(), other);
+  EXPECT_FALSE(smaller.RestoreState(state));
+
+  // Truncated blob: refuse.
+  LargeObjectCache same(device_.get(), config);
+  EXPECT_FALSE(same.RestoreState(state.substr(0, state.size() / 2)));
+  EXPECT_FALSE(same.RestoreState("garbage"));
+}
+
+TEST_F(RecoveryTest, SocBloomRecoveryRestoresFastNegativesAndHits) {
+  SocConfig config;
+  config.size_bytes = 64 * 4096;
+  std::string unused;
+  {
+    SmallObjectCache soc(device_.get(), config);
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(soc.Insert("key" + std::to_string(i), "value" + std::to_string(i)));
+    }
+  }
+  SmallObjectCache recovered(device_.get(), config);
+  // Before recovery the empty blooms hide everything: lookups miss.
+  EXPECT_FALSE(recovered.Lookup("key5").has_value());
+  const uint64_t populated = recovered.RecoverBloomFilters();
+  EXPECT_GT(populated, 0u);
+  int hits = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto value = recovered.Lookup("key" + std::to_string(i));
+    if (value.has_value()) {
+      ++hits;
+      EXPECT_EQ(*value, "value" + std::to_string(i));
+    }
+  }
+  EXPECT_GT(hits, 60);  // Minus intra-bucket FIFO evictions.
+  // Negative lookups are once again served from the blooms without I/O.
+  const uint64_t reads_before = device_->stats().reads;
+  EXPECT_FALSE(recovered.Lookup("never-inserted-key").has_value());
+  EXPECT_EQ(device_->stats().reads, reads_before);
+}
+
+TEST_F(RecoveryTest, HybridCacheWarmRestart) {
+  std::string state;
+  {
+    HybridCache cache(device_.get(), CacheConfig());
+    for (int i = 0; i < 2000; ++i) {
+      cache.Set("small" + std::to_string(i), std::string(300, 's'));
+    }
+    for (int i = 0; i < 20; ++i) {
+      cache.Set("large" + std::to_string(i), std::string(30000, 'L'));
+    }
+    ASSERT_TRUE(cache.PersistFlashState(&state));
+  }
+  HybridCache restarted(device_.get(), CacheConfig());
+  ASSERT_TRUE(restarted.RecoverFlashState(state));
+  std::string value;
+  int small_hits = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (restarted.Get("small" + std::to_string(i), &value)) {
+      ++small_hits;
+      ASSERT_EQ(value, std::string(300, 's'));
+    }
+  }
+  int large_hits = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (restarted.Get("large" + std::to_string(i), &value)) {
+      ++large_hits;
+      ASSERT_EQ(value, std::string(30000, 'L'));
+    }
+  }
+  EXPECT_GT(small_hits, 500);
+  EXPECT_GT(large_hits, 5);
+}
+
+TEST_F(RecoveryTest, StaticWearLevelingBoundsEraseSpread) {
+  // A workload that parks cold data: fill a cold range once, then hammer a
+  // hot range. Without wear leveling the cold RUs never cycle.
+  auto run = [](bool wear_leveling) {
+    SsdConfig config;
+    config.geometry.pages_per_block = 8;
+    config.geometry.planes_per_die = 2;
+    config.geometry.num_dies = 2;
+    config.geometry.num_superblocks = 16;
+    config.op_fraction = 0.25;
+    config.static_wear_leveling = wear_leveling;
+    config.wear_delta_threshold = 20;
+    SimulatedSsd ssd(config);
+    ssd.CreateNamespace(ssd.logical_capacity_bytes());
+    const uint64_t pages = ssd.logical_capacity_bytes() / 4096;
+    const uint64_t cold = pages / 2;
+    for (uint64_t i = 0; i < cold; ++i) {
+      ssd.Write(1, i, 1, nullptr, DirectiveType::kNone, 0, 0);
+    }
+    Rng rng(3);
+    for (uint64_t i = 0; i < pages * 60; ++i) {
+      ssd.Write(1, cold + rng.NextBelow(pages - cold), 1, nullptr, DirectiveType::kNone, 0, 0);
+    }
+    const auto& media = ssd.ftl().media();
+    uint32_t min_erase = ~0u;
+    for (uint32_t ru = 0; ru < config.geometry.num_superblocks; ++ru) {
+      min_erase = std::min(min_erase,
+                           media.block_erase_count(config.geometry.GlobalBlockId(ru, 0)));
+    }
+    return std::pair<uint32_t, uint64_t>(media.max_erase_count() - min_erase,
+                                         ssd.ftl().counters().wear_level_moves);
+  };
+  const auto [spread_off, moves_off] = run(false);
+  const auto [spread_on, moves_on] = run(true);
+  EXPECT_EQ(moves_off, 0u);
+  EXPECT_GT(moves_on, 0u);
+  EXPECT_LT(spread_on, spread_off);
+  // The configured threshold bounds the spread (plus one in-flight cycle).
+  EXPECT_LE(spread_on, 20u + 8u);
+}
+
+}  // namespace
+}  // namespace fdpcache

@@ -1,0 +1,219 @@
+#include "src/ssd/ssd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace fdpcache {
+namespace {
+
+SsdConfig SmallSsd() {
+  SsdConfig config;
+  config.geometry.pages_per_block = 8;
+  config.geometry.planes_per_die = 2;
+  config.geometry.num_dies = 2;
+  config.geometry.num_superblocks = 12;
+  config.fdp = FdpConfig::Uniform(2, RuhType::kInitiallyIsolated);
+  config.op_fraction = 0.25;
+  return config;
+}
+
+std::vector<uint8_t> Pattern(uint64_t tag, size_t size) {
+  std::vector<uint8_t> out(size);
+  Rng rng(tag);
+  for (auto& b : out) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return out;
+}
+
+TEST(SsdDeviceTest, NamespaceCreationCarvesCapacity) {
+  SimulatedSsd ssd(SmallSsd());
+  const uint64_t logical = ssd.logical_capacity_bytes();
+  const auto ns1 = ssd.CreateNamespace(logical / 2);
+  ASSERT_TRUE(ns1.has_value());
+  EXPECT_EQ(*ns1, 1u);
+  const auto ns2 = ssd.CreateNamespace(logical / 2);
+  ASSERT_TRUE(ns2.has_value());
+  EXPECT_EQ(*ns2, 2u);
+  EXPECT_FALSE(ssd.CreateNamespace(4096).has_value());
+  EXPECT_EQ(ssd.UnallocatedBytes(), 0u);
+}
+
+TEST(SsdDeviceTest, WriteReadRoundTrip) {
+  SimulatedSsd ssd(SmallSsd());
+  ASSERT_TRUE(ssd.CreateNamespace(ssd.logical_capacity_bytes()).has_value());
+  const auto data = Pattern(1, 4096);
+  const auto wc = ssd.Write(1, 7, 1, data.data(), DirectiveType::kNone, 0, 0);
+  ASSERT_TRUE(wc.ok()) << ToString(wc.status);
+  std::vector<uint8_t> out(4096);
+  const auto rc = ssd.Read(1, 7, 1, out.data(), wc.completed_at);
+  ASSERT_TRUE(rc.ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(SsdDeviceTest, MultiPageWriteReadRoundTrip) {
+  SimulatedSsd ssd(SmallSsd());
+  ASSERT_TRUE(ssd.CreateNamespace(ssd.logical_capacity_bytes()).has_value());
+  const auto data = Pattern(2, 4 * 4096);
+  ASSERT_TRUE(ssd.Write(1, 10, 4, data.data(), DirectiveType::kNone, 0, 0).ok());
+  std::vector<uint8_t> out(4 * 4096);
+  ASSERT_TRUE(ssd.Read(1, 10, 4, out.data(), 0).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(SsdDeviceTest, NamespacesAreDisjoint) {
+  SimulatedSsd ssd(SmallSsd());
+  const uint64_t half = ssd.logical_capacity_bytes() / 2;
+  ASSERT_TRUE(ssd.CreateNamespace(half).has_value());
+  ASSERT_TRUE(ssd.CreateNamespace(half).has_value());
+  const auto a = Pattern(10, 4096);
+  const auto b = Pattern(20, 4096);
+  ASSERT_TRUE(ssd.Write(1, 0, 1, a.data(), DirectiveType::kNone, 0, 0).ok());
+  ASSERT_TRUE(ssd.Write(2, 0, 1, b.data(), DirectiveType::kNone, 0, 0).ok());
+  std::vector<uint8_t> out(4096);
+  ASSERT_TRUE(ssd.Read(1, 0, 1, out.data(), 0).ok());
+  EXPECT_EQ(out, a);
+  ASSERT_TRUE(ssd.Read(2, 0, 1, out.data(), 0).ok());
+  EXPECT_EQ(out, b);
+}
+
+TEST(SsdDeviceTest, InvalidNamespaceAndRangeRejected) {
+  SimulatedSsd ssd(SmallSsd());
+  ASSERT_TRUE(ssd.CreateNamespace(16 * 4096).has_value());
+  EXPECT_EQ(ssd.Write(0, 0, 1, nullptr, DirectiveType::kNone, 0, 0).status,
+            NvmeStatus::kInvalidNamespace);
+  EXPECT_EQ(ssd.Write(3, 0, 1, nullptr, DirectiveType::kNone, 0, 0).status,
+            NvmeStatus::kInvalidNamespace);
+  EXPECT_EQ(ssd.Write(1, 16, 1, nullptr, DirectiveType::kNone, 0, 0).status,
+            NvmeStatus::kLbaOutOfRange);
+  EXPECT_EQ(ssd.Read(1, 13, 4, nullptr, 0).status, NvmeStatus::kLbaOutOfRange);
+}
+
+TEST(SsdDeviceTest, DeallocatedPagesReadAsZeroes) {
+  SimulatedSsd ssd(SmallSsd());
+  ASSERT_TRUE(ssd.CreateNamespace(ssd.logical_capacity_bytes()).has_value());
+  const auto data = Pattern(3, 4096);
+  ASSERT_TRUE(ssd.Write(1, 5, 1, data.data(), DirectiveType::kNone, 0, 0).ok());
+  ASSERT_TRUE(ssd.Deallocate(1, 5, 1, 0).ok());
+  std::vector<uint8_t> out(4096, 0xab);
+  ASSERT_TRUE(ssd.Read(1, 5, 1, out.data(), 0).ok());
+  EXPECT_EQ(out, std::vector<uint8_t>(4096, 0));
+}
+
+TEST(SsdDeviceTest, IdentifyReportsFdpCapabilities) {
+  SimulatedSsd ssd(SmallSsd());
+  const FdpCapabilities caps = ssd.IdentifyFdp();
+  EXPECT_TRUE(caps.fdp_supported);
+  EXPECT_TRUE(caps.fdp_enabled);
+  EXPECT_EQ(caps.num_ruhs, 2u);
+  EXPECT_EQ(caps.num_reclaim_groups, 1u);
+  EXPECT_EQ(caps.ru_size_bytes, SmallSsd().geometry.SuperblockBytes());
+}
+
+TEST(SsdDeviceTest, FdpToggleRequiresEmptyDevice) {
+  SimulatedSsd ssd(SmallSsd());
+  ASSERT_TRUE(ssd.CreateNamespace(ssd.logical_capacity_bytes()).has_value());
+  EXPECT_TRUE(ssd.SetFdpEnabled(false));
+  const auto data = Pattern(4, 4096);
+  ASSERT_TRUE(ssd.Write(1, 0, 1, data.data(), DirectiveType::kNone, 0, 0).ok());
+  EXPECT_FALSE(ssd.SetFdpEnabled(true));
+  ssd.TrimAll(/*reset_stats=*/true);
+  EXPECT_TRUE(ssd.SetFdpEnabled(true));
+}
+
+TEST(SsdDeviceTest, StatisticsLogTracksDlwa) {
+  SimulatedSsd ssd(SmallSsd());
+  ASSERT_TRUE(ssd.CreateNamespace(ssd.logical_capacity_bytes()).has_value());
+  const auto data = Pattern(5, 4096);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ssd.Write(1, i, 1, data.data(), DirectiveType::kNone, 0, 0).ok());
+  }
+  const FdpStatistics stats = ssd.GetFdpStatisticsLog();
+  EXPECT_EQ(stats.host_bytes_written, 10u * 4096u);
+  EXPECT_DOUBLE_EQ(stats.Dlwa(), 1.0);
+}
+
+TEST(SsdDeviceTest, TelemetryAggregatesCounters) {
+  SimulatedSsd ssd(SmallSsd());
+  ASSERT_TRUE(ssd.CreateNamespace(ssd.logical_capacity_bytes()).has_value());
+  const auto data = Pattern(6, 4096);
+  ASSERT_TRUE(ssd.Write(1, 0, 1, data.data(), DirectiveType::kNone, 0, 0).ok());
+  ASSERT_TRUE(ssd.Read(1, 0, 1, nullptr, 0).ok());
+  const SsdTelemetry t = ssd.Telemetry(kSecond);
+  EXPECT_EQ(t.nand.page_programs, 1u);
+  EXPECT_EQ(t.nand.page_reads, 1u);
+  EXPECT_GT(t.op_energy_uj, 0.0);
+  EXPECT_GT(t.total_energy_uj, t.op_energy_uj);  // Idle power over 1 second.
+}
+
+TEST(SsdDeviceTest, WriteWithPlacementDirectiveSegregates) {
+  SimulatedSsd ssd(SmallSsd());
+  ASSERT_TRUE(ssd.CreateNamespace(ssd.logical_capacity_bytes()).has_value());
+  const auto data = Pattern(7, 4096);
+  ASSERT_TRUE(ssd.Write(1, 0, 1, data.data(), DirectiveType::kDataPlacement,
+                        EncodeDspec({0, 0}), 0)
+                  .ok());
+  ASSERT_TRUE(ssd.Write(1, 1, 1, data.data(), DirectiveType::kDataPlacement,
+                        EncodeDspec({0, 1}), 0)
+                  .ok());
+  const auto ppn0 = ssd.ftl().ReadPage(0);
+  const auto ppn1 = ssd.ftl().ReadPage(1);
+  ASSERT_TRUE(ppn0.has_value());
+  ASSERT_TRUE(ppn1.has_value());
+  EXPECT_NE(ssd.config().geometry.SuperblockOfPpn(*ppn0),
+            ssd.config().geometry.SuperblockOfPpn(*ppn1));
+}
+
+TEST(SsdDeviceTest, InvalidPlacementIdFailsWrite) {
+  SimulatedSsd ssd(SmallSsd());
+  ASSERT_TRUE(ssd.CreateNamespace(ssd.logical_capacity_bytes()).has_value());
+  const auto data = Pattern(8, 4096);
+  EXPECT_EQ(ssd.Write(1, 0, 1, data.data(), DirectiveType::kDataPlacement,
+                      EncodeDspec({0, 9}), 0)
+                .status,
+            NvmeStatus::kInvalidField);
+}
+
+TEST(SsdDeviceTest, TrimAllEmptiesDevice) {
+  SimulatedSsd ssd(SmallSsd());
+  ASSERT_TRUE(ssd.CreateNamespace(ssd.logical_capacity_bytes()).has_value());
+  const auto data = Pattern(9, 4096);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(ssd.Write(1, i, 1, data.data(), DirectiveType::kNone, 0, 0).ok());
+  }
+  ssd.TrimAll(/*reset_stats=*/true);
+  EXPECT_EQ(ssd.ftl().mapped_pages(), 0u);
+  EXPECT_EQ(ssd.GetFdpStatisticsLog().host_bytes_written, 0u);
+}
+
+TEST(SsdDeviceTest, DataSurvivesGarbageCollection) {
+  SimulatedSsd ssd(SmallSsd());
+  ASSERT_TRUE(ssd.CreateNamespace(ssd.logical_capacity_bytes()).has_value());
+  const uint64_t pages = ssd.logical_capacity_bytes() / 4096;
+  Rng rng(77);
+  std::vector<uint64_t> tags(pages, 0);
+  uint64_t tag = 0;
+  // Churn enough to force plenty of GC, then audit every page's content.
+  for (uint64_t i = 0; i < pages * 12; ++i) {
+    const uint64_t lba = rng.NextBelow(pages);
+    const auto data = Pattern(++tag, 4096);
+    ASSERT_TRUE(ssd.Write(1, lba, 1, data.data(), DirectiveType::kNone, 0, 0).ok());
+    tags[lba] = tag;
+  }
+  ASSERT_GT(ssd.Telemetry(0).gc_relocated_pages, 0u);
+  std::vector<uint8_t> out(4096);
+  for (uint64_t lba = 0; lba < pages; ++lba) {
+    if (tags[lba] == 0) {
+      continue;
+    }
+    ASSERT_TRUE(ssd.Read(1, lba, 1, out.data(), 0).ok());
+    EXPECT_EQ(out, Pattern(tags[lba], 4096)) << "lba " << lba;
+  }
+}
+
+}  // namespace
+}  // namespace fdpcache

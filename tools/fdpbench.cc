@@ -1,0 +1,109 @@
+// fdpbench: the CacheBench-analogue driver for this repository. Runs a
+// configurable deployment (workload x utilization x FDP on/off x tenants)
+// and prints the full metrics report, optionally as CSV for scripting.
+//
+// Examples:
+//   fdpbench --workload=kvcache --utilization=1.0 --fdp=false
+//   fdpbench --workload=twitter --tenants=2 --ops=500000 --csv
+//   fdpbench --workload=wokv --soc=0.16 --op=0.07 --superblocks=512
+#include <cstdio>
+#include <string>
+
+#include "src/harness/experiment.h"
+#include "src/harness/report.h"
+#include "tools/flags.h"
+
+namespace fdpcache {
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "fdpbench — FDP flash-cache experiment driver\n"
+      "  --workload=kvcache|twitter|wokv   trace preset (default kvcache)\n"
+      "  --utilization=0.5..1.0            cache share of the device (default 1.0)\n"
+      "  --fdp=true|false                  FDP segregation on/off (default true)\n"
+      "  --ruh=ii|pi                       RUH isolation type (default ii)\n"
+      "  --soc=0.04                        SOC fraction of the cache\n"
+      "  --op=0.10                         device overprovisioning fraction\n"
+      "  --ram=bytes                       DRAM cache size (default 4.5%% of flash)\n"
+      "  --tenants=1                       number of cache instances sharing the SSD\n"
+      "  --superblocks=256                 device size in 2 MiB reclaim units\n"
+      "  --ops=400000                      measured operations\n"
+      "  --seed=42                         workload seed\n"
+      "  --verify                          verify every hit's payload\n"
+      "  --wear-leveling                   enable static wear leveling\n"
+      "  --csv                             emit one CSV row instead of text\n");
+}
+
+int Run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.Has("help")) {
+    PrintUsage();
+    return 0;
+  }
+  ExperimentConfig config;
+  const std::string workload = flags.GetString("workload", "kvcache");
+  if (workload == "kvcache") {
+    config.workload = KvWorkloadConfig::MetaKvCache();
+  } else if (workload == "twitter") {
+    config.workload = KvWorkloadConfig::TwitterCluster12();
+  } else if (workload == "wokv") {
+    config.workload = KvWorkloadConfig::WriteOnlyKvCache();
+  } else {
+    std::fprintf(stderr, "unknown --workload=%s\n", workload.c_str());
+    return 2;
+  }
+  config.utilization = flags.GetDouble("utilization", 1.0);
+  config.fdp = flags.GetBool("fdp", true);
+  config.ruh_type = flags.GetString("ruh", "ii") == "pi" ? RuhType::kPersistentlyIsolated
+                                                         : RuhType::kInitiallyIsolated;
+  config.soc_fraction = flags.GetDouble("soc", 0.04);
+  config.device_op_fraction = flags.GetDouble("op", 0.10);
+  config.ram_bytes = static_cast<uint64_t>(flags.GetInt("ram", 0));
+  config.num_tenants = static_cast<uint32_t>(flags.GetInt("tenants", 1));
+  config.num_superblocks = static_cast<uint32_t>(flags.GetInt("superblocks", 256));
+  config.total_ops = static_cast<uint64_t>(flags.GetInt("ops", 400'000));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  config.verify_values = flags.GetBool("verify", false);
+  config.workload.seed = config.seed;
+  config.static_wear_leveling = flags.GetBool("wear-leveling", false);
+
+  ExperimentRunner runner(config);
+  const MetricsReport r = runner.Run();
+
+  if (flags.GetBool("csv", false)) {
+    std::printf("workload,utilization,fdp,tenants,dlwa,alwa,hit,nvm_hit,kops,"
+                "p99_read_us,p99_write_us,gc_events,gc_pages,energy_j,verify_failures\n");
+    std::printf("%s,%.2f,%d,%u,%.4f,%.3f,%.4f,%.4f,%.2f,%.1f,%.1f,%llu,%llu,%.2f,%llu\n",
+                workload.c_str(), config.utilization, config.fdp ? 1 : 0, config.num_tenants,
+                r.final_dlwa, r.alwa, r.hit_ratio, r.nvm_hit_ratio, r.throughput_kops,
+                r.p99_read_ns / 1e3, r.p99_write_ns / 1e3,
+                static_cast<unsigned long long>(r.gc_events),
+                static_cast<unsigned long long>(r.gc_relocated_pages),
+                r.total_energy_uj / 1e6, static_cast<unsigned long long>(r.verify_failures));
+    return 0;
+  }
+
+  std::printf("deployment: %s, util=%.0f%%, %s, %u tenant(s), soc=%.0f%%, device=%s\n",
+              workload.c_str(), config.utilization * 100,
+              config.fdp ? "FDP" : "non-FDP", config.num_tenants,
+              config.soc_fraction * 100, FormatBytes(r.device_physical_bytes).c_str());
+  std::printf("cache: flash=%s ram=%s\n", FormatBytes(r.cache_bytes).c_str(),
+              FormatBytes(r.ram_bytes).c_str());
+  std::printf("%s\n", SummarizeReport("result", r).c_str());
+  std::printf("interval DLWA:\n%s", FormatDlwaSeries("  ", r.interval_dlwa).c_str());
+  std::printf("device: gc_events=%llu relocated_pages=%llu clean_erases=%llu energy=%.1f J\n",
+              static_cast<unsigned long long>(r.gc_events),
+              static_cast<unsigned long long>(r.gc_relocated_pages),
+              static_cast<unsigned long long>(r.clean_ru_erases), r.total_energy_uj / 1e6);
+  if (config.verify_values) {
+    std::printf("verification: %llu failures\n",
+                static_cast<unsigned long long>(r.verify_failures));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fdpcache
+
+int main(int argc, char** argv) { return fdpcache::Run(argc, argv); }

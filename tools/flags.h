@@ -1,0 +1,61 @@
+// Minimal --key=value flag parsing for the command-line tools.
+#ifndef TOOLS_FLAGS_H_
+#define TOOLS_FLAGS_H_
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fdpcache {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::string(arg));
+        continue;
+      }
+      arg.remove_prefix(2);
+      const size_t eq = arg.find('=');
+      if (eq == std::string_view::npos) {
+        values_[std::string(arg)] = "true";
+      } else {
+        values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      }
+    }
+  }
+
+  std::string GetString(const std::string& name, const std::string& def) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+  }
+  double GetDouble(const std::string& name, double def) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? def : std::atof(it->second.c_str());
+  }
+  long long GetInt(const std::string& name, long long def) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? def : std::atoll(it->second.c_str());
+  }
+  bool GetBool(const std::string& name, bool def) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) {
+      return def;
+    }
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+  }
+  bool Has(const std::string& name) const { return values_.contains(name); }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fdpcache
+
+#endif  // TOOLS_FLAGS_H_
