@@ -41,7 +41,7 @@ bool HybridCache::Get(std::string_view key, std::string* value) {
   }
   ++stats_.nvm_lookups;
   const std::string key_str(key);
-  if (!nvm_stale_.contains(key_str)) {
+  if (nvm_stale_.count(key_str) == 0) {
     auto flash_value = navy_->Lookup(key);
     if (flash_value.has_value()) {
       ++stats_.nvm_hits;

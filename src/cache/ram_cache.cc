@@ -52,14 +52,18 @@ bool RamCache::Remove(std::string_view key) {
 }
 
 void RamCache::EvictOne() {
-  const Item& victim = lru_.back();
+  // Unlink the victim and restore all invariants *before* invoking the spill
+  // callback: the callback runs under the owner's lock (e.g. a ShardedCache
+  // shard mutex) and may observe or reenter this cache, so it must never see
+  // a half-evicted item.
+  Item victim = std::move(lru_.back());
+  map_.erase(victim.key);
+  lru_.pop_back();
   used_ -= ItemBytes(victim.key, victim.value);
   ++stats_.evictions;
   if (on_evict_) {
     on_evict_(victim.key, victim.value);
   }
-  map_.erase(victim.key);
-  lru_.pop_back();
 }
 
 }  // namespace fdpcache

@@ -25,6 +25,10 @@ struct RamCacheStats {
 
 class RamCache {
  public:
+  // Invoked once per evicted item, after the victim has been fully unlinked
+  // and the cache's invariants restored — so it is safe to call while the
+  // owner holds an external lock (ShardedCache's shard mutex) and safe for
+  // the callback to reenter this cache.
   using EvictionCallback =
       std::function<void(const std::string& key, const std::string& value)>;
 
@@ -43,7 +47,7 @@ class RamCache {
   // Returns true and fills `value` on hit; promotes the item to MRU.
   bool Get(std::string_view key, std::string* value);
 
-  bool Contains(std::string_view key) const { return map_.contains(std::string(key)); }
+  bool Contains(std::string_view key) const { return map_.count(std::string(key)) > 0; }
   bool Remove(std::string_view key);
 
   uint64_t used_bytes() const { return used_; }

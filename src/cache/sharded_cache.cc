@@ -1,0 +1,109 @@
+#include "src/cache/sharded_cache.h"
+
+#include "src/common/hash.h"
+
+namespace fdpcache {
+namespace {
+
+// Mixed into the key hash before shard selection so that shard routing and
+// SOC bucket placement (both derived from HashString) stay independent.
+constexpr uint64_t kShardSeed = 0x5ca1ab1e0ddba11ull;
+
+}  // namespace
+
+double ShardedCacheStats::ShardImbalance() const {
+  uint64_t total = 0;
+  uint64_t max_ops = 0;
+  for (const uint64_t ops : shard_ops) {
+    total += ops;
+    max_ops = max_ops < ops ? ops : max_ops;
+  }
+  if (total == 0 || shard_ops.empty()) {
+    return 1.0;
+  }
+  const double mean = static_cast<double>(total) / static_cast<double>(shard_ops.size());
+  return static_cast<double>(max_ops) / mean;
+}
+
+ShardedCache::ShardedCache(uint32_t num_shards, const ShardFactory& factory) {
+  // A zero shard count is a config error; clamp rather than divide by zero in
+  // ShardIndexFor (mirrors ConcurrentReplayDriver's num_threads handling).
+  num_shards = num_shards == 0 ? 1 : num_shards;
+  shards_.reserve(num_shards);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->cache = factory(i);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+uint32_t ShardedCache::ShardIndexFor(std::string_view key, uint32_t num_shards) {
+  return static_cast<uint32_t>(Mix64(HashString(key) ^ kShardSeed) % num_shards);
+}
+
+void ShardedCache::PublishStats(Shard& shard) {
+  const HybridCacheStats& s = shard.cache->stats();
+  shard.m_gets.store(s.gets, std::memory_order_relaxed);
+  shard.m_sets.store(s.sets, std::memory_order_relaxed);
+  shard.m_removes.store(shard.removes, std::memory_order_relaxed);
+  shard.m_ram_hits.store(s.ram_hits, std::memory_order_relaxed);
+  shard.m_nvm_lookups.store(s.nvm_lookups, std::memory_order_relaxed);
+  shard.m_nvm_hits.store(s.nvm_hits, std::memory_order_relaxed);
+  shard.m_misses.store(s.misses, std::memory_order_relaxed);
+}
+
+void ShardedCache::Set(std::string_view key, std::string_view value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // Any DRAM eviction this triggers spills to flash from inside the call,
+  // still under this shard's lock — safe, because the spill path only touches
+  // this shard's own tiers (see RamCache::EvictOne).
+  shard.cache->Set(key, value);
+  PublishStats(shard);
+}
+
+bool ShardedCache::Get(std::string_view key, std::string* value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const bool hit = shard.cache->Get(key, value);
+  PublishStats(shard);
+  return hit;
+}
+
+void ShardedCache::Remove(std::string_view key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.cache->Remove(key);
+  ++shard.removes;
+  PublishStats(shard);
+}
+
+ShardedCacheStats ShardedCache::Stats() const {
+  ShardedCacheStats out;
+  out.shard_ops.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const uint64_t gets = shard->m_gets.load(std::memory_order_relaxed);
+    const uint64_t sets = shard->m_sets.load(std::memory_order_relaxed);
+    const uint64_t removes = shard->m_removes.load(std::memory_order_relaxed);
+    out.gets += gets;
+    out.sets += sets;
+    out.removes += removes;
+    out.ram_hits += shard->m_ram_hits.load(std::memory_order_relaxed);
+    out.nvm_lookups += shard->m_nvm_lookups.load(std::memory_order_relaxed);
+    out.nvm_hits += shard->m_nvm_hits.load(std::memory_order_relaxed);
+    out.misses += shard->m_misses.load(std::memory_order_relaxed);
+    out.shard_ops.push_back(gets + sets + removes);
+  }
+  return out;
+}
+
+void ShardedCache::ResetStats() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->cache->ResetStats();
+    shard->removes = 0;
+    PublishStats(*shard);
+  }
+}
+
+}  // namespace fdpcache

@@ -1,0 +1,130 @@
+// ShardedCache: a thread-safe front-end over N independent HybridCache shards.
+//
+// Keys are routed to shards by hash (stable across calls and processes); each
+// shard is guarded by its own mutex, so Get/Set/Remove on different shards
+// proceed in parallel — the multi-threaded deployment shape production
+// CacheLib assumes, and the first step from single-threaded simulator toward
+// a servable engine. Per-shard statistics are mirrored into atomics after
+// every operation, so aggregate stats snapshots never take a shard lock.
+//
+// The shards themselves (and the devices beneath them) stay single-threaded:
+// all cross-thread state lives in this class. Callers provide a factory that
+// builds one HybridCache per shard, each over its own device stack (see
+// ShardedSimBackend in src/harness/concurrent_replay.h for the simulated
+// version).
+#ifndef SRC_CACHE_SHARDED_CACHE_H_
+#define SRC_CACHE_SHARDED_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/cache/hybrid_cache.h"
+
+namespace fdpcache {
+
+// Aggregated snapshot across all shards, plus per-shard op counts for
+// imbalance analysis. Field meanings match HybridCacheStats.
+struct ShardedCacheStats {
+  uint64_t gets = 0;
+  uint64_t sets = 0;
+  uint64_t removes = 0;
+  uint64_t ram_hits = 0;
+  uint64_t nvm_lookups = 0;
+  uint64_t nvm_hits = 0;
+  uint64_t misses = 0;
+
+  // Total operations (Get + Set + Remove) routed to each shard.
+  std::vector<uint64_t> shard_ops;
+
+  double HitRatio() const {
+    return gets == 0 ? 0.0
+                     : static_cast<double>(ram_hits + nvm_hits) / static_cast<double>(gets);
+  }
+  double NvmHitRatio() const {
+    return nvm_lookups == 0 ? 0.0
+                            : static_cast<double>(nvm_hits) / static_cast<double>(nvm_lookups);
+  }
+  // Hottest shard's op count over the per-shard mean; 1.0 = perfectly
+  // balanced. Meaningless (returns 1.0) before any operation.
+  double ShardImbalance() const;
+};
+
+class ShardedCache {
+ public:
+  // Builds the HybridCache for shard `shard_index`. Called once per shard at
+  // construction; each shard must get its own backing device stack, since
+  // nothing below this class is synchronized.
+  using ShardFactory = std::function<std::unique_ptr<HybridCache>(uint32_t shard_index)>;
+
+  ShardedCache(uint32_t num_shards, const ShardFactory& factory);
+
+  // Stable hash routing: a pure function of (key, num_shards), num_shards
+  // must be nonzero. Re-mixes the key hash with a shard seed so routing
+  // stays decorrelated from the SOC's bucket choice, which also starts from
+  // HashString.
+  static uint32_t ShardIndexFor(std::string_view key, uint32_t num_shards);
+
+  uint32_t ShardIndexOf(std::string_view key) const {
+    return ShardIndexFor(key, static_cast<uint32_t>(shards_.size()));
+  }
+
+  // Thread-safe. Each call locks exactly one shard.
+  void Set(std::string_view key, std::string_view value);
+  bool Get(std::string_view key, std::string* value);
+  void Remove(std::string_view key);
+
+  // Lock-free aggregate snapshot: reads the per-shard atomic mirrors without
+  // touching any shard mutex. The mirrors are published as independent
+  // relaxed stores, so a snapshot racing a publish may pair counters from
+  // adjacent operations (e.g. transiently see a hit counted before its get)
+  // — approximate by design, which is fine for monitoring. Quiescent reads
+  // are exact.
+  ShardedCacheStats Stats() const;
+
+  // Locks each shard in turn and zeroes both the shard stats and the mirrors.
+  void ResetStats();
+
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+
+  // Unsynchronized access to a shard's cache, for tests and single-threaded
+  // inspection only.
+  HybridCache& shard(uint32_t index) { return *shards_[index]->cache; }
+  const HybridCache& shard(uint32_t index) const { return *shards_[index]->cache; }
+
+ private:
+  // Padded to a cache line so one shard's lock/counter traffic does not
+  // false-share with its neighbours'.
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::unique_ptr<HybridCache> cache;
+    uint64_t removes = 0;  // HybridCacheStats has no remove counter.
+
+    // Atomic mirrors of the shard's stats, stored after every operation
+    // while the lock is held and read lock-free by Stats().
+    std::atomic<uint64_t> m_gets{0};
+    std::atomic<uint64_t> m_sets{0};
+    std::atomic<uint64_t> m_removes{0};
+    std::atomic<uint64_t> m_ram_hits{0};
+    std::atomic<uint64_t> m_nvm_lookups{0};
+    std::atomic<uint64_t> m_nvm_hits{0};
+    std::atomic<uint64_t> m_misses{0};
+  };
+
+  Shard& ShardFor(std::string_view key) { return *shards_[ShardIndexOf(key)]; }
+
+  // Publishes the shard's current stats into the atomic mirrors. Caller must
+  // hold the shard lock.
+  static void PublishStats(Shard& shard);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_CACHE_SHARDED_CACHE_H_

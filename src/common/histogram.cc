@@ -1,7 +1,6 @@
 #include "src/common/histogram.h"
 
 #include <algorithm>
-#include <bit>
 #include <cstddef>
 
 namespace fdpcache {
@@ -12,7 +11,7 @@ int Histogram::BucketIndex(uint64_t value) {
   if (value < kSubBuckets) {
     return static_cast<int>(value);
   }
-  const int msb = 63 - std::countl_zero(value);
+  const int msb = 63 - __builtin_clzll(value);  // value != 0: it is >= kSubBuckets here.
   const int shift = msb - kSubBucketBits;  // >= 0 because value >= kSubBuckets.
   const int sub = static_cast<int>((value >> shift) - kSubBuckets);
   return (shift + 1) * kSubBuckets + sub;

@@ -33,7 +33,10 @@ struct PlacementId {
   uint16_t reclaim_group = 0;
   uint16_t ruh_index = 0;
 
-  friend bool operator==(const PlacementId&, const PlacementId&) = default;
+  friend bool operator==(const PlacementId& a, const PlacementId& b) {
+    return a.reclaim_group == b.reclaim_group && a.ruh_index == b.ruh_index;
+  }
+  friend bool operator!=(const PlacementId& a, const PlacementId& b) { return !(a == b); }
 };
 
 // NVMe directive types relevant here (NVMe base spec, Directives).

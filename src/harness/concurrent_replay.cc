@@ -1,0 +1,148 @@
+#include "src/harness/concurrent_replay.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "src/common/hash.h"
+
+namespace fdpcache {
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+// Counter-wise `after - before`, so a report covers exactly one run's traffic
+// even when the cache has served earlier runs (or a warm-up) already.
+ShardedCacheStats DiffStats(const ShardedCacheStats& after, const ShardedCacheStats& before) {
+  ShardedCacheStats d;
+  d.gets = after.gets - before.gets;
+  d.sets = after.sets - before.sets;
+  d.removes = after.removes - before.removes;
+  d.ram_hits = after.ram_hits - before.ram_hits;
+  d.nvm_lookups = after.nvm_lookups - before.nvm_lookups;
+  d.nvm_hits = after.nvm_hits - before.nvm_hits;
+  d.misses = after.misses - before.misses;
+  d.shard_ops.resize(after.shard_ops.size());
+  for (size_t s = 0; s < after.shard_ops.size(); ++s) {
+    d.shard_ops[s] = after.shard_ops[s] - (s < before.shard_ops.size() ? before.shard_ops[s] : 0);
+  }
+  return d;
+}
+
+}  // namespace
+
+ConcurrentReplayDriver::ConcurrentReplayDriver(ShardedCache* cache,
+                                               const ConcurrentReplayConfig& config)
+    : cache_(cache), config_(config) {}
+
+void ConcurrentReplayDriver::WorkerBody(uint32_t thread_index, uint64_t num_ops,
+                                        WorkerResult* result) {
+  // Every thread replays its own deterministic stream: same run seed, same
+  // workload seed, and same thread index = same ops, independent of
+  // scheduling. The caller's workload.seed stays significant so presets
+  // seeded differently produce different streams.
+  KvWorkloadConfig workload = config_.workload;
+  workload.seed = HashU64(config_.seed) ^ Mix64(workload.seed) ^ HashU64(thread_index);
+  KvTraceGenerator generator(workload);
+
+  std::string value;
+  for (uint64_t i = 0; i < num_ops; ++i) {
+    const auto op = generator.Next();
+    if (!op.has_value()) {
+      break;
+    }
+    const std::string key = KeyString(op->key_id);
+    switch (op->type) {
+      case OpType::kGet: {
+        const uint64_t start = NowNs();
+        cache_->Get(key, &value);
+        result->get_latency_ns.Record(NowNs() - start);
+        break;
+      }
+      case OpType::kSet: {
+        // Version 0 payload: all writers of a key produce identical bytes, so
+        // concurrent readers can verify hits without extra coordination.
+        const std::string payload = ValuePayload(op->key_id, 0, op->value_size);
+        const uint64_t start = NowNs();
+        cache_->Set(key, payload);
+        result->set_latency_ns.Record(NowNs() - start);
+        break;
+      }
+      case OpType::kDelete:
+        cache_->Remove(key);
+        break;
+    }
+    ++result->ops;
+  }
+}
+
+ConcurrentReplayReport ConcurrentReplayDriver::Run() {
+  const uint32_t num_threads = config_.num_threads == 0 ? 1 : config_.num_threads;
+  const uint64_t per_thread = config_.total_ops / num_threads;
+  const ShardedCacheStats stats_before = cache_->Stats();
+
+  std::vector<WorkerResult> results(num_threads);
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+
+  const uint64_t wall_start = NowNs();
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    const uint64_t ops = per_thread + (t == 0 ? config_.total_ops % num_threads : 0);
+    workers.emplace_back([this, t, ops, &results] { WorkerBody(t, ops, &results[t]); });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  const uint64_t wall_end = NowNs();
+
+  ConcurrentReplayReport report;
+  report.elapsed_seconds = static_cast<double>(wall_end - wall_start) * 1e-9;
+  for (const auto& result : results) {
+    report.ops_executed += result.ops;
+    report.per_thread_ops.push_back(result.ops);
+    report.get_latency_ns.Merge(result.get_latency_ns);
+    report.set_latency_ns.Merge(result.set_latency_ns);
+  }
+  report.throughput_ops_per_sec =
+      report.elapsed_seconds > 0.0
+          ? static_cast<double>(report.ops_executed) / report.elapsed_seconds
+          : 0.0;
+  report.cache = DiffStats(cache_->Stats(), stats_before);
+  report.shard_imbalance = report.cache.ShardImbalance();
+  return report;
+}
+
+ShardedSimBackend::ShardedSimBackend(uint32_t num_shards, const SsdConfig& shard_ssd_config,
+                                     const HybridCacheConfig& shard_cache_config) {
+  // Same zero-shard clamp as ShardedCache, so the factory below is never
+  // called for a shard this backend did not provision.
+  num_shards = num_shards == 0 ? 1 : num_shards;
+  stacks_.reserve(num_shards);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    auto stack = std::make_unique<ShardStack>();
+    stack->ssd = std::make_unique<SimulatedSsd>(shard_ssd_config);
+    const auto nsid = stack->ssd->CreateNamespace(stack->ssd->logical_capacity_bytes());
+    if (!nsid.has_value()) {
+      std::fprintf(stderr, "ShardedSimBackend: shard %u SSD config yields no usable capacity\n",
+                   i);
+      std::abort();
+    }
+    stack->device = std::make_unique<SimSsdDevice>(stack->ssd.get(), *nsid, &stack->clock);
+    stack->allocator = std::make_unique<PlacementHandleAllocator>(*stack->device);
+    stacks_.push_back(std::move(stack));
+  }
+  cache_ = std::make_unique<ShardedCache>(num_shards, [&](uint32_t shard_index) {
+    ShardStack& stack = *stacks_[shard_index];
+    return std::make_unique<HybridCache>(stack.device.get(), shard_cache_config,
+                                         stack.allocator.get());
+  });
+}
+
+ShardedSimBackend::~ShardedSimBackend() = default;
+
+}  // namespace fdpcache

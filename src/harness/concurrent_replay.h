@@ -1,0 +1,108 @@
+// Concurrent replay driver: M worker threads over a ShardedCache.
+//
+// Each worker owns a deterministic per-thread op stream (a KvTraceGenerator
+// whose Rng is seeded from the run seed and the thread index), issues its
+// partition of the total ops against the shared sharded cache, and records
+// wall-clock per-op latencies into thread-local histograms. After the
+// workers join, the histograms are merged and reported together with
+// throughput (ops/s) and shard-imbalance metrics — the concurrent
+// counterpart of ExperimentRunner, which drives one cache on a virtual
+// clock.
+#ifndef SRC_HARNESS_CONCURRENT_REPLAY_H_
+#define SRC_HARNESS_CONCURRENT_REPLAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cache/sharded_cache.h"
+#include "src/common/clock.h"
+#include "src/common/histogram.h"
+#include "src/navy/sim_ssd_device.h"
+#include "src/ssd/ssd.h"
+#include "src/workload/workload.h"
+
+namespace fdpcache {
+
+struct ConcurrentReplayConfig {
+  uint32_t num_threads = 4;
+  // Total operations across all threads, split evenly (thread 0 absorbs the
+  // remainder).
+  uint64_t total_ops = 1'000'000;
+  KvWorkloadConfig workload = KvWorkloadConfig::MetaKvCache();
+  uint64_t seed = 42;
+};
+
+struct ConcurrentReplayReport {
+  uint64_t ops_executed = 0;
+  double elapsed_seconds = 0.0;       // Wall clock, first worker start to last join.
+  double throughput_ops_per_sec = 0.0;
+
+  // Aggregated cache counters plus per-shard op counts (for imbalance),
+  // covering this run's traffic only (counter deltas across the run), so
+  // repeated Run() calls each get a self-consistent report.
+  ShardedCacheStats cache;
+  double shard_imbalance = 1.0;
+
+  // Merged across all worker threads; values are wall-clock nanoseconds.
+  Histogram get_latency_ns;
+  Histogram set_latency_ns;
+
+  std::vector<uint64_t> per_thread_ops;
+};
+
+class ConcurrentReplayDriver {
+ public:
+  // `cache` must outlive the driver and is the only object shared between
+  // workers.
+  ConcurrentReplayDriver(ShardedCache* cache, const ConcurrentReplayConfig& config);
+
+  // Runs the replay to completion and returns the merged report. May be
+  // called repeatedly (each run re-derives the same per-thread streams).
+  ConcurrentReplayReport Run();
+
+ private:
+  struct WorkerResult {
+    uint64_t ops = 0;
+    Histogram get_latency_ns;
+    Histogram set_latency_ns;
+  };
+
+  void WorkerBody(uint32_t thread_index, uint64_t num_ops, WorkerResult* result);
+
+  ShardedCache* cache_;
+  ConcurrentReplayConfig config_;
+};
+
+// Owns one simulated-SSD stack (SSD + device + placement allocator + virtual
+// clock) per shard of a ShardedCache. SimulatedSsd and VirtualClock are
+// single-threaded by design, so giving every shard a private stack keeps all
+// cross-thread state inside ShardedCache, whose shard mutex serializes each
+// stack's accesses.
+class ShardedSimBackend {
+ public:
+  ShardedSimBackend(uint32_t num_shards, const SsdConfig& shard_ssd_config,
+                    const HybridCacheConfig& shard_cache_config);
+  ~ShardedSimBackend();
+
+  ShardedCache& cache() { return *cache_; }
+  uint32_t num_shards() const { return static_cast<uint32_t>(stacks_.size()); }
+  // Unsynchronized; for tests and post-run inspection only.
+  SimulatedSsd& shard_ssd(uint32_t index) { return *stacks_[index]->ssd; }
+
+ private:
+  struct ShardStack {
+    VirtualClock clock;
+    std::unique_ptr<SimulatedSsd> ssd;
+    std::unique_ptr<SimSsdDevice> device;
+    std::unique_ptr<PlacementHandleAllocator> allocator;
+  };
+
+  std::vector<std::unique_ptr<ShardStack>> stacks_;
+  std::unique_ptr<ShardedCache> cache_;
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_HARNESS_CONCURRENT_REPLAY_H_

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "src/harness/concurrent_replay.h"
+
 namespace fdpcache {
 
 TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
@@ -95,6 +97,20 @@ std::string SummarizeReport(const std::string& label, const MetricsReport& r) {
       << " kops=" << FormatDouble(r.throughput_kops, 1)
       << " p99r=" << FormatNsAsUs(r.p99_read_ns) << " p99w=" << FormatNsAsUs(r.p99_write_ns)
       << " gc_events=" << r.gc_events;
+  return out.str();
+}
+
+std::string SummarizeConcurrentReport(const std::string& label,
+                                      const ConcurrentReplayReport& r) {
+  std::ostringstream out;
+  out << label << ": ops=" << r.ops_executed
+      << " kops/s=" << FormatDouble(r.throughput_ops_per_sec / 1000.0, 1)
+      << " hit=" << FormatPercent(r.cache.HitRatio())
+      << " nvm_hit=" << FormatPercent(r.cache.NvmHitRatio())
+      << " p50g=" << FormatNsAsUs(r.get_latency_ns.Percentile(50.0))
+      << " p99g=" << FormatNsAsUs(r.get_latency_ns.Percentile(99.0))
+      << " p99s=" << FormatNsAsUs(r.set_latency_ns.Percentile(99.0))
+      << " imbalance=" << FormatDouble(r.shard_imbalance, 2);
   return out.str();
 }
 

@@ -38,6 +38,12 @@ std::string FormatDlwaSeries(const std::string& label, const std::vector<double>
 // One-line summary of a run for bench logs.
 std::string SummarizeReport(const std::string& label, const MetricsReport& report);
 
+// One-line summary of a concurrent replay run (throughput, hit ratio, merged
+// latency percentiles, shard imbalance).
+struct ConcurrentReplayReport;
+std::string SummarizeConcurrentReport(const std::string& label,
+                                      const ConcurrentReplayReport& report);
+
 // Reads FDPBENCH_SCALE from the environment (0.1 .. 10, default 1.0):
 // benches multiply op counts by it so users can trade speed for fidelity.
 double BenchScale();

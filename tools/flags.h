@@ -48,7 +48,7 @@ class Flags {
     }
     return it->second == "true" || it->second == "1" || it->second == "yes";
   }
-  bool Has(const std::string& name) const { return values_.contains(name); }
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
   const std::vector<std::string>& positional() const { return positional_; }
 
  private:
