@@ -1,0 +1,297 @@
+// Async device queue-depth sweep: QD 1/4/16/64, shared vs per-shard device.
+//
+// Submitter threads issue 256 KiB region-sized writes through the
+// Submit/Poll/Wait pipeline, each keeping QD writes outstanding (a slot
+// window: reap the slot's previous completion, refill the payload, submit).
+// Three configurations:
+//   shared/1t    — one submitter, one shared device: isolates queue-depth
+//                  pipelining (payload prep overlapping device execution);
+//   shared/4t    — four submitters feeding ONE SimSsdDevice submission
+//                  queue over one SSD, each on its own placement handle and
+//                  byte range (the shared-SSD cache topology);
+//   per-shard/4t — four submitters, each with a private SSD stack (the PR 1
+//                  deployment shape, no cross-shard device interference).
+// Reported as MiB/s per (topology, QD) combo, plus machine-readable
+// BENCH_async.json for the perf trajectory.
+//
+// SHAPE CHECK: on the shared device, QD 16 must out-write QD 1 (shared/1t
+// rows) — submission pipelining overlaps payload preparation with device
+// execution and amortizes the per-op queue handoff, the queue-depth scaling
+// the paper's evaluation leans on. With multiple submitters the single
+// queue worker is already saturated at QD 1, which is itself a finding the
+// shared/4t rows document. (Enforced on multi-core hosts; single-core runs
+// report the sweep but cannot demonstrate overlap.)
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/clock.h"
+#include "src/navy/sim_ssd_device.h"
+#include "src/ssd/ssd.h"
+
+namespace fdpcache {
+namespace {
+
+constexpr uint32_t kMaxThreads = 4;
+constexpr uint64_t kWriteBytes = 256 * 1024;  // One 64-page "region" per write.
+
+SsdConfig SweepSsdConfig(uint32_t num_superblocks) {
+  SsdConfig config;
+  config.geometry.pages_per_block = 16;
+  config.geometry.planes_per_die = 2;
+  config.geometry.num_dies = 4;
+  config.geometry.num_superblocks = num_superblocks;
+  config.op_fraction = 0.20;  // Covers one open RU per submitter's RUH.
+  config.store_data = true;
+  return config;
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+// Payload preparation: the host-side work a cache does to assemble a region
+// (serialization, checksums). Overlapping this with device execution is
+// exactly what queue depth > 1 buys.
+void FillPayload(std::vector<uint8_t>* buffer, uint64_t seed) {
+  uint64_t x = seed * 0x9e3779b97f4a7c15ull + 1;
+  auto* words = reinterpret_cast<uint64_t*>(buffer->data());
+  const size_t n = buffer->size() / sizeof(uint64_t);
+  for (size_t i = 0; i < n; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    words[i] = x;
+  }
+}
+
+struct SubmitterStats {
+  uint64_t writes = 0;
+  uint64_t failures = 0;
+};
+
+// Keeps `qd` writes outstanding against `device`, cycling sequentially
+// through the thread's byte-range partition.
+void Submitter(Device* device, uint64_t base, uint64_t span, PlacementHandle handle,
+               uint32_t qd, uint64_t num_writes, SubmitterStats* out) {
+  std::vector<std::vector<uint8_t>> slots(qd, std::vector<uint8_t>(kWriteBytes));
+  std::vector<CompletionToken> tokens(qd, kInvalidToken);
+  const uint64_t chunks = span / kWriteBytes;
+  for (uint64_t i = 0; i < num_writes; ++i) {
+    const uint32_t slot = static_cast<uint32_t>(i % qd);
+    if (tokens[slot] != kInvalidToken) {
+      if (!device->Wait(tokens[slot]).ok) {
+        ++out->failures;
+      }
+    }
+    FillPayload(&slots[slot], base + i);
+    const uint64_t offset = base + (i % chunks) * kWriteBytes;
+    tokens[slot] =
+        device->Submit(IoRequest::MakeWrite(offset, slots[slot].data(), kWriteBytes, handle));
+    ++out->writes;
+  }
+  for (const CompletionToken token : tokens) {
+    if (token != kInvalidToken && !device->Wait(token).ok) {
+      ++out->failures;
+    }
+  }
+}
+
+struct ComboResult {
+  std::string topology;
+  uint32_t submitters = 0;
+  uint32_t qd = 0;
+  double mib_per_sec = 0.0;
+  double elapsed_s = 0.0;
+  uint64_t writes = 0;
+  uint64_t failures = 0;
+};
+
+ComboResult RunShared(uint32_t submitters, uint32_t qd, uint64_t total_writes) {
+  SimulatedSsd ssd(SweepSsdConfig(64));
+  const uint32_t nsid = *ssd.CreateNamespace(ssd.logical_capacity_bytes());
+  VirtualClock clock;
+  IoQueueConfig queue;
+  queue.sq_depth = kMaxThreads * 64;  // Never the bottleneck in this sweep.
+  SimSsdDevice device(&ssd, nsid, &clock, queue);
+
+  const uint64_t per_thread = total_writes / submitters;
+  const uint64_t span = device.size_bytes() / submitters / kWriteBytes * kWriteBytes;
+  std::vector<SubmitterStats> stats(submitters);
+  std::vector<std::thread> threads;
+  const uint64_t start = NowNs();
+  for (uint32_t t = 0; t < submitters; ++t) {
+    threads.emplace_back([&device, &stats, t, span, qd, per_thread] {
+      Submitter(&device, t * span, span, /*handle=*/t + 1, qd, per_thread, &stats[t]);
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  device.Drain();
+  const double elapsed = static_cast<double>(NowNs() - start) * 1e-9;
+
+  ComboResult result;
+  result.topology = "shared";
+  result.submitters = submitters;
+  result.qd = qd;
+  result.elapsed_s = elapsed;
+  for (const SubmitterStats& s : stats) {
+    result.writes += s.writes;
+    result.failures += s.failures;
+  }
+  result.mib_per_sec =
+      static_cast<double>(result.writes * kWriteBytes) / (1024.0 * 1024.0) / elapsed;
+  return result;
+}
+
+ComboResult RunPerShard(uint32_t submitters, uint32_t qd, uint64_t total_writes) {
+  struct Stack {
+    VirtualClock clock;
+    std::unique_ptr<SimulatedSsd> ssd;
+    std::unique_ptr<SimSsdDevice> device;
+  };
+  std::vector<std::unique_ptr<Stack>> stacks;
+  for (uint32_t t = 0; t < submitters; ++t) {
+    auto stack = std::make_unique<Stack>();
+    stack->ssd = std::make_unique<SimulatedSsd>(SweepSsdConfig(64 / submitters));
+    const uint32_t nsid = *stack->ssd->CreateNamespace(stack->ssd->logical_capacity_bytes());
+    IoQueueConfig queue;
+    queue.sq_depth = 64;
+    stack->device = std::make_unique<SimSsdDevice>(stack->ssd.get(), nsid, &stack->clock, queue);
+    stacks.push_back(std::move(stack));
+  }
+
+  const uint64_t per_thread = total_writes / submitters;
+  std::vector<SubmitterStats> stats(submitters);
+  std::vector<std::thread> threads;
+  const uint64_t start = NowNs();
+  for (uint32_t t = 0; t < submitters; ++t) {
+    threads.emplace_back([&stacks, &stats, t, qd, per_thread] {
+      Device* device = stacks[t]->device.get();
+      const uint64_t span = device->size_bytes() / kWriteBytes * kWriteBytes;
+      Submitter(device, 0, span, /*handle=*/1, qd, per_thread, &stats[t]);
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  for (auto& stack : stacks) {
+    stack->device->Drain();
+  }
+  const double elapsed = static_cast<double>(NowNs() - start) * 1e-9;
+
+  ComboResult result;
+  result.topology = "per-shard";
+  result.submitters = submitters;
+  result.qd = qd;
+  result.elapsed_s = elapsed;
+  for (const SubmitterStats& s : stats) {
+    result.writes += s.writes;
+    result.failures += s.failures;
+  }
+  result.mib_per_sec =
+      static_cast<double>(result.writes * kWriteBytes) / (1024.0 * 1024.0) / elapsed;
+  return result;
+}
+
+void EmitJson(const std::vector<ComboResult>& results, uint64_t total_writes) {
+  std::FILE* f = std::fopen("BENCH_async.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "micro_async_qd: cannot write BENCH_async.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_async_qd\",\n");
+  std::fprintf(f, "  \"write_bytes\": %llu,\n", static_cast<unsigned long long>(kWriteBytes));
+  std::fprintf(f, "  \"total_writes_per_combo\": %llu,\n",
+               static_cast<unsigned long long>(total_writes));
+  std::fprintf(f, "  \"rows\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ComboResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"topology\": \"%s\", \"submitters\": %u, \"qd\": %u, "
+                 "\"mib_per_sec\": %.2f, \"elapsed_s\": %.4f, \"writes\": %llu, "
+                 "\"failures\": %llu}%s\n",
+                 r.topology.c_str(), r.submitters, r.qd, r.mib_per_sec, r.elapsed_s,
+                 static_cast<unsigned long long>(r.writes),
+                 static_cast<unsigned long long>(r.failures), i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace fdpcache
+
+int main() {
+  using namespace fdpcache;
+  PrintHeader("micro_async_qd: async device pipeline, QD sweep, shared vs per-shard SSD",
+              "n/a (queue-depth scaling study enabling the paper's evaluation methodology)");
+
+  uint64_t total_writes = static_cast<uint64_t>(1024 * BenchScale());
+  total_writes = total_writes < 64 ? 64 : total_writes;
+  const std::vector<uint32_t> depths = {1, 4, 16, 64};
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  std::printf("hardware threads: %u, %llu x %llu KiB writes per combo\n\n", hw_threads,
+              static_cast<unsigned long long>(total_writes),
+              static_cast<unsigned long long>(kWriteBytes / 1024));
+
+  struct Combo {
+    bool shared;
+    uint32_t submitters;
+  };
+  const std::vector<Combo> combos = {{true, 1}, {true, kMaxThreads}, {false, kMaxThreads}};
+
+  std::vector<ComboResult> results;
+  TextTable table({"topology", "submitters", "qd", "MiB/s", "elapsed", "writes", "failures"});
+  double shared_qd1 = 0.0;
+  double shared_qd16 = 0.0;
+  for (const Combo& combo : combos) {
+    for (const uint32_t qd : depths) {
+      // Best of two runs per combo: one scheduler hiccup in a 0.2s window
+      // otherwise dominates the row.
+      ComboResult r = combo.shared ? RunShared(combo.submitters, qd, total_writes)
+                                   : RunPerShard(combo.submitters, qd, total_writes);
+      const ComboResult again = combo.shared ? RunShared(combo.submitters, qd, total_writes)
+                                             : RunPerShard(combo.submitters, qd, total_writes);
+      if (again.failures == 0 && again.mib_per_sec > r.mib_per_sec) {
+        r = again;
+      }
+      if (combo.shared && combo.submitters == 1 && qd == 1) {
+        shared_qd1 = r.mib_per_sec;
+      }
+      if (combo.shared && combo.submitters == 1 && qd == 16) {
+        shared_qd16 = r.mib_per_sec;
+      }
+      table.AddRow({r.topology, std::to_string(r.submitters), std::to_string(r.qd),
+                    FormatDouble(r.mib_per_sec, 1), FormatDouble(r.elapsed_s, 2) + "s",
+                    std::to_string(r.writes), std::to_string(r.failures)});
+      results.push_back(r);
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  EmitJson(results, total_writes);
+  std::printf("wrote BENCH_async.json\n");
+
+  for (const ComboResult& r : results) {
+    if (r.failures != 0) {
+      std::printf("SHAPE CHECK: FAIL (%llu write failures in %s qd=%u)\n",
+                  static_cast<unsigned long long>(r.failures), r.topology.c_str(), r.qd);
+      return 1;
+    }
+  }
+  const double ratio = shared_qd1 > 0.0 ? shared_qd16 / shared_qd1 : 0.0;
+  if (hw_threads >= 2) {
+    const bool ok = shared_qd16 > shared_qd1;
+    PrintShapeCheck(ok, "shared device QD16 > QD1, got " + FormatDouble(ratio, 2) + "x");
+    return ok ? 0 : 1;
+  }
+  std::printf("SHAPE CHECK: SKIP (only %u hardware thread(s); overlap needs >=2 cores; "
+              "measured %sx)\n\n",
+              hw_threads, FormatDouble(ratio, 2).c_str());
+  return 0;
+}

@@ -1,6 +1,8 @@
 // Concurrent demo: serve a Zipf KV workload from a sharded hybrid cache with
-// multiple worker threads, then inspect aggregate stats, per-shard balance,
-// and merged latency percentiles.
+// multiple worker threads — all shards sharing ONE simulated FDP SSD through
+// the async submission/completion device queue — then inspect aggregate
+// stats, per-shard balance, merged latency percentiles, and the shared
+// device's FDP telemetry.
 //
 // Build & run:  ./build/examples/concurrent_demo
 #include <cstdio>
@@ -12,35 +14,39 @@
 int main() {
   using namespace fdpcache;
 
-  // 1. Four shards, each over its own simulated FDP SSD (32 MiB physical).
-  //    The shard mutex inside ShardedCache is the only cross-thread state.
-  SsdConfig ssd_config;
-  ssd_config.geometry.pages_per_block = 16;
-  ssd_config.geometry.planes_per_die = 2;
-  ssd_config.geometry.num_dies = 4;
-  ssd_config.geometry.num_superblocks = 16;
-  ssd_config.op_fraction = 0.15;
+  // 1. Four shards over ONE shared simulated FDP SSD (128 MiB physical,
+  //    8 RUHs): each shard gets a byte-range partition plus its own SOC/LOC
+  //    placement handles, so 4 shards x 2 engines fill all 8 reclaim unit
+  //    handles. Flash writes are pipelined (async seals / bucket rewrites)
+  //    through the device submission queue.
+  ShardedBackendConfig config;
+  config.num_shards = 4;
+  config.topology = BackendTopology::kSharedDevice;
+  config.ssd.geometry.pages_per_block = 16;
+  config.ssd.geometry.planes_per_die = 2;
+  config.ssd.geometry.num_dies = 4;
+  config.ssd.geometry.num_superblocks = 64;
+  config.ssd.op_fraction = 0.20;  // 8 open RUHs pin 8 RUs; OP must cover them.
+  config.cache.ram_bytes = 512 * 1024;
+  config.cache.navy.small_item_max_bytes = 1024;
+  config.cache.navy.soc_fraction = 0.10;
+  config.cache.navy.loc_region_size = 128 * 1024;
+  config.queue_depth = 64;
 
-  HybridCacheConfig cache_config;
-  cache_config.ram_bytes = 512 * 1024;
-  cache_config.navy.small_item_max_bytes = 1024;
-  cache_config.navy.soc_fraction = 0.10;
-  cache_config.navy.loc_region_size = 128 * 1024;
-
-  const uint32_t num_shards = 4;
-  ShardedSimBackend backend(num_shards, ssd_config, cache_config);
+  ShardedSimBackend backend(config);
   ShardedCache& cache = backend.cache();
 
   // 2. The cache API is HybridCache-shaped, just thread-safe.
   cache.Set("user:42:name", "ada lovelace");
   std::string value;
   const bool hit = cache.Get("user:42:name", &value);
-  std::printf("get user:42:name -> %s (routed to shard %u of %u)\n\n",
+  std::printf("get user:42:name -> %s (routed to shard %u of %u, %u device(s))\n\n",
               hit ? value.c_str() : "miss", cache.ShardIndexOf("user:42:name"),
-              cache.num_shards());
+              cache.num_shards(), backend.num_devices());
 
   // 3. Replay a read-heavy Zipf workload with 4 worker threads, each with its
-  //    own deterministic op stream.
+  //    own deterministic op stream, all funnelling flash I/O into the one
+  //    shared submission queue.
   ConcurrentReplayConfig replay;
   replay.num_threads = 4;
   replay.total_ops = 400'000;
@@ -65,9 +71,22 @@ int main() {
   //    max-shard ops over the mean (1.0 = perfect).
   std::printf("\nshard balance (imbalance=%.2f):\n", report.shard_imbalance);
   for (uint32_t s = 0; s < cache.num_shards(); ++s) {
-    std::printf("  shard %u: %llu ops, ram %s used\n", s,
+    std::printf("  shard %u: %llu ops, ram %s used, soc handle %u, loc handle %u\n", s,
                 static_cast<unsigned long long>(report.cache.shard_ops[s]),
-                FormatBytes(cache.shard(s).ram().used_bytes()).c_str());
+                FormatBytes(cache.shard(s).ram().used_bytes()).c_str(),
+                cache.shard(s).navy().soc_handle(), cache.shard(s).navy().loc_handle());
   }
+
+  // 5. Quiesce (seal + drain the async pipeline), then read the shared
+  //    device's FDP telemetry: with every stream on its own RUH, GC never
+  //    mixes shards and device-level write amplification stays near 1.
+  cache.Flush();
+  backend.device(0).Drain();
+  const DeviceStats dev = backend.device(0).stats();
+  const SsdTelemetry telemetry = backend.shard_ssd(0).Telemetry(0);
+  std::printf("\nshared device: %llu writes / %llu reads / %llu trims, dlwa=%.3f\n",
+              static_cast<unsigned long long>(dev.writes),
+              static_cast<unsigned long long>(dev.reads),
+              static_cast<unsigned long long>(dev.trims), telemetry.dlwa);
   return 0;
 }

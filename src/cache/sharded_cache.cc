@@ -78,6 +78,13 @@ void ShardedCache::Remove(std::string_view key) {
   PublishStats(shard);
 }
 
+void ShardedCache::Flush() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->cache->navy().Flush();
+  }
+}
+
 ShardedCacheStats ShardedCache::Stats() const {
   ShardedCacheStats out;
   out.shard_ops.reserve(shards_.size());

@@ -79,6 +79,12 @@ class ShardedCache {
   bool Get(std::string_view key, std::string* value);
   void Remove(std::string_view key);
 
+  // Locks each shard in turn and flushes its flash tier: seals open LOC
+  // regions and retires every in-flight async device write. The barrier to
+  // run before inspecting the device beneath a live cache (or shutting
+  // down); afterwards no shard has outstanding I/O.
+  void Flush();
+
   // Lock-free aggregate snapshot: reads the per-shard atomic mirrors without
   // touching any shard mutex. The mirrors are published as independent
   // relaxed stores, so a snapshot racing a publish may pair counters from

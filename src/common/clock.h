@@ -1,10 +1,15 @@
 // Virtual clock shared by the workload driver and the simulated device.
 //
-// The simulator is single-threaded: the driver advances the clock by per-op
-// host CPU costs, device operations are scheduled against it, and
-// backpressure stalls jump it forward when the device falls too far behind.
+// The driver advances the clock by per-op host CPU costs, device operations
+// are scheduled against it, and backpressure stalls jump it forward when the
+// device falls too far behind. The counter is atomic so a device queue
+// worker can timestamp submissions while harness threads read or advance it
+// — concurrent replay leaves the clock parked at 0 and uses wall time, but
+// nothing races if a driver does both.
 #ifndef SRC_COMMON_CLOCK_H_
 #define SRC_COMMON_CLOCK_H_
+
+#include <atomic>
 
 #include "src/common/units.h"
 
@@ -12,17 +17,18 @@ namespace fdpcache {
 
 class VirtualClock {
  public:
-  TimeNs now() const { return now_; }
-  void Advance(TimeNs delta) { now_ += delta; }
+  TimeNs now() const { return now_.load(std::memory_order_relaxed); }
+  void Advance(TimeNs delta) { now_.fetch_add(delta, std::memory_order_relaxed); }
   void AdvanceTo(TimeNs t) {
-    if (t > now_) {
-      now_ = t;
+    TimeNs current = now_.load(std::memory_order_relaxed);
+    while (t > current &&
+           !now_.compare_exchange_weak(current, t, std::memory_order_relaxed)) {
     }
   }
-  void Reset() { now_ = 0; }
+  void Reset() { now_.store(0, std::memory_order_relaxed); }
 
  private:
-  TimeNs now_ = 0;
+  std::atomic<TimeNs> now_{0};
 };
 
 }  // namespace fdpcache

@@ -117,32 +117,99 @@ ConcurrentReplayReport ConcurrentReplayDriver::Run() {
   return report;
 }
 
+ShardedSimBackend::ShardedSimBackend(const ShardedBackendConfig& config) {
+  ShardedBackendConfig cfg = config;
+  // Same zero-shard clamp as ShardedCache, so the factories below are never
+  // called for a shard this backend did not provision.
+  cfg.num_shards = cfg.num_shards == 0 ? 1 : cfg.num_shards;
+  cfg.cache.navy.loc_inflight_regions = cfg.loc_inflight_regions;
+  cfg.cache.navy.soc_inflight_writes = cfg.soc_inflight_writes;
+  if (cfg.topology == BackendTopology::kSharedDevice) {
+    BuildShared(cfg);
+  } else {
+    BuildPerShard(cfg);
+  }
+}
+
 ShardedSimBackend::ShardedSimBackend(uint32_t num_shards, const SsdConfig& shard_ssd_config,
                                      const HybridCacheConfig& shard_cache_config) {
-  // Same zero-shard clamp as ShardedCache, so the factory below is never
-  // called for a shard this backend did not provision.
-  num_shards = num_shards == 0 ? 1 : num_shards;
-  stacks_.reserve(num_shards);
-  for (uint32_t i = 0; i < num_shards; ++i) {
+  ShardedBackendConfig config;
+  config.num_shards = num_shards == 0 ? 1 : num_shards;
+  config.topology = BackendTopology::kPerShardDevice;
+  config.ssd = shard_ssd_config;
+  config.cache = shard_cache_config;
+  // PR 1 semantics: synchronous flash writes beneath each shard.
+  config.cache.navy.loc_inflight_regions = 0;
+  config.cache.navy.soc_inflight_writes = 0;
+  BuildPerShard(config);
+}
+
+void ShardedSimBackend::BuildShared(const ShardedBackendConfig& config) {
+  auto stack = std::make_unique<ShardStack>();
+  stack->ssd = std::make_unique<SimulatedSsd>(config.ssd);
+  const auto nsid = stack->ssd->CreateNamespace(stack->ssd->logical_capacity_bytes());
+  if (!nsid.has_value()) {
+    std::fprintf(stderr, "ShardedSimBackend: shared SSD config yields no usable capacity\n");
+    std::abort();
+  }
+  IoQueueConfig queue;
+  queue.sq_depth = config.queue_depth;
+  stack->device = std::make_unique<SimSsdDevice>(stack->ssd.get(), *nsid, &stack->clock, queue);
+  stack->allocator = std::make_unique<PlacementHandleAllocator>(*stack->device);
+  stacks_.push_back(std::move(stack));
+
+  // Carve the namespace into page-aligned per-shard partitions; every shard
+  // runs its engine pair inside its own byte range of the ONE device, and
+  // draws its placement handles from the one shared allocator (so distinct
+  // shards land on distinct RUHs until the device's handle count wraps).
+  ShardStack& shared = *stacks_.front();
+  const uint64_t page = shared.device->page_size();
+  const uint64_t shard_bytes =
+      shared.device->size_bytes() / config.num_shards / page * page;
+  if (shard_bytes == 0) {
+    std::fprintf(stderr, "ShardedSimBackend: shared SSD too small for %u shards\n",
+                 config.num_shards);
+    std::abort();
+  }
+  cache_ = std::make_unique<ShardedCache>(config.num_shards, [&](uint32_t shard_index) {
+    HybridCacheConfig shard_config = config.cache;
+    shard_config.navy.base_offset = shard_index * shard_bytes;
+    shard_config.navy.size_bytes = shard_bytes;
+    return std::make_unique<HybridCache>(shared.device.get(), shard_config,
+                                         shared.allocator.get());
+  });
+}
+
+void ShardedSimBackend::BuildPerShard(const ShardedBackendConfig& config) {
+  stacks_.reserve(config.num_shards);
+  IoQueueConfig queue;
+  queue.sq_depth = config.queue_depth;
+  for (uint32_t i = 0; i < config.num_shards; ++i) {
     auto stack = std::make_unique<ShardStack>();
-    stack->ssd = std::make_unique<SimulatedSsd>(shard_ssd_config);
+    stack->ssd = std::make_unique<SimulatedSsd>(config.ssd);
     const auto nsid = stack->ssd->CreateNamespace(stack->ssd->logical_capacity_bytes());
     if (!nsid.has_value()) {
       std::fprintf(stderr, "ShardedSimBackend: shard %u SSD config yields no usable capacity\n",
                    i);
       std::abort();
     }
-    stack->device = std::make_unique<SimSsdDevice>(stack->ssd.get(), *nsid, &stack->clock);
+    stack->device = std::make_unique<SimSsdDevice>(stack->ssd.get(), *nsid, &stack->clock, queue);
     stack->allocator = std::make_unique<PlacementHandleAllocator>(*stack->device);
     stacks_.push_back(std::move(stack));
   }
-  cache_ = std::make_unique<ShardedCache>(num_shards, [&](uint32_t shard_index) {
+  cache_ = std::make_unique<ShardedCache>(config.num_shards, [&](uint32_t shard_index) {
     ShardStack& stack = *stacks_[shard_index];
-    return std::make_unique<HybridCache>(stack.device.get(), shard_cache_config,
+    return std::make_unique<HybridCache>(stack.device.get(), config.cache,
                                          stack.allocator.get());
   });
 }
 
-ShardedSimBackend::~ShardedSimBackend() = default;
+ShardedSimBackend::~ShardedSimBackend() {
+  // Shards hold buffers the device queues may still be reading; drain before
+  // anything is torn down.
+  if (cache_ != nullptr) {
+    cache_->Flush();
+  }
+}
 
 }  // namespace fdpcache

@@ -75,21 +75,58 @@ class ConcurrentReplayDriver {
   ConcurrentReplayConfig config_;
 };
 
-// Owns one simulated-SSD stack (SSD + device + placement allocator + virtual
-// clock) per shard of a ShardedCache. SimulatedSsd and VirtualClock are
-// single-threaded by design, so giving every shard a private stack keeps all
-// cross-thread state inside ShardedCache, whose shard mutex serializes each
-// stack's accesses.
+// Device topology beneath the shards.
+enum class BackendTopology : uint8_t {
+  // All shards share ONE simulated SSD through one SimSsdDevice submission
+  // queue: each shard gets a byte-range partition of the namespace and its
+  // own placement handles, so cross-shard FDP streams genuinely interleave
+  // on the same NAND geometry — the deployment shape the paper measures.
+  kSharedDevice,
+  // One private SSD stack per shard (PR 1 behaviour): no cross-shard device
+  // interference; useful for front-end scaling studies.
+  kPerShardDevice,
+};
+
+struct ShardedBackendConfig {
+  uint32_t num_shards = 4;
+  BackendTopology topology = BackendTopology::kSharedDevice;
+  // Whole-device config in shared mode; per-shard device config otherwise.
+  SsdConfig ssd;
+  // Per-shard cache config. In shared mode the backend overrides
+  // `cache.navy.base_offset/size_bytes` with the shard's partition.
+  HybridCacheConfig cache;
+  // Device submission-ring capacity (queue-depth knob for the async
+  // pipeline; Submit blocks once this many requests are outstanding).
+  uint32_t queue_depth = 256;
+  // Async flash-write pipelining per shard (applied to cache.navy); the
+  // concurrent backend defaults both on, unlike the single-threaded driver.
+  uint32_t loc_inflight_regions = 2;
+  uint32_t soc_inflight_writes = 8;
+};
+
+// Owns the simulated-SSD stack(s) beneath a ShardedCache. By default
+// (kSharedDevice) one thread-safe SSD + device queue serves every shard;
+// kPerShardDevice provisions one private stack per shard instead.
 class ShardedSimBackend {
  public:
+  explicit ShardedSimBackend(const ShardedBackendConfig& config);
+  // Back-compat with PR 1 call sites: per-shard topology, one
+  // `shard_ssd_config` stack per shard, synchronous flash writes.
   ShardedSimBackend(uint32_t num_shards, const SsdConfig& shard_ssd_config,
                     const HybridCacheConfig& shard_cache_config);
   ~ShardedSimBackend();
 
   ShardedCache& cache() { return *cache_; }
-  uint32_t num_shards() const { return static_cast<uint32_t>(stacks_.size()); }
-  // Unsynchronized; for tests and post-run inspection only.
-  SimulatedSsd& shard_ssd(uint32_t index) { return *stacks_[index]->ssd; }
+  uint32_t num_shards() const { return cache_->num_shards(); }
+  uint32_t num_devices() const { return static_cast<uint32_t>(stacks_.size()); }
+
+  // The SSD beneath shard `index` (the single shared SSD in kSharedDevice
+  // mode). Callers must quiesce first (ShardedCache::Flush + Device::Drain)
+  // — inspection is unsynchronized with in-flight I/O by design.
+  SimulatedSsd& shard_ssd(uint32_t index) {
+    return *stacks_[index % stacks_.size()]->ssd;
+  }
+  Device& device(uint32_t index) { return *stacks_[index % stacks_.size()]->device; }
 
  private:
   struct ShardStack {
@@ -98,6 +135,9 @@ class ShardedSimBackend {
     std::unique_ptr<SimSsdDevice> device;
     std::unique_ptr<PlacementHandleAllocator> allocator;
   };
+
+  void BuildShared(const ShardedBackendConfig& config);
+  void BuildPerShard(const ShardedBackendConfig& config);
 
   std::vector<std::unique_ptr<ShardStack>> stacks_;
   std::unique_ptr<ShardedCache> cache_;

@@ -5,10 +5,26 @@
 // hardware understands (FDP placement identifiers for the simulated SSD,
 // nothing for a plain file). This is the layer the paper added to CacheLib
 // to keep FDP semantics out of the engines.
+//
+// The I/O contract is asynchronous and NVMe-shaped: callers Submit() an
+// IoRequest and get back a CompletionToken, then reap the completion with
+// Poll() (non-blocking) or Wait() (blocking); Drain() waits for every
+// submitted request to execute. Requests execute in submission order — one
+// logical submission queue feeding one completion queue — so overlapping
+// write/trim sequences resolve exactly as submitted. The blocking
+// Write/Read/Trim calls are a synchronous shim (Submit + Wait) so callers
+// can migrate incrementally.
+//
+// Devices are safe for concurrent submitters; see QueuedDevice
+// (src/navy/queued_device.h) for the shared submission-ring implementation
+// both concrete devices build on.
 #ifndef SRC_NAVY_DEVICE_H_
 #define SRC_NAVY_DEVICE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <optional>
 
 #include "src/common/histogram.h"
 #include "src/nvme/types.h"
@@ -20,6 +36,64 @@ namespace fdpcache {
 using PlacementHandle = uint32_t;
 constexpr PlacementHandle kNoPlacement = 0;
 
+enum class IoOp : uint8_t { kRead, kWrite, kTrim };
+
+// One device command. Payload buffers (`data` for writes, `out` for reads)
+// are owned by the submitter and must stay alive and untouched until the
+// request's completion has been reaped.
+struct IoRequest {
+  IoOp op = IoOp::kRead;
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  const void* data = nullptr;      // kWrite payload.
+  void* out = nullptr;             // kRead destination.
+  PlacementHandle handle = kNoPlacement;  // kWrite only.
+
+  static IoRequest MakeWrite(uint64_t offset, const void* data, uint64_t size,
+                             PlacementHandle handle) {
+    IoRequest r;
+    r.op = IoOp::kWrite;
+    r.offset = offset;
+    r.size = size;
+    r.data = data;
+    r.handle = handle;
+    return r;
+  }
+  static IoRequest MakeRead(uint64_t offset, void* out, uint64_t size) {
+    IoRequest r;
+    r.op = IoOp::kRead;
+    r.offset = offset;
+    r.size = size;
+    r.out = out;
+    return r;
+  }
+  static IoRequest MakeTrim(uint64_t offset, uint64_t size) {
+    IoRequest r;
+    r.op = IoOp::kTrim;
+    r.offset = offset;
+    r.size = size;
+    return r;
+  }
+};
+
+// Identifies a submitted request. Tokens are unique per device and every
+// token must eventually be reaped with Poll() or Wait() (like io_uring CQEs);
+// Drain() alone leaves the completion parked for its reaper.
+using CompletionToken = uint64_t;
+constexpr CompletionToken kInvalidToken = 0;
+
+struct IoResult {
+  bool ok = false;
+  // Device-model latency (virtual time for the simulated SSD, wall clock for
+  // file-backed devices). Zero for rejected/invalid requests.
+  uint64_t latency_ns = 0;
+};
+
+// Point-in-time stats snapshot. Counters are mirrored into atomics by the
+// device as completions retire, so snapshots are safe to take from any thread
+// while the async pipeline is in flight (same pattern as ShardedCacheStats:
+// a racing snapshot may pair counters from adjacent completions, which is
+// fine for monitoring; quiescent reads are exact).
 struct DeviceStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
@@ -35,11 +109,43 @@ class Device {
  public:
   virtual ~Device() = default;
 
-  // Offsets and sizes must be multiples of page_size().
-  virtual bool Write(uint64_t offset, const void* data, uint64_t size,
-                     PlacementHandle handle) = 0;
-  virtual bool Read(uint64_t offset, void* out, uint64_t size) = 0;
-  virtual bool Trim(uint64_t offset, uint64_t size) = 0;
+  // --- Asynchronous contract ------------------------------------------------
+  // Submit never blocks on device work, but applies backpressure (blocks
+  // briefly) when the submission ring is full. Offsets and sizes must be
+  // multiples of page_size(); invalid requests still complete (with ok=false)
+  // and must be reaped like any other.
+  virtual CompletionToken Submit(const IoRequest& request) = 0;
+
+  // Non-blocking reap: returns the result if `token` has completed and
+  // consumes it; nullopt while still in flight. A token can be reaped once.
+  virtual std::optional<IoResult> Poll(CompletionToken token) = 0;
+
+  // Blocking reap of one token.
+  virtual IoResult Wait(CompletionToken token) = 0;
+
+  // Blocks until every submitted request has executed. Does not consume
+  // completions — each token still has to be reaped by its owner.
+  virtual void Drain() = 0;
+
+  // Queue-depth accounting: requests submitted but not yet executed.
+  virtual uint32_t InFlight() const = 0;
+
+  // --- Synchronous shim -------------------------------------------------------
+  // Semantically Submit + Wait; implementations may bypass the queue when
+  // the pipeline is idle (see QueuedDevice::SyncIo) so single-threaded
+  // callers keep direct-call performance.
+  bool Write(uint64_t offset, const void* data, uint64_t size, PlacementHandle handle) {
+    return SyncIo(IoRequest::MakeWrite(offset, data, size, handle)).ok;
+  }
+  bool Read(uint64_t offset, void* out, uint64_t size) {
+    return SyncIo(IoRequest::MakeRead(offset, out, size)).ok;
+  }
+  bool Trim(uint64_t offset, uint64_t size) {
+    return SyncIo(IoRequest::MakeTrim(offset, size)).ok;
+  }
+
+  // One blocking request, start to finish.
+  virtual IoResult SyncIo(const IoRequest& request) { return Wait(Submit(request)); }
 
   virtual uint64_t size_bytes() const = 0;
   virtual uint64_t page_size() const = 0;
@@ -51,17 +157,78 @@ class Device {
   // the default). 0 for devices without data placement.
   virtual uint32_t NumPlacementHandles() const { return 0; }
 
-  const DeviceStats& stats() const { return stats_; }
-  void ResetStats() {
-    stats_.reads = stats_.writes = stats_.read_bytes = stats_.write_bytes = 0;
-    stats_.trims = stats_.io_errors = 0;
-    stats_.read_latency_ns.Clear();
-    stats_.write_latency_ns.Clear();
+  // Lock-free counter snapshot plus mutex-guarded latency histograms; safe to
+  // call concurrently with in-flight I/O.
+  DeviceStats stats() const {
+    DeviceStats out;
+    out.reads = reads_.load(std::memory_order_relaxed);
+    out.writes = writes_.load(std::memory_order_relaxed);
+    out.read_bytes = read_bytes_.load(std::memory_order_relaxed);
+    out.write_bytes = write_bytes_.load(std::memory_order_relaxed);
+    out.trims = trims_.load(std::memory_order_relaxed);
+    out.io_errors = io_errors_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    out.read_latency_ns = read_latency_ns_;
+    out.write_latency_ns = write_latency_ns_;
+    return out;
   }
-  DeviceStats& mutable_stats() { return stats_; }
+
+  // Safe to call while I/O is in flight: completions racing the reset land in
+  // whichever epoch their counter store hits, never in torn state.
+  void ResetStats() {
+    reads_.store(0, std::memory_order_relaxed);
+    writes_.store(0, std::memory_order_relaxed);
+    read_bytes_.store(0, std::memory_order_relaxed);
+    write_bytes_.store(0, std::memory_order_relaxed);
+    trims_.store(0, std::memory_order_relaxed);
+    io_errors_.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    read_latency_ns_.Clear();
+    write_latency_ns_.Clear();
+  }
 
  protected:
-  DeviceStats stats_;
+  // Folds one executed request into the stats. Called by implementations as
+  // each completion retires (from the queue worker, possibly concurrent with
+  // snapshot readers).
+  void RecordCompletion(const IoRequest& request, const IoResult& result) {
+    if (!result.ok) {
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    switch (request.op) {
+      case IoOp::kRead:
+        reads_.fetch_add(1, std::memory_order_relaxed);
+        read_bytes_.fetch_add(request.size, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lock(latency_mu_);
+          read_latency_ns_.Record(result.latency_ns);
+        }
+        break;
+      case IoOp::kWrite:
+        writes_.fetch_add(1, std::memory_order_relaxed);
+        write_bytes_.fetch_add(request.size, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lock(latency_mu_);
+          write_latency_ns_.Record(result.latency_ns);
+        }
+        break;
+      case IoOp::kTrim:
+        trims_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+
+ private:
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> read_bytes_{0};
+  std::atomic<uint64_t> write_bytes_{0};
+  std::atomic<uint64_t> trims_{0};
+  std::atomic<uint64_t> io_errors_{0};
+  mutable std::mutex latency_mu_;
+  Histogram read_latency_ns_;
+  Histogram write_latency_ns_;
 };
 
 }  // namespace fdpcache

@@ -3,13 +3,25 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <vector>
 
 namespace fdpcache {
 
-FileDevice::FileDevice(const std::string& path, uint64_t size_bytes, uint64_t page_size)
-    : size_bytes_(size_bytes), page_size_(page_size) {
+namespace {
+
+uint64_t WallNowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+}  // namespace
+
+FileDevice::FileDevice(const std::string& path, uint64_t size_bytes, uint64_t page_size,
+                       const IoQueueConfig& queue_config)
+    : QueuedDevice(queue_config), size_bytes_(size_bytes), page_size_(page_size) {
   fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd_ >= 0 && ::ftruncate(fd_, static_cast<off_t>(size_bytes)) != 0) {
     ::close(fd_);
@@ -18,60 +30,53 @@ FileDevice::FileDevice(const std::string& path, uint64_t size_bytes, uint64_t pa
 }
 
 FileDevice::~FileDevice() {
+  StopQueue();
   if (fd_ >= 0) {
     ::close(fd_);
   }
 }
 
-bool FileDevice::Write(uint64_t offset, const void* data, uint64_t size,
-                       PlacementHandle /*handle*/) {
+IoResult FileDevice::ExecuteWrite(uint64_t offset, const void* data, uint64_t size,
+                                  PlacementHandle /*handle*/) {
   if (fd_ < 0 || offset % page_size_ != 0 || size % page_size_ != 0 ||
       offset + size > size_bytes_) {
-    ++stats_.io_errors;
-    return false;
+    return IoResult{};
   }
+  const uint64_t start = WallNowNs();
   const ssize_t n = ::pwrite(fd_, data, size, static_cast<off_t>(offset));
   if (n != static_cast<ssize_t>(size)) {
-    ++stats_.io_errors;
-    return false;
+    return IoResult{};
   }
-  ++stats_.writes;
-  stats_.write_bytes += size;
-  return true;
+  return IoResult{true, WallNowNs() - start};
 }
 
-bool FileDevice::Read(uint64_t offset, void* out, uint64_t size) {
+IoResult FileDevice::ExecuteRead(uint64_t offset, void* out, uint64_t size) {
   if (fd_ < 0 || offset % page_size_ != 0 || size % page_size_ != 0 ||
       offset + size > size_bytes_) {
-    ++stats_.io_errors;
-    return false;
+    return IoResult{};
   }
+  const uint64_t start = WallNowNs();
   const ssize_t n = ::pread(fd_, out, size, static_cast<off_t>(offset));
   if (n != static_cast<ssize_t>(size)) {
-    ++stats_.io_errors;
-    return false;
+    return IoResult{};
   }
-  ++stats_.reads;
-  stats_.read_bytes += size;
-  return true;
+  return IoResult{true, WallNowNs() - start};
 }
 
-bool FileDevice::Trim(uint64_t offset, uint64_t size) {
+IoResult FileDevice::ExecuteTrim(uint64_t offset, uint64_t size) {
   if (fd_ < 0 || offset + size > size_bytes_) {
-    ++stats_.io_errors;
-    return false;
+    return IoResult{};
   }
+  const uint64_t start = WallNowNs();
   // Overwrite with zeroes: files have no deallocate semantics we rely on.
   std::vector<char> zeros(page_size_, 0);
   for (uint64_t o = offset; o < offset + size; o += page_size_) {
     if (::pwrite(fd_, zeros.data(), page_size_, static_cast<off_t>(o)) !=
         static_cast<ssize_t>(page_size_)) {
-      ++stats_.io_errors;
-      return false;
+      return IoResult{};
     }
   }
-  ++stats_.trims;
-  return true;
+  return IoResult{true, WallNowNs() - start};
 }
 
 }  // namespace fdpcache

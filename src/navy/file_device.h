@@ -1,21 +1,24 @@
 // File-backed Device: the cache library runs against a regular file (or a
 // block device path) with no FDP and no simulation. Useful for examples,
 // integration tests, and as the seam where a real io_uring/NVMe passthru
-// backend would slot in.
+// backend would slot in. I/O goes through the same QueuedDevice
+// submission/completion pipeline as the simulated SSD, so it is safe for
+// concurrent submitters; completion latencies are wall-clock.
 #ifndef SRC_NAVY_FILE_DEVICE_H_
 #define SRC_NAVY_FILE_DEVICE_H_
 
 #include <string>
 
-#include "src/navy/device.h"
+#include "src/navy/queued_device.h"
 
 namespace fdpcache {
 
-class FileDevice final : public Device {
+class FileDevice final : public QueuedDevice {
  public:
   // Creates (or truncates to `size_bytes`) the file at `path`.
   // Check ok() after construction.
-  FileDevice(const std::string& path, uint64_t size_bytes, uint64_t page_size = 4096);
+  FileDevice(const std::string& path, uint64_t size_bytes, uint64_t page_size = 4096,
+             const IoQueueConfig& queue_config = IoQueueConfig{});
   ~FileDevice() override;
 
   FileDevice(const FileDevice&) = delete;
@@ -23,12 +26,14 @@ class FileDevice final : public Device {
 
   bool ok() const { return fd_ >= 0; }
 
-  bool Write(uint64_t offset, const void* data, uint64_t size, PlacementHandle handle) override;
-  bool Read(uint64_t offset, void* out, uint64_t size) override;
-  bool Trim(uint64_t offset, uint64_t size) override;
-
   uint64_t size_bytes() const override { return size_bytes_; }
   uint64_t page_size() const override { return page_size_; }
+
+ protected:
+  IoResult ExecuteWrite(uint64_t offset, const void* data, uint64_t size,
+                        PlacementHandle handle) override;
+  IoResult ExecuteRead(uint64_t offset, void* out, uint64_t size) override;
+  IoResult ExecuteTrim(uint64_t offset, uint64_t size) override;
 
  private:
   int fd_ = -1;

@@ -35,6 +35,112 @@ LargeObjectCache::LargeObjectCache(Device* device, const LocConfig& config)
   open_region_ = 0;
 }
 
+LargeObjectCache::~LargeObjectCache() { DrainInFlight(); }
+
+std::vector<uint8_t> LargeObjectCache::AcquireBuffer() {
+  if (buffer_pool_.empty()) {
+    return std::vector<uint8_t>(config_.region_size, 0);
+  }
+  std::vector<uint8_t> buffer = std::move(buffer_pool_.back());
+  buffer_pool_.pop_back();
+  std::fill(buffer.begin(), buffer.end(), 0);
+  return buffer;
+}
+
+void LargeObjectCache::ReleaseBuffer(std::vector<uint8_t> buffer) {
+  buffer_pool_.push_back(std::move(buffer));
+}
+
+const LargeObjectCache::InFlightRegion* LargeObjectCache::FindInFlight(uint32_t region) const {
+  // Newest entry wins; after an evict-and-refill cycle a region can appear
+  // twice and only the latest buffer matches the index.
+  for (auto it = inflight_.rbegin(); it != inflight_.rend(); ++it) {
+    if (it->region == region) {
+      return &*it;
+    }
+  }
+  return nullptr;
+}
+
+void LargeObjectCache::DropRegionContents(uint32_t region) {
+  RegionInfo& info = regions_[region];
+  for (const std::string& key : info.keys) {
+    const auto it = index_.find(key);
+    if (it != index_.end() && it->second.region == region) {
+      index_.erase(it);
+      ++stats_.items_evicted;
+    }
+  }
+  info.keys.clear();
+  info.sealed = false;
+  info.seal_seq = 0;
+}
+
+bool LargeObjectCache::RetireOldest(bool blocking, uint32_t* failed_region) {
+  *failed_region = kNoFailure;
+  if (inflight_.empty()) {
+    return false;
+  }
+  InFlightRegion& front = inflight_.front();
+  IoResult result;
+  if (blocking) {
+    result = device_->Wait(front.token);
+  } else {
+    const std::optional<IoResult> polled = device_->Poll(front.token);
+    if (!polled.has_value()) {
+      return false;
+    }
+    result = *polled;
+  }
+  const uint32_t region = front.region;
+  ReleaseBuffer(std::move(front.buffer));
+  inflight_.pop_front();
+  if (!result.ok) {
+    ++stats_.regions_write_failed;
+    // Back out the seal-time accounting so async-mode stats (and Alwa())
+    // match the sync path, which only counts regions that reached flash.
+    stats_.bytes_written -= config_.region_size;
+    --stats_.regions_sealed;
+    DropRegionContents(region);
+    *failed_region = region;
+  }
+  return true;
+}
+
+void LargeObjectCache::ReapCompleted() {
+  uint32_t failed = kNoFailure;
+  while (RetireOldest(/*blocking=*/false, &failed)) {
+    if (failed != kNoFailure) {
+      free_regions_.push_back(failed);
+    }
+  }
+}
+
+void LargeObjectCache::RetireRegion(uint32_t region) {
+  while (FindInFlight(region) != nullptr) {
+    uint32_t failed = kNoFailure;
+    RetireOldest(/*blocking=*/true, &failed);
+    // Failed regions retired on the way go back to the free list — except
+    // the target itself, which the caller is about to recycle.
+    if (failed != kNoFailure && failed != region) {
+      free_regions_.push_back(failed);
+    }
+  }
+}
+
+bool LargeObjectCache::DrainInFlight() {
+  bool ok = true;
+  while (!inflight_.empty()) {
+    uint32_t failed = kNoFailure;
+    RetireOldest(/*blocking=*/true, &failed);
+    if (failed != kNoFailure) {
+      free_regions_.push_back(failed);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
 uint64_t LargeObjectCache::IndexMemoryBytes() const {
   // Rough DRAM accounting: map node + key + location record. This is the
   // "LOC tracks objects in DRAM" overhead the paper contrasts with the SOC.
@@ -84,9 +190,32 @@ bool LargeObjectCache::Insert(std::string_view key, std::string_view value) {
 bool LargeObjectCache::SealAndRotate() {
   // Write the full region (CacheLib writes whole regions; the unused tail is
   // part of the LOC's application-level write amplification).
-  if (!device_->Write(RegionBase(open_region_), open_buffer_.data(), config_.region_size,
-                      config_.placement)) {
-    return false;
+  if (config_.inflight_regions == 0) {
+    // Synchronous seal: block on the device write; failure aborts the seal.
+    if (!device_->Write(RegionBase(open_region_), open_buffer_.data(), config_.region_size,
+                        config_.placement)) {
+      return false;
+    }
+    std::fill(open_buffer_.begin(), open_buffer_.end(), 0);
+  } else {
+    // Asynchronous seal: hand the buffer to the in-flight ring and submit
+    // without waiting; reads of this region are served from the ring until
+    // the write retires. Reap completed writes first, then make room.
+    ReapCompleted();
+    while (inflight_.size() >= config_.inflight_regions) {
+      uint32_t failed = kNoFailure;
+      RetireOldest(/*blocking=*/true, &failed);
+      if (failed != kNoFailure) {
+        free_regions_.push_back(failed);
+      }
+    }
+    InFlightRegion entry;
+    entry.region = open_region_;
+    entry.buffer = std::move(open_buffer_);
+    entry.token = device_->Submit(IoRequest::MakeWrite(
+        RegionBase(open_region_), entry.buffer.data(), config_.region_size, config_.placement));
+    inflight_.push_back(std::move(entry));
+    open_buffer_ = AcquireBuffer();
   }
   stats_.bytes_written += config_.region_size;
   RegionInfo& sealed = regions_[open_region_];
@@ -105,7 +234,6 @@ bool LargeObjectCache::SealAndRotate() {
   }
   open_region_ = next;
   open_offset_ = 0;
-  std::fill(open_buffer_.begin(), open_buffer_.end(), 0);
   return true;
 }
 
@@ -128,6 +256,10 @@ uint32_t LargeObjectCache::PickEvictionVictim() {
 }
 
 void LargeObjectCache::EvictRegion(uint32_t region) {
+  // The region's space is about to be recycled: its own device write must
+  // not still be outstanding (a late-landing write would clobber the reused
+  // region and a failed one would drop the wrong keys).
+  RetireRegion(region);
   RegionInfo& info = regions_[region];
   for (const std::string& key : info.keys) {
     const auto it = index_.find(key);
@@ -154,12 +286,19 @@ std::optional<std::string> LargeObjectCache::Lookup(std::string_view key) {
   const ItemLoc loc = it->second;
   regions_[loc.region].last_access_seq = ++access_seq_;
   std::string value;
-  if (loc.region == open_region_) {
-    // Served from the open region's RAM buffer.
-    const uint8_t* p = open_buffer_.data() + loc.offset;
+  const InFlightRegion* inflight =
+      loc.region == open_region_ ? nullptr : FindInFlight(loc.region);
+  if (loc.region == open_region_ || inflight != nullptr) {
+    // Served from RAM: either the open region's buffer or a sealed region
+    // whose device write is still in flight.
+    const uint8_t* p =
+        (inflight != nullptr ? inflight->buffer.data() : open_buffer_.data()) + loc.offset;
     const uint16_t key_size = GetU16(p + 4);
     const uint32_t value_size = GetU32(p + 6);
     value.assign(reinterpret_cast<const char*>(p + kItemHeaderBytes + key_size), value_size);
+    if (inflight != nullptr) {
+      ++stats_.inflight_buffer_hits;
+    }
   } else {
     // Page-aligned read spanning the item.
     const uint64_t page = device_->page_size();
@@ -201,10 +340,11 @@ bool LargeObjectCache::Remove(std::string_view key) {
 }
 
 bool LargeObjectCache::Flush() {
-  if (open_offset_ == 0) {
-    return true;
+  bool ok = true;
+  if (open_offset_ != 0) {
+    ok = SealAndRotate();
   }
-  return SealAndRotate();
+  return DrainInFlight() && ok;
 }
 
 namespace {
@@ -264,6 +404,7 @@ bool LargeObjectCache::SerializeState(std::string* out) {
 }
 
 bool LargeObjectCache::RestoreState(const std::string& blob) {
+  DrainInFlight();  // A fresh instance has none; defensive for reuse.
   size_t pos = 0;
   uint32_t magic = 0;
   uint32_t version = 0;

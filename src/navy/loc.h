@@ -5,10 +5,19 @@
 // written to the device sequentially. Eviction recycles whole regions (FIFO
 // or region-LRU), which makes the device-visible write pattern purely
 // sequential — the stream the paper leaves at DLWA ~ 1.
+//
+// With `inflight_regions > 0` the seal is asynchronous: the sealed region's
+// buffer moves into an in-flight ring and its device write is Submit()ted
+// without waiting; lookups of items in a still-in-flight region are served
+// from the ring buffer, and the write is reaped (retired) when the ring
+// fills, on Flush(), or opportunistically at the next seal. A failed region
+// write drops that region's index entries — degraded to misses, never wrong
+// data.
 #ifndef SRC_NAVY_LOC_H_
 #define SRC_NAVY_LOC_H_
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -33,6 +42,10 @@ struct LocConfig {
   // Issue a TRIM for a region when it is evicted (the paper's shelved
   // RU-aware eviction exploration, §5.5 lesson 1; off by default).
   bool trim_on_evict = false;
+  // Maximum sealed regions whose device writes may be outstanding at once.
+  // 0 = synchronous seals (legacy behaviour: SealAndRotate blocks on the
+  // device write).
+  uint32_t inflight_regions = 0;
 };
 
 struct LocStats {
@@ -47,6 +60,8 @@ struct LocStats {
   uint64_t bytes_written = 0;      // Device bytes (whole regions).
   uint64_t item_bytes_written = 0;
   uint64_t corrupt_items = 0;
+  uint64_t inflight_buffer_hits = 0;  // Lookups served from a sealed region's in-flight buffer.
+  uint64_t regions_write_failed = 0;  // Async region writes that failed (items dropped).
 
   double Alwa() const {
     return item_bytes_written == 0
@@ -58,6 +73,8 @@ struct LocStats {
 class LargeObjectCache {
  public:
   LargeObjectCache(Device* device, const LocConfig& config);
+  // Retires any in-flight region writes (`device` must still be alive).
+  ~LargeObjectCache();
 
   // Inserts an item (key+value must fit one region).
   bool Insert(std::string_view key, std::string_view value);
@@ -67,9 +84,12 @@ class LargeObjectCache {
   // Drops the index entry; the flash copy becomes dead space in its region.
   bool Remove(std::string_view key);
 
-  // Seals the open region early, writing it out zero-padded. Mostly for
-  // tests and orderly shutdown.
+  // Seals the open region early (writing it out zero-padded) and retires
+  // every in-flight region write. Mostly for tests and orderly shutdown.
   bool Flush();
+
+  // Sealed regions whose device write has not been retired yet.
+  uint32_t InFlightRegions() const { return static_cast<uint32_t>(inflight_.size()); }
 
   const LocStats& stats() const { return stats_; }
   void ResetStats() { stats_ = LocStats{}; }
@@ -114,11 +134,40 @@ class LargeObjectCache {
     return config_.base_offset + static_cast<uint64_t>(region) * config_.region_size;
   }
 
+  // A sealed region whose device write is still outstanding; `buffer` backs
+  // the submitted IoRequest and serves lookups until the write is retired.
+  struct InFlightRegion {
+    uint32_t region = 0;
+    CompletionToken token = kInvalidToken;
+    std::vector<uint8_t> buffer;
+  };
+
   // Seals the open region to the device and rotates to a fresh one,
-  // evicting if no free region remains. Returns false on device error.
+  // evicting if no free region remains. Returns false on device error
+  // (synchronous mode only; asynchronous seals surface errors at retire).
   bool SealAndRotate();
   uint32_t PickEvictionVictim();
   void EvictRegion(uint32_t region);
+
+  // Reaps the oldest in-flight write (waiting for it when `blocking`).
+  // Returns whether an entry was retired; a failed write drops the region's
+  // index entries and reports the region in `*failed_region` (set to
+  // kNoFailure otherwise).
+  static constexpr uint32_t kNoFailure = ~0u;
+  bool RetireOldest(bool blocking, uint32_t* failed_region);
+  // Non-blocking sweep of already-completed writes; failed regions go back
+  // to the free list.
+  void ReapCompleted();
+  // Blocking retire until `region` has no outstanding write.
+  void RetireRegion(uint32_t region);
+  // Retires everything; returns false if any write failed.
+  bool DrainInFlight();
+  const InFlightRegion* FindInFlight(uint32_t region) const;
+  // Drops every index entry of a region whose write failed.
+  void DropRegionContents(uint32_t region);
+
+  std::vector<uint8_t> AcquireBuffer();
+  void ReleaseBuffer(std::vector<uint8_t> buffer);
 
   Device* device_;
   LocConfig config_;
@@ -132,6 +181,9 @@ class LargeObjectCache {
   std::vector<uint8_t> open_buffer_;
   uint64_t seal_seq_ = 0;
   uint64_t access_seq_ = 0;
+
+  std::deque<InFlightRegion> inflight_;
+  std::vector<std::vector<uint8_t>> buffer_pool_;
 
   LocStats stats_;
 };

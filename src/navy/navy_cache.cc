@@ -26,6 +26,7 @@ NavyCache::NavyCache(Device* device, const NavyConfig& config,
   soc.bucket_size = config_.soc_bucket_size;
   soc.placement = soc_handle_;
   soc.use_bloom_filters = config_.soc_bloom_filters;
+  soc.inflight_writes = config_.soc_inflight_writes;
   soc_ = std::make_unique<SmallObjectCache>(device_, soc);
 
   LocConfig loc;
@@ -35,6 +36,7 @@ NavyCache::NavyCache(Device* device, const NavyConfig& config,
   loc.placement = loc_handle_;
   loc.eviction = config_.loc_eviction;
   loc.trim_on_evict = config_.loc_trim_on_evict;
+  loc.inflight_regions = config_.loc_inflight_regions;
   loc_ = std::make_unique<LargeObjectCache>(device_, loc);
   (void)page;
 }
@@ -86,7 +88,15 @@ bool NavyCache::Remove(std::string_view key) {
   return soc_removed || loc_removed;
 }
 
-bool NavyCache::Persist(std::string* state) { return loc_->SerializeState(state); }
+bool NavyCache::Flush() {
+  const bool soc_ok = soc_->Flush();
+  return loc_->Flush() && soc_ok;
+}
+
+bool NavyCache::Persist(std::string* state) {
+  soc_->Flush();  // Everything referenced by the persisted state is on-device.
+  return loc_->SerializeState(state);
+}
 
 bool NavyCache::Recover(const std::string& state) {
   if (!loc_->RestoreState(state)) {

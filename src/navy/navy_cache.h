@@ -31,6 +31,11 @@ struct NavyConfig {
   uint64_t loc_region_size = 2 * 1024 * 1024;
   LocEvictionPolicy loc_eviction = LocEvictionPolicy::kFifo;
   bool loc_trim_on_evict = false;
+  // Asynchronous flash-write pipelining (0 = synchronous, the conservative
+  // default): how many sealed LOC regions / SOC bucket rewrites may be in
+  // flight on the device at once. The concurrent backend enables both.
+  uint32_t loc_inflight_regions = 0;
+  uint32_t soc_inflight_writes = 0;
   // Use FDP placement handles when the device offers them (the paper's
   // upstreamed CacheLib change; disable for the Non-FDP baseline).
   bool use_placement_handles = true;
@@ -64,6 +69,12 @@ class NavyCache {
   bool Insert(std::string_view key, std::string_view value);
   std::optional<std::string> Lookup(std::string_view key);
   bool Remove(std::string_view key);
+
+  // Seals the open LOC region and retires every in-flight flash write from
+  // both engines — the barrier before shutdown or direct device inspection.
+  // Returns false if a seal or an async write failed (state stays
+  // consistent; the affected items degrade to misses).
+  bool Flush();
 
   bool IsSmall(std::string_view key, std::string_view value) const {
     return key.size() + value.size() <= config_.small_item_max_bytes;

@@ -1,0 +1,134 @@
+#include "src/navy/queued_device.h"
+
+namespace fdpcache {
+
+QueuedDevice::QueuedDevice(const IoQueueConfig& queue_config)
+    : queue_config_{queue_config.sq_depth == 0 ? 1 : queue_config.sq_depth} {
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+QueuedDevice::~QueuedDevice() {
+  // Normally a no-op: derived destructors stop the queue before their
+  // members (and vtable) go away. This is the backstop for a derived class
+  // that forgot.
+  StopQueue();
+}
+
+void QueuedDevice::StopQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      return;
+    }
+    stopped_ = true;
+    stop_ = true;
+    work_cv_.notify_one();
+  }
+  if (worker_.joinable()) {
+    worker_.join();
+  }
+}
+
+CompletionToken QueuedDevice::Submit(const IoRequest& request) {
+  std::unique_lock<std::mutex> lock(mu_);
+  space_cv_.wait(lock, [this] { return sq_.size() < queue_config_.sq_depth; });
+  const CompletionToken token = next_token_++;
+  sq_.push_back(Pending{token, request});
+  outstanding_.insert(token);
+  work_cv_.notify_one();
+  return token;
+}
+
+std::optional<IoResult> QueuedDevice::Poll(CompletionToken token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = cq_.find(token);
+  if (it == cq_.end()) {
+    return std::nullopt;
+  }
+  const IoResult result = it->second;
+  cq_.erase(it);
+  return result;
+}
+
+IoResult QueuedDevice::Wait(CompletionToken token) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Fail fast on tokens that can never complete (never submitted, already
+  // reaped, kInvalidToken) instead of blocking forever on a caller bug.
+  complete_cv_.wait(lock, [this, token] {
+    return cq_.find(token) != cq_.end() || outstanding_.find(token) == outstanding_.end();
+  });
+  const auto it = cq_.find(token);
+  if (it == cq_.end()) {
+    return IoResult{};
+  }
+  const IoResult result = it->second;
+  cq_.erase(it);
+  return result;
+}
+
+void QueuedDevice::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  complete_cv_.wait(lock, [this] { return sq_.empty() && active_ == 0; });
+}
+
+uint32_t QueuedDevice::InFlight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<uint32_t>(sq_.size()) + active_;
+}
+
+IoResult QueuedDevice::SyncIo(const IoRequest& request) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (sq_.empty() && active_ == 0) {
+      // Idle pipeline: execute inline on the calling thread. `active_` keeps
+      // Drain()/InFlight() honest while the lock is dropped for the
+      // (possibly slow) backend call.
+      ++active_;
+      lock.unlock();
+      const IoResult result = Execute(request);
+      RecordCompletion(request, result);
+      lock.lock();
+      --active_;
+      complete_cv_.notify_all();
+      return result;
+    }
+  }
+  return Wait(Submit(request));
+}
+
+IoResult QueuedDevice::Execute(const IoRequest& request) {
+  switch (request.op) {
+    case IoOp::kWrite:
+      return ExecuteWrite(request.offset, request.data, request.size, request.handle);
+    case IoOp::kRead:
+      return ExecuteRead(request.offset, request.out, request.size);
+    case IoOp::kTrim:
+      return ExecuteTrim(request.offset, request.size);
+  }
+  return IoResult{};
+}
+
+void QueuedDevice::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !sq_.empty(); });
+    if (sq_.empty()) {
+      // stop_ is set and everything submitted has been executed.
+      return;
+    }
+    Pending pending = sq_.front();
+    sq_.pop_front();
+    ++active_;
+    space_cv_.notify_one();
+    lock.unlock();
+    const IoResult result = Execute(pending.request);
+    RecordCompletion(pending.request, result);
+    lock.lock();
+    --active_;
+    cq_[pending.token] = result;
+    outstanding_.erase(pending.token);
+    complete_cv_.notify_all();
+  }
+}
+
+}  // namespace fdpcache

@@ -1,0 +1,104 @@
+// QueuedDevice: the shared submission/completion pipeline both concrete
+// devices build on.
+//
+// Models one NVMe queue pair in host software: Submit() appends to a
+// mutex-guarded submission ring (applying backpressure when the ring is
+// full), a dedicated queue worker pops requests in FIFO order and executes
+// them against the blocking backend (ExecuteWrite/Read/Trim, supplied by the
+// derived device), and completions land in a completion table keyed by token
+// for Poll()/Wait() to reap. Because one worker executes everything in
+// submission order, concurrent submitters get a device that behaves like a
+// single serially-consistent SSD — which is exactly what lets every
+// ShardedCache shard share ONE simulated FDP device and genuinely interleave
+// their placement streams on the same NAND geometry.
+#ifndef SRC_NAVY_QUEUED_DEVICE_H_
+#define SRC_NAVY_QUEUED_DEVICE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/navy/device.h"
+
+namespace fdpcache {
+
+struct IoQueueConfig {
+  // Submission ring capacity; Submit() blocks (backpressure) when this many
+  // requests are queued and not yet picked up by the worker.
+  uint32_t sq_depth = 256;
+};
+
+class QueuedDevice : public Device {
+ public:
+  explicit QueuedDevice(const IoQueueConfig& queue_config = IoQueueConfig{});
+  ~QueuedDevice() override;
+
+  QueuedDevice(const QueuedDevice&) = delete;
+  QueuedDevice& operator=(const QueuedDevice&) = delete;
+
+  CompletionToken Submit(const IoRequest& request) override;
+  std::optional<IoResult> Poll(CompletionToken token) override;
+  // Blocking reap. A token that is neither in flight nor parked (never
+  // submitted, already reaped, or kInvalidToken) returns ok=false
+  // immediately instead of blocking forever.
+  IoResult Wait(CompletionToken token) override;
+  void Drain() override;
+  uint32_t InFlight() const override;
+
+  // Synchronous I/O fast path: when the pipeline is idle the calling thread
+  // executes the request inline — no tokens, no queue-worker handoff — which
+  // keeps single-threaded callers of the Write/Read/Trim shim at direct-call
+  // cost. Requests submitted by other threads while an inline execution is
+  // in progress may run concurrently against the backend (the backends are
+  // thread-safe); same-caller ordering is unaffected.
+  IoResult SyncIo(const IoRequest& request) override;
+
+  const IoQueueConfig& queue_config() const { return queue_config_; }
+
+ protected:
+  // Blocking backend ops, executed on the queue worker strictly in
+  // submission order. Implementations validate alignment/bounds themselves
+  // and report failures through IoResult::ok.
+  virtual IoResult ExecuteWrite(uint64_t offset, const void* data, uint64_t size,
+                                PlacementHandle handle) = 0;
+  virtual IoResult ExecuteRead(uint64_t offset, void* out, uint64_t size) = 0;
+  virtual IoResult ExecuteTrim(uint64_t offset, uint64_t size) = 0;
+
+  // Stops the worker after it finishes everything already submitted. Every
+  // derived destructor MUST call this first, so the worker cannot call into a
+  // partially-destroyed derived class. Idempotent.
+  void StopQueue();
+
+ private:
+  struct Pending {
+    CompletionToken token = kInvalidToken;
+    IoRequest request;
+  };
+
+  IoResult Execute(const IoRequest& request);
+  void WorkerLoop();
+
+  const IoQueueConfig queue_config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable space_cv_;     // Ring space freed.
+  std::condition_variable work_cv_;      // Work submitted / stop requested.
+  std::condition_variable complete_cv_;  // A completion landed.
+  std::deque<Pending> sq_;
+  std::unordered_map<CompletionToken, IoResult> cq_;
+  // Tokens submitted and not yet completed (queued or executing); lets
+  // Wait() distinguish "still in flight" from "never existed / reaped".
+  std::unordered_set<CompletionToken> outstanding_;
+  CompletionToken next_token_ = 1;
+  uint32_t active_ = 0;  // Executions in progress (worker + inline SyncIo).
+  bool stop_ = false;
+  bool stopped_ = false;
+  std::thread worker_;
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_NAVY_QUEUED_DEVICE_H_

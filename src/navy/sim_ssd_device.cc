@@ -2,10 +2,17 @@
 
 namespace fdpcache {
 
-SimSsdDevice::SimSsdDevice(SimulatedSsd* ssd, uint32_t nsid, VirtualClock* clock)
-    : ssd_(ssd), nsid_(nsid), clock_(clock) {
-  size_bytes_ = ssd_->namespaces()[nsid - 1].size_pages * ssd_->page_size();
+SimSsdDevice::SimSsdDevice(SimulatedSsd* ssd, uint32_t nsid, VirtualClock* clock,
+                           const IoQueueConfig& queue_config)
+    : QueuedDevice(queue_config),
+      ssd_(ssd),
+      nsid_(nsid),
+      clock_(clock),
+      page_size_(ssd->page_size()) {
+  size_bytes_ = ssd_->namespaces()[nsid - 1].size_pages * page_size_;
 }
+
+SimSsdDevice::~SimSsdDevice() { StopQueue(); }
 
 uint32_t SimSsdDevice::NumPlacementHandles() const {
   const FdpCapabilities caps = ssd_->IdentifyFdp();
@@ -25,59 +32,46 @@ void SimSsdDevice::TranslateHandle(PlacementHandle handle, DirectiveType* dtype,
   *dspec = EncodeDspec(PlacementId{0, static_cast<uint16_t>(handle - 1)});
 }
 
-bool SimSsdDevice::Write(uint64_t offset, const void* data, uint64_t size,
-                         PlacementHandle handle) {
-  const uint64_t page = page_size();
-  if (offset % page != 0 || size % page != 0 || size == 0) {
-    ++stats_.io_errors;
-    return false;
+IoResult SimSsdDevice::ExecuteWrite(uint64_t offset, const void* data, uint64_t size,
+                                    PlacementHandle handle) {
+  if (offset % page_size_ != 0 || size % page_size_ != 0 || size == 0) {
+    return IoResult{};
   }
   DirectiveType dtype = DirectiveType::kNone;
   uint16_t dspec = 0;
   TranslateHandle(handle, &dtype, &dspec);
-  const NvmeCompletion c = ssd_->Write(nsid_, offset / page, static_cast<uint32_t>(size / page),
-                                       data, dtype, dspec, clock_->now());
+  const NvmeCompletion c =
+      ssd_->Write(nsid_, offset / page_size_, static_cast<uint32_t>(size / page_size_), data,
+                  dtype, dspec, clock_->now());
   if (!c.ok()) {
-    ++stats_.io_errors;
-    return false;
+    return IoResult{};
   }
-  ++stats_.writes;
-  stats_.write_bytes += size;
-  stats_.write_latency_ns.Record(c.latency());
-  return true;
+  return IoResult{true, c.latency()};
 }
 
-bool SimSsdDevice::Read(uint64_t offset, void* out, uint64_t size) {
-  const uint64_t page = page_size();
-  if (offset % page != 0 || size % page != 0 || size == 0) {
-    ++stats_.io_errors;
-    return false;
+IoResult SimSsdDevice::ExecuteRead(uint64_t offset, void* out, uint64_t size) {
+  if (offset % page_size_ != 0 || size % page_size_ != 0 || size == 0) {
+    return IoResult{};
+  }
+  const NvmeCompletion c = ssd_->Read(nsid_, offset / page_size_,
+                                      static_cast<uint32_t>(size / page_size_), out,
+                                      clock_->now());
+  if (!c.ok()) {
+    return IoResult{};
+  }
+  return IoResult{true, c.latency()};
+}
+
+IoResult SimSsdDevice::ExecuteTrim(uint64_t offset, uint64_t size) {
+  if (offset % page_size_ != 0 || size % page_size_ != 0) {
+    return IoResult{};
   }
   const NvmeCompletion c =
-      ssd_->Read(nsid_, offset / page, static_cast<uint32_t>(size / page), out, clock_->now());
+      ssd_->Deallocate(nsid_, offset / page_size_, size / page_size_, clock_->now());
   if (!c.ok()) {
-    ++stats_.io_errors;
-    return false;
+    return IoResult{};
   }
-  ++stats_.reads;
-  stats_.read_bytes += size;
-  stats_.read_latency_ns.Record(c.latency());
-  return true;
-}
-
-bool SimSsdDevice::Trim(uint64_t offset, uint64_t size) {
-  const uint64_t page = page_size();
-  if (offset % page != 0 || size % page != 0) {
-    ++stats_.io_errors;
-    return false;
-  }
-  const NvmeCompletion c = ssd_->Deallocate(nsid_, offset / page, size / page, clock_->now());
-  if (!c.ok()) {
-    ++stats_.io_errors;
-    return false;
-  }
-  ++stats_.trims;
-  return true;
+  return IoResult{true, c.latency()};
 }
 
 }  // namespace fdpcache

@@ -3,35 +3,42 @@
 // Mirrors the paper's FDP-aware I/O management (§5.4): placement handles are
 // translated to FDP placement identifiers, attached to writes as DTYPE/DSPEC
 // directive fields, and submitted to the device. Reads are unchanged.
+//
+// I/O flows through the QueuedDevice submission/completion pipeline, so any
+// number of threads (ShardedCache shards in particular) can submit against
+// one device; the queue worker serializes execution against the SimulatedSsd
+// in submission order.
 #ifndef SRC_NAVY_SIM_SSD_DEVICE_H_
 #define SRC_NAVY_SIM_SSD_DEVICE_H_
 
-#include <vector>
-
 #include "src/common/clock.h"
-#include "src/navy/device.h"
+#include "src/navy/queued_device.h"
 #include "src/ssd/ssd.h"
 
 namespace fdpcache {
 
-class SimSsdDevice final : public Device {
+class SimSsdDevice final : public QueuedDevice {
  public:
   // Exposes namespace `nsid` of `ssd` as a flat byte space. The clock is
   // shared with the driving harness; device completions are recorded against
   // it. Neither pointer is owned and both must outlive the device.
-  SimSsdDevice(SimulatedSsd* ssd, uint32_t nsid, VirtualClock* clock);
-
-  bool Write(uint64_t offset, const void* data, uint64_t size, PlacementHandle handle) override;
-  bool Read(uint64_t offset, void* out, uint64_t size) override;
-  bool Trim(uint64_t offset, uint64_t size) override;
+  SimSsdDevice(SimulatedSsd* ssd, uint32_t nsid, VirtualClock* clock,
+               const IoQueueConfig& queue_config = IoQueueConfig{});
+  ~SimSsdDevice() override;
 
   uint64_t size_bytes() const override { return size_bytes_; }
-  uint64_t page_size() const override { return ssd_->page_size(); }
+  uint64_t page_size() const override { return page_size_; }
 
   FdpCapabilities QueryFdp() const override { return ssd_->IdentifyFdp(); }
   uint32_t NumPlacementHandles() const override;
 
   SimulatedSsd* ssd() { return ssd_; }
+
+ protected:
+  IoResult ExecuteWrite(uint64_t offset, const void* data, uint64_t size,
+                        PlacementHandle handle) override;
+  IoResult ExecuteRead(uint64_t offset, void* out, uint64_t size) override;
+  IoResult ExecuteTrim(uint64_t offset, uint64_t size) override;
 
  private:
   // Translates a placement handle to the NVMe directive fields.
@@ -41,6 +48,7 @@ class SimSsdDevice final : public Device {
   uint32_t nsid_;
   VirtualClock* clock_;
   uint64_t size_bytes_;
+  uint64_t page_size_;
 };
 
 }  // namespace fdpcache

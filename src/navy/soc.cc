@@ -18,7 +18,90 @@ uint64_t SmallObjectCache::BucketOf(std::string_view key) const {
   return HashString(key) % num_buckets_;
 }
 
+SmallObjectCache::~SmallObjectCache() { Flush(); }
+
+std::vector<uint8_t> SmallObjectCache::AcquireBuffer() {
+  if (buffer_pool_.empty()) {
+    return std::vector<uint8_t>(config_.bucket_size);
+  }
+  std::vector<uint8_t> buffer = std::move(buffer_pool_.back());
+  buffer_pool_.pop_back();
+  return buffer;
+}
+
+const SmallObjectCache::PendingWrite* SmallObjectCache::FindPending(uint64_t bucket_id) const {
+  // Newest wins: the same bucket may have several overlapping rewrites in
+  // flight, and FIFO execution makes the last-submitted the final content.
+  for (auto it = pending_.rbegin(); it != pending_.rend(); ++it) {
+    if (it->bucket_id == bucket_id) {
+      return &*it;
+    }
+  }
+  return nullptr;
+}
+
+bool SmallObjectCache::RetireOldest(bool blocking) {
+  if (pending_.empty()) {
+    return false;
+  }
+  PendingWrite& front = pending_.front();
+  IoResult result;
+  if (blocking) {
+    result = device_->Wait(front.token);
+  } else {
+    const std::optional<IoResult> polled = device_->Poll(front.token);
+    if (!polled.has_value()) {
+      return false;
+    }
+    result = *polled;
+  }
+  const uint64_t bucket_id = front.bucket_id;
+  buffer_pool_.push_back(std::move(front.buffer));
+  pending_.pop_front();
+  if (!result.ok) {
+    ++stats_.write_failures;
+    // The rewrite never reached flash, so the PREVIOUS bucket content is
+    // still there in valid format — serving it would be a stale hit, not a
+    // miss. Deallocate the bucket (and clear its bloom bits) so the failed
+    // generation degrades to misses; skip when a newer rewrite of the same
+    // bucket is still queued behind us, since that one supersedes this and
+    // a trim submitted now would execute after it (FIFO).
+    if (FindPending(bucket_id) == nullptr) {
+      device_->Trim(config_.base_offset + bucket_id * config_.bucket_size, config_.bucket_size);
+      if (blooms_.has_value()) {
+        blooms_->ClearBucket(bucket_id);
+      }
+    }
+  }
+  return true;
+}
+
+void SmallObjectCache::ReapCompleted() {
+  while (RetireOldest(/*blocking=*/false)) {
+  }
+}
+
+bool SmallObjectCache::Flush() {
+  const uint64_t failures_before = stats_.write_failures;
+  while (!pending_.empty()) {
+    RetireOldest(/*blocking=*/true);
+  }
+  return stats_.write_failures == failures_before;
+}
+
 Bucket SmallObjectCache::LoadBucket(uint64_t bucket_id, bool* io_ok) {
+  if (const PendingWrite* pending = FindPending(bucket_id)) {
+    // Write-back hit: the freshest content is the buffer awaiting the
+    // device, not whatever the device would return today.
+    *io_ok = true;
+    ++stats_.pending_buffer_hits;
+    auto bucket = Bucket::Deserialize(pending->buffer.data(), config_.bucket_size);
+    if (!bucket.has_value()) {
+      ++stats_.corrupt_buckets;
+      return Bucket(config_.bucket_size);
+    }
+    return std::move(*bucket);
+  }
   const uint64_t offset = config_.base_offset + bucket_id * config_.bucket_size;
   if (!device_->Read(offset, scratch_.data(), config_.bucket_size)) {
     *io_ok = false;
@@ -34,10 +117,25 @@ Bucket SmallObjectCache::LoadBucket(uint64_t bucket_id, bool* io_ok) {
 }
 
 bool SmallObjectCache::StoreBucket(uint64_t bucket_id, const Bucket& bucket) {
-  bucket.Serialize(scratch_.data());
   const uint64_t offset = config_.base_offset + bucket_id * config_.bucket_size;
-  if (!device_->Write(offset, scratch_.data(), config_.bucket_size, config_.placement)) {
-    return false;
+  if (config_.inflight_writes == 0) {
+    // Synchronous rewrite: device errors surface to the caller immediately.
+    bucket.Serialize(scratch_.data());
+    if (!device_->Write(offset, scratch_.data(), config_.bucket_size, config_.placement)) {
+      return false;
+    }
+  } else {
+    ReapCompleted();
+    while (pending_.size() >= config_.inflight_writes) {
+      RetireOldest(/*blocking=*/true);
+    }
+    PendingWrite entry;
+    entry.bucket_id = bucket_id;
+    entry.buffer = AcquireBuffer();
+    bucket.Serialize(entry.buffer.data());
+    entry.token = device_->Submit(IoRequest::MakeWrite(offset, entry.buffer.data(),
+                                                       config_.bucket_size, config_.placement));
+    pending_.push_back(std::move(entry));
   }
   stats_.bytes_written += config_.bucket_size;
   if (blooms_.has_value()) {
@@ -100,6 +198,7 @@ std::optional<std::string> SmallObjectCache::Lookup(std::string_view key) {
 }
 
 uint64_t SmallObjectCache::RecoverBloomFilters() {
+  Flush();  // The scan below reads the device directly.
   if (!blooms_.has_value()) {
     return 0;
   }

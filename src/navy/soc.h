@@ -5,10 +5,19 @@
 // rewrites the whole bucket in place. This gives near-zero DRAM overhead for
 // billions of objects at the cost of a random small-write pattern to the SSD
 // — exactly the stream the paper segregates with its own reclaim unit handle.
+//
+// With `inflight_writes > 0` bucket rewrites are batched through the device
+// submission queue: each rewrite is Submit()ted and parked in a small
+// pending ring; reads of a pending bucket are served from its buffer (the
+// newest pending write wins), and completions are reaped when the ring
+// fills, on Flush(), or opportunistically at the next store. A failed write
+// deallocates the affected bucket (and clears its bloom bits) so the lost
+// generation degrades to misses, never to stale or wrong data.
 #ifndef SRC_NAVY_SOC_H_
 #define SRC_NAVY_SOC_H_
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -27,6 +36,10 @@ struct SocConfig {
   PlacementHandle placement = kNoPlacement;
   uint32_t bloom_bits_per_bucket = 64;
   bool use_bloom_filters = true;
+  // Maximum bucket rewrites whose device writes may be outstanding at once.
+  // 0 = synchronous rewrites (legacy behaviour: StoreBucket blocks and
+  // surfaces device errors as insert failures).
+  uint32_t inflight_writes = 0;
 };
 
 struct SocStats {
@@ -40,6 +53,8 @@ struct SocStats {
   uint64_t corrupt_buckets = 0;   // Checksum/format failures (treated empty).
   uint64_t bytes_written = 0;     // Device bytes (whole buckets).
   uint64_t item_bytes_written = 0;  // Logical item payload bytes.
+  uint64_t pending_buffer_hits = 0;  // Bucket loads served from a pending write's buffer.
+  uint64_t write_failures = 0;       // Async bucket writes that failed (old bucket remains).
 
   // Application-level write amplification of the SOC (paper Eq. 2): whole
   // buckets are written per small item.
@@ -54,6 +69,8 @@ class SmallObjectCache {
  public:
   // `device` must outlive the cache.
   SmallObjectCache(Device* device, const SocConfig& config);
+  // Retires any pending bucket writes (`device` must still be alive).
+  ~SmallObjectCache();
 
   // Inserts a small item; the whole target bucket is rewritten. Fails when
   // the item cannot fit a bucket or on device errors.
@@ -67,6 +84,14 @@ class SmallObjectCache {
   // Cheap bloom-filter check; false means the key is definitely absent.
   bool MayContain(std::string_view key) const;
 
+  // Retires every pending bucket write (a barrier before direct device
+  // inspection or shutdown). Returns false if any write failed during this
+  // drain (the affected buckets were deallocated — misses, not stale hits).
+  bool Flush();
+
+  // Bucket rewrites submitted but not yet retired.
+  uint32_t InFlightWrites() const { return static_cast<uint32_t>(pending_.size()); }
+
   // Warm restart: the SOC's on-flash format is self-describing, so a new
   // instance over an existing device only needs its bloom filters rebuilt.
   // Scans every bucket (device reads); returns buckets found non-empty.
@@ -79,15 +104,33 @@ class SmallObjectCache {
   uint64_t MemoryBytes() const { return blooms_ ? blooms_->MemoryBytes() : 0; }
 
  private:
+  // A bucket rewrite whose device write is still outstanding; `buffer`
+  // backs the submitted IoRequest and serves loads until it retires.
+  struct PendingWrite {
+    uint64_t bucket_id = 0;
+    CompletionToken token = kInvalidToken;
+    std::vector<uint8_t> buffer;
+  };
+
   // Reads and parses the bucket; corrupted contents count and become empty.
   Bucket LoadBucket(uint64_t bucket_id, bool* io_ok);
   bool StoreBucket(uint64_t bucket_id, const Bucket& bucket);
+
+  // Newest pending write for `bucket_id`, or nullptr.
+  const PendingWrite* FindPending(uint64_t bucket_id) const;
+  // Reaps the oldest pending write (waiting for it when `blocking`).
+  bool RetireOldest(bool blocking);
+  void ReapCompleted();
+
+  std::vector<uint8_t> AcquireBuffer();
 
   Device* device_;
   SocConfig config_;
   uint64_t num_buckets_;
   std::optional<BucketBloomFilters> blooms_;
   std::vector<uint8_t> scratch_;  // One bucket of I/O scratch space.
+  std::deque<PendingWrite> pending_;
+  std::vector<std::vector<uint8_t>> buffer_pool_;
   SocStats stats_;
 };
 

@@ -44,6 +44,7 @@ SimulatedSsd::SimulatedSsd(const SsdConfig& config)
       data_(ftl_->logical_pages(), config.geometry.page_size_bytes, config.store_data) {}
 
 std::optional<uint32_t> SimulatedSsd::CreateNamespace(uint64_t size_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   const uint64_t pages = CeilDiv(size_bytes, config_.geometry.page_size_bytes);
   if (pages == 0 || allocated_pages_ + pages > ftl_->logical_pages()) {
     return std::nullopt;
@@ -58,6 +59,7 @@ std::optional<uint32_t> SimulatedSsd::CreateNamespace(uint64_t size_bytes) {
 }
 
 uint64_t SimulatedSsd::UnallocatedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return (ftl_->logical_pages() - allocated_pages_) * config_.geometry.page_size_bytes;
 }
 
@@ -76,6 +78,7 @@ std::optional<uint64_t> SimulatedSsd::Translate(uint32_t nsid, uint64_t slba,
 NvmeCompletion SimulatedSsd::Write(uint32_t nsid, uint64_t slba, uint32_t nlb,
                                    const void* data, DirectiveType dtype, uint16_t dspec,
                                    TimeNs now) {
+  std::lock_guard<std::mutex> lock(mu_);
   NvmeCompletion completion;
   completion.submitted_at = now;
   completion.completed_at = now;
@@ -104,6 +107,7 @@ NvmeCompletion SimulatedSsd::Write(uint32_t nsid, uint64_t slba, uint32_t nlb,
 
 NvmeCompletion SimulatedSsd::Read(uint32_t nsid, uint64_t slba, uint32_t nlb, void* out,
                                   TimeNs now) {
+  std::lock_guard<std::mutex> lock(mu_);
   NvmeCompletion completion;
   completion.submitted_at = now;
   completion.completed_at = now;
@@ -130,6 +134,7 @@ NvmeCompletion SimulatedSsd::Read(uint32_t nsid, uint64_t slba, uint32_t nlb, vo
 
 NvmeCompletion SimulatedSsd::Deallocate(uint32_t nsid, uint64_t slba, uint64_t nlb,
                                         TimeNs now) {
+  std::lock_guard<std::mutex> lock(mu_);
   NvmeCompletion completion;
   completion.submitted_at = now;
   // Deallocate is a metadata operation; it completes "immediately" in the
@@ -150,6 +155,7 @@ NvmeCompletion SimulatedSsd::Deallocate(uint32_t nsid, uint64_t slba, uint64_t n
 }
 
 FdpCapabilities SimulatedSsd::IdentifyFdp() const {
+  std::lock_guard<std::mutex> lock(mu_);
   FdpCapabilities caps;
   caps.fdp_supported = true;
   caps.fdp_enabled = ftl_->fdp_enabled();
@@ -162,6 +168,7 @@ FdpCapabilities SimulatedSsd::IdentifyFdp() const {
 }
 
 bool SimulatedSsd::SetFdpEnabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (ftl_->mapped_pages() != 0) {
     return false;  // Real devices require reformat; we require an empty FTL.
   }
@@ -170,6 +177,7 @@ bool SimulatedSsd::SetFdpEnabled(bool enabled) {
 }
 
 void SimulatedSsd::TrimAll(bool reset_stats) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const NamespaceInfo& ns : namespaces_) {
     for (uint64_t i = 0; i < ns.size_pages; ++i) {
       ftl_->TrimPage(ns.base_lpn + i);
@@ -182,6 +190,7 @@ void SimulatedSsd::TrimAll(bool reset_stats) {
 }
 
 SsdTelemetry SimulatedSsd::Telemetry(TimeNs elapsed) const {
+  std::lock_guard<std::mutex> lock(mu_);
   SsdTelemetry t;
   t.nand = ftl_->media().counts();
   t.ftl = ftl_->counters();

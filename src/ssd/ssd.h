@@ -5,11 +5,18 @@
 // LBAs, write commands with placement directives, DSM deallocate, and log
 // pages (FDP statistics / FDP events). This is the stand-in for the paper's
 // Samsung PM9D3 FDP SSD.
+//
+// The command paths (Write/Read/Deallocate, admin, telemetry) are guarded by
+// an internal mutex, so multiple device queues (or submitter threads) can
+// drive one SimulatedSsd concurrently; commands execute atomically in lock
+// order. Raw subsystem accessors (ftl(), namespaces()) bypass the lock and
+// are for construction-time setup and quiescent inspection only.
 #ifndef SRC_SSD_SSD_H_
 #define SRC_SSD_SSD_H_
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -84,8 +91,14 @@ class SimulatedSsd final : public FtlEventListener {
   // --- Admin path -------------------------------------------------------------
 
   FdpCapabilities IdentifyFdp() const;
-  FdpStatistics GetFdpStatisticsLog() const { return ftl_->stats(); }
-  std::vector<FdpEvent> DrainFdpEventsLog() { return ftl_->event_log().Drain(); }
+  FdpStatistics GetFdpStatisticsLog() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ftl_->stats();
+  }
+  std::vector<FdpEvent> DrainFdpEventsLog() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ftl_->event_log().Drain();
+  }
 
   // Toggles the FDP configuration, like `nvme set-feature` in the paper's
   // methodology. Only honoured while the device is empty.
@@ -98,7 +111,10 @@ class SimulatedSsd final : public FtlEventListener {
   SsdTelemetry Telemetry(TimeNs elapsed) const;
 
   // Furthest-out die completion; the harness uses it for backpressure.
-  TimeNs MaxDieBusyUntil() const { return dies_.MaxBusyUntil(); }
+  TimeNs MaxDieBusyUntil() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dies_.MaxBusyUntil();
+  }
 
   Ftl& ftl() { return *ftl_; }
   const Ftl& ftl() const { return *ftl_; }
@@ -112,6 +128,9 @@ class SimulatedSsd final : public FtlEventListener {
  private:
   // Translates (nsid, slba) to a device LPN; nullopt on invalid input.
   std::optional<uint64_t> Translate(uint32_t nsid, uint64_t slba, uint64_t nlb) const;
+
+  // Serializes the command, admin, and telemetry paths across submitters.
+  mutable std::mutex mu_;
 
   SsdConfig config_;
   std::unique_ptr<Ftl> ftl_;
