@@ -1,26 +1,31 @@
-// Async device queue-depth sweep: QD 1/4/16/64, shared vs per-shard device.
+// Async device queue-depth sweep: QD 1/4/16/64 x queue pairs 1/2/4/8,
+// shared vs per-shard device.
 //
 // Submitter threads issue 256 KiB region-sized writes through the
 // Submit/Poll/Wait pipeline, each keeping QD writes outstanding (a slot
 // window: reap the slot's previous completion, refill the payload, submit).
-// Three configurations:
-//   shared/1t    — one submitter, one shared device: isolates queue-depth
-//                  pipelining (payload prep overlapping device execution);
-//   shared/4t    — four submitters feeding ONE SimSsdDevice submission
-//                  queue over one SSD, each on its own placement handle and
-//                  byte range (the shared-SSD cache topology);
-//   per-shard/4t — four submitters, each with a private SSD stack (the PR 1
-//                  deployment shape, no cross-shard device interference).
-// Reported as MiB/s per (topology, QD) combo, plus machine-readable
+// Configurations:
+//   shared/1t        — one submitter, one shared device, one queue pair:
+//                      isolates queue-depth pipelining (payload prep
+//                      overlapping device execution);
+//   shared/4t xN qp  — four submitters feeding ONE SimSsdDevice over one
+//                      SSD through N queue pairs (submitter t rides QP
+//                      t % N), each on its own placement handle and byte
+//                      range: the multi-QP shared-SSD cache topology. N=1
+//                      reproduces the PR 2 single-ring pipeline;
+//   per-shard/4t     — four submitters, each with a private SSD stack (the
+//                      PR 1 deployment shape, no cross-shard interference).
+// Reported as MiB/s per (topology, qps, QD) combo plus a per-QP breakdown
+// (dispatches, writes, observed queue depth) in machine-readable
 // BENCH_async.json for the perf trajectory.
 //
-// SHAPE CHECK: on the shared device, QD 16 must out-write QD 1 (shared/1t
-// rows) — submission pipelining overlaps payload preparation with device
-// execution and amortizes the per-op queue handoff, the queue-depth scaling
-// the paper's evaluation leans on. With multiple submitters the single
-// queue worker is already saturated at QD 1, which is itself a finding the
-// shared/4t rows document. (Enforced on multi-core hosts; single-core runs
-// report the sweep but cannot demonstrate overlap.)
+// SHAPE CHECKS (enforced on multi-core hosts; single-core runs report the
+// sweep but cannot demonstrate overlap):
+//   1. shared/1t: QD 16 must out-write QD 1 — submission pipelining
+//      overlaps payload preparation with device execution;
+//   2. shared/4t at QD 16: 4 queue pairs must be >= the single-QP ring
+//      (within a small noise floor) — per-QP submission locks remove the
+//      one-ring contention, and must never cost throughput.
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -74,9 +79,9 @@ struct SubmitterStats {
   uint64_t failures = 0;
 };
 
-// Keeps `qd` writes outstanding against `device`, cycling sequentially
-// through the thread's byte-range partition.
-void Submitter(Device* device, uint64_t base, uint64_t span, PlacementHandle handle,
+// Keeps `qd` writes outstanding against `device` on queue pair `qp`,
+// cycling sequentially through the thread's byte-range partition.
+void Submitter(Device* device, uint64_t base, uint64_t span, PlacementHandle handle, uint32_t qp,
                uint32_t qd, uint64_t num_writes, SubmitterStats* out) {
   std::vector<std::vector<uint8_t>> slots(qd, std::vector<uint8_t>(kWriteBytes));
   std::vector<CompletionToken> tokens(qd, kInvalidToken);
@@ -90,8 +95,8 @@ void Submitter(Device* device, uint64_t base, uint64_t span, PlacementHandle han
     }
     FillPayload(&slots[slot], base + i);
     const uint64_t offset = base + (i % chunks) * kWriteBytes;
-    tokens[slot] =
-        device->Submit(IoRequest::MakeWrite(offset, slots[slot].data(), kWriteBytes, handle));
+    tokens[slot] = device->Submit(
+        IoRequest::MakeWrite(offset, slots[slot].data(), kWriteBytes, handle, qp));
     ++out->writes;
   }
   for (const CompletionToken token : tokens) {
@@ -101,22 +106,48 @@ void Submitter(Device* device, uint64_t base, uint64_t span, PlacementHandle han
   }
 }
 
+struct QpRow {
+  uint32_t qp = 0;
+  uint64_t dispatched = 0;
+  uint64_t writes = 0;
+  uint64_t p50_queue_depth = 0;
+  uint64_t max_queue_depth = 0;
+};
+
 struct ComboResult {
   std::string topology;
   uint32_t submitters = 0;
+  uint32_t qps = 1;
   uint32_t qd = 0;
   double mib_per_sec = 0.0;
   double elapsed_s = 0.0;
   uint64_t writes = 0;
   uint64_t failures = 0;
+  std::vector<QpRow> per_qp;
 };
 
-ComboResult RunShared(uint32_t submitters, uint32_t qd, uint64_t total_writes) {
+std::vector<QpRow> CollectPerQp(Device& device) {
+  std::vector<QpRow> rows;
+  const std::vector<QueuePairStats> stats = device.PerQueuePairStats();
+  for (uint32_t i = 0; i < stats.size(); ++i) {
+    QpRow row;
+    row.qp = i;
+    row.dispatched = stats[i].dispatched;
+    row.writes = stats[i].writes;
+    row.p50_queue_depth = stats[i].queue_depth.Percentile(50.0);
+    row.max_queue_depth = stats[i].queue_depth.Max();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+ComboResult RunShared(uint32_t submitters, uint32_t qps, uint32_t qd, uint64_t total_writes) {
   SimulatedSsd ssd(SweepSsdConfig(64));
   const uint32_t nsid = *ssd.CreateNamespace(ssd.logical_capacity_bytes());
   VirtualClock clock;
   IoQueueConfig queue;
   queue.sq_depth = kMaxThreads * 64;  // Never the bottleneck in this sweep.
+  queue.num_queue_pairs = qps;
   SimSsdDevice device(&ssd, nsid, &clock, queue);
 
   const uint64_t per_thread = total_writes / submitters;
@@ -125,8 +156,9 @@ ComboResult RunShared(uint32_t submitters, uint32_t qd, uint64_t total_writes) {
   std::vector<std::thread> threads;
   const uint64_t start = NowNs();
   for (uint32_t t = 0; t < submitters; ++t) {
-    threads.emplace_back([&device, &stats, t, span, qd, per_thread] {
-      Submitter(&device, t * span, span, /*handle=*/t + 1, qd, per_thread, &stats[t]);
+    threads.emplace_back([&device, &stats, t, span, qps, qd, per_thread] {
+      Submitter(&device, t * span, span, /*handle=*/t + 1, /*qp=*/t % qps, qd, per_thread,
+                &stats[t]);
     });
   }
   for (auto& thread : threads) {
@@ -138,6 +170,7 @@ ComboResult RunShared(uint32_t submitters, uint32_t qd, uint64_t total_writes) {
   ComboResult result;
   result.topology = "shared";
   result.submitters = submitters;
+  result.qps = qps;
   result.qd = qd;
   result.elapsed_s = elapsed;
   for (const SubmitterStats& s : stats) {
@@ -146,6 +179,7 @@ ComboResult RunShared(uint32_t submitters, uint32_t qd, uint64_t total_writes) {
   }
   result.mib_per_sec =
       static_cast<double>(result.writes * kWriteBytes) / (1024.0 * 1024.0) / elapsed;
+  result.per_qp = CollectPerQp(device);
   return result;
 }
 
@@ -174,7 +208,7 @@ ComboResult RunPerShard(uint32_t submitters, uint32_t qd, uint64_t total_writes)
     threads.emplace_back([&stacks, &stats, t, qd, per_thread] {
       Device* device = stacks[t]->device.get();
       const uint64_t span = device->size_bytes() / kWriteBytes * kWriteBytes;
-      Submitter(device, 0, span, /*handle=*/1, qd, per_thread, &stats[t]);
+      Submitter(device, 0, span, /*handle=*/1, /*qp=*/0, qd, per_thread, &stats[t]);
     });
   }
   for (auto& thread : threads) {
@@ -188,6 +222,7 @@ ComboResult RunPerShard(uint32_t submitters, uint32_t qd, uint64_t total_writes)
   ComboResult result;
   result.topology = "per-shard";
   result.submitters = submitters;
+  result.qps = 1;
   result.qd = qd;
   result.elapsed_s = elapsed;
   for (const SubmitterStats& s : stats) {
@@ -206,6 +241,7 @@ void EmitJson(const std::vector<ComboResult>& results, uint64_t total_writes) {
     return;
   }
   std::fprintf(f, "{\n  \"bench\": \"micro_async_qd\",\n");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n", std::thread::hardware_concurrency());
   std::fprintf(f, "  \"write_bytes\": %llu,\n", static_cast<unsigned long long>(kWriteBytes));
   std::fprintf(f, "  \"total_writes_per_combo\": %llu,\n",
                static_cast<unsigned long long>(total_writes));
@@ -213,12 +249,24 @@ void EmitJson(const std::vector<ComboResult>& results, uint64_t total_writes) {
   for (size_t i = 0; i < results.size(); ++i) {
     const ComboResult& r = results[i];
     std::fprintf(f,
-                 "    {\"topology\": \"%s\", \"submitters\": %u, \"qd\": %u, "
+                 "    {\"topology\": \"%s\", \"submitters\": %u, \"qps\": %u, \"qd\": %u, "
                  "\"mib_per_sec\": %.2f, \"elapsed_s\": %.4f, \"writes\": %llu, "
-                 "\"failures\": %llu}%s\n",
-                 r.topology.c_str(), r.submitters, r.qd, r.mib_per_sec, r.elapsed_s,
+                 "\"failures\": %llu, \"per_qp\": [",
+                 r.topology.c_str(), r.submitters, r.qps, r.qd, r.mib_per_sec, r.elapsed_s,
                  static_cast<unsigned long long>(r.writes),
-                 static_cast<unsigned long long>(r.failures), i + 1 < results.size() ? "," : "");
+                 static_cast<unsigned long long>(r.failures));
+    for (size_t q = 0; q < r.per_qp.size(); ++q) {
+      const QpRow& qp = r.per_qp[q];
+      std::fprintf(f,
+                   "{\"qp\": %u, \"dispatched\": %llu, \"writes\": %llu, "
+                   "\"p50_qd\": %llu, \"max_qd\": %llu}%s",
+                   qp.qp, static_cast<unsigned long long>(qp.dispatched),
+                   static_cast<unsigned long long>(qp.writes),
+                   static_cast<unsigned long long>(qp.p50_queue_depth),
+                   static_cast<unsigned long long>(qp.max_queue_depth),
+                   q + 1 < r.per_qp.size() ? ", " : "");
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -229,12 +277,14 @@ void EmitJson(const std::vector<ComboResult>& results, uint64_t total_writes) {
 
 int main() {
   using namespace fdpcache;
-  PrintHeader("micro_async_qd: async device pipeline, QD sweep, shared vs per-shard SSD",
+  PrintHeader("micro_async_qd: async device pipeline, QD x queue-pair sweep, shared vs "
+              "per-shard SSD",
               "n/a (queue-depth scaling study enabling the paper's evaluation methodology)");
 
   uint64_t total_writes = static_cast<uint64_t>(1024 * BenchScale());
   total_writes = total_writes < 64 ? 64 : total_writes;
   const std::vector<uint32_t> depths = {1, 4, 16, 64};
+  const std::vector<uint32_t> qp_counts = {1, 2, 4, 8};
   const unsigned hw_threads = std::thread::hardware_concurrency();
   std::printf("hardware threads: %u, %llu x %llu KiB writes per combo\n\n", hw_threads,
               static_cast<unsigned long long>(total_writes),
@@ -243,21 +293,31 @@ int main() {
   struct Combo {
     bool shared;
     uint32_t submitters;
+    uint32_t qps;
   };
-  const std::vector<Combo> combos = {{true, 1}, {true, kMaxThreads}, {false, kMaxThreads}};
+  std::vector<Combo> combos;
+  combos.push_back({true, 1, 1});
+  for (const uint32_t qps : qp_counts) {
+    combos.push_back({true, kMaxThreads, qps});
+  }
+  combos.push_back({false, kMaxThreads, 1});
 
   std::vector<ComboResult> results;
-  TextTable table({"topology", "submitters", "qd", "MiB/s", "elapsed", "writes", "failures"});
+  TextTable table({"topology", "submitters", "qps", "qd", "MiB/s", "elapsed", "writes",
+                   "failures"});
   double shared_qd1 = 0.0;
   double shared_qd16 = 0.0;
+  double shared_4t_qp1_qd16 = 0.0;
+  double shared_4t_qp4_qd16 = 0.0;
   for (const Combo& combo : combos) {
     for (const uint32_t qd : depths) {
       // Best of two runs per combo: one scheduler hiccup in a 0.2s window
       // otherwise dominates the row.
-      ComboResult r = combo.shared ? RunShared(combo.submitters, qd, total_writes)
+      ComboResult r = combo.shared ? RunShared(combo.submitters, combo.qps, qd, total_writes)
                                    : RunPerShard(combo.submitters, qd, total_writes);
-      const ComboResult again = combo.shared ? RunShared(combo.submitters, qd, total_writes)
-                                             : RunPerShard(combo.submitters, qd, total_writes);
+      const ComboResult again = combo.shared
+                                    ? RunShared(combo.submitters, combo.qps, qd, total_writes)
+                                    : RunPerShard(combo.submitters, qd, total_writes);
       if (again.failures == 0 && again.mib_per_sec > r.mib_per_sec) {
         r = again;
       }
@@ -267,31 +327,47 @@ int main() {
       if (combo.shared && combo.submitters == 1 && qd == 16) {
         shared_qd16 = r.mib_per_sec;
       }
-      table.AddRow({r.topology, std::to_string(r.submitters), std::to_string(r.qd),
-                    FormatDouble(r.mib_per_sec, 1), FormatDouble(r.elapsed_s, 2) + "s",
-                    std::to_string(r.writes), std::to_string(r.failures)});
+      if (combo.shared && combo.submitters == kMaxThreads && qd == 16) {
+        if (combo.qps == 1) {
+          shared_4t_qp1_qd16 = r.mib_per_sec;
+        } else if (combo.qps == 4) {
+          shared_4t_qp4_qd16 = r.mib_per_sec;
+        }
+      }
+      table.AddRow({r.topology, std::to_string(r.submitters), std::to_string(r.qps),
+                    std::to_string(r.qd), FormatDouble(r.mib_per_sec, 1),
+                    FormatDouble(r.elapsed_s, 2) + "s", std::to_string(r.writes),
+                    std::to_string(r.failures)});
       results.push_back(r);
     }
   }
   std::printf("%s\n", table.ToString().c_str());
   EmitJson(results, total_writes);
-  std::printf("wrote BENCH_async.json\n");
+  std::printf("wrote BENCH_async.json (with per-QP dispatch/queue-depth breakdown)\n");
 
   for (const ComboResult& r : results) {
     if (r.failures != 0) {
-      std::printf("SHAPE CHECK: FAIL (%llu write failures in %s qd=%u)\n",
-                  static_cast<unsigned long long>(r.failures), r.topology.c_str(), r.qd);
+      std::printf("SHAPE CHECK: FAIL (%llu write failures in %s qps=%u qd=%u)\n",
+                  static_cast<unsigned long long>(r.failures), r.topology.c_str(), r.qps, r.qd);
       return 1;
     }
   }
   const double ratio = shared_qd1 > 0.0 ? shared_qd16 / shared_qd1 : 0.0;
+  const double qp_ratio =
+      shared_4t_qp1_qd16 > 0.0 ? shared_4t_qp4_qd16 / shared_4t_qp1_qd16 : 0.0;
   if (hw_threads >= 2) {
-    const bool ok = shared_qd16 > shared_qd1;
-    PrintShapeCheck(ok, "shared device QD16 > QD1, got " + FormatDouble(ratio, 2) + "x");
-    return ok ? 0 : 1;
+    const bool qd_ok = shared_qd16 > shared_qd1;
+    PrintShapeCheck(qd_ok, "shared device QD16 > QD1, got " + FormatDouble(ratio, 2) + "x");
+    // Multi-QP must never cost throughput against the single shared ring.
+    // Execution is serialized by the one arbiter either way, so the expected
+    // win is submission-lock contention only; allow a 10% noise floor.
+    const bool qp_ok = shared_4t_qp4_qd16 >= shared_4t_qp1_qd16 * 0.90;
+    PrintShapeCheck(qp_ok, "shared device 4 QPs >= 1 QP at 4t/QD16 (noise floor 0.90x), got " +
+                               FormatDouble(qp_ratio, 2) + "x");
+    return qd_ok && qp_ok ? 0 : 1;
   }
   std::printf("SHAPE CHECK: SKIP (only %u hardware thread(s); overlap needs >=2 cores; "
-              "measured %sx)\n\n",
-              hw_threads, FormatDouble(ratio, 2).c_str());
+              "measured QD16/QD1 %sx, 4QP/1QP %sx)\n\n",
+              hw_threads, FormatDouble(ratio, 2).c_str(), FormatDouble(qp_ratio, 2).c_str());
   return 0;
 }

@@ -50,7 +50,16 @@ KvWorkloadConfig BenchWorkload() {
 
 double RunCombo(uint32_t threads, uint32_t shards, uint64_t total_ops,
                 ConcurrentReplayReport* out) {
-  ShardedSimBackend backend(shards, ShardSsdConfig(), ShardCacheConfig());
+  // Per-shard topology with synchronous flash writes: the sweep measures
+  // front-end lock/shard scaling, so the device pipeline stays out of it.
+  ShardedBackendConfig backend_config;
+  backend_config.num_shards = shards;
+  backend_config.topology = BackendTopology::kPerShardDevice;
+  backend_config.ssd = ShardSsdConfig();
+  backend_config.cache = ShardCacheConfig();
+  backend_config.loc_inflight_regions = 0;
+  backend_config.soc_inflight_writes = 0;
+  ShardedSimBackend backend(backend_config);
   ConcurrentReplayConfig config;
   config.num_threads = threads;
   config.total_ops = total_ops;

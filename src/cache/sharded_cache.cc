@@ -78,10 +78,21 @@ void ShardedCache::Remove(std::string_view key) {
   PublishStats(shard);
 }
 
+void ShardedCache::AttachDevice(Device* device) {
+  if (device != nullptr) {
+    devices_.push_back(device);
+  }
+}
+
 void ShardedCache::Flush() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     shard->cache->navy().Flush();
+  }
+  // Cross-QP barrier: each shard only reaped its own tokens above; draining
+  // the devices guarantees no queue pair still holds unexecuted work.
+  for (Device* device : devices_) {
+    device->Drain();
   }
 }
 
@@ -100,6 +111,10 @@ ShardedCacheStats ShardedCache::Stats() const {
     out.nvm_hits += shard->m_nvm_hits.load(std::memory_order_relaxed);
     out.misses += shard->m_misses.load(std::memory_order_relaxed);
     out.shard_ops.push_back(gets + sets + removes);
+  }
+  for (Device* device : devices_) {
+    out.device_queue_pairs = MergeQueuePairStats(std::move(out.device_queue_pairs),
+                                                 device->PerQueuePairStats());
   }
   return out;
 }

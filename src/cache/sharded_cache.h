@@ -42,6 +42,12 @@ struct ShardedCacheStats {
   // Total operations (Get + Set + Remove) routed to each shard.
   std::vector<uint64_t> shard_ops;
 
+  // Per-queue-pair device stats (queue-depth histograms, per-QP latencies,
+  // arbitration dispatch counts), merged across every device attached with
+  // AttachDevice(). Cumulative since device construction/reset — not a
+  // counter delta. Empty when no device is attached.
+  std::vector<QueuePairStats> device_queue_pairs;
+
   double HitRatio() const {
     return gets == 0 ? 0.0
                      : static_cast<double>(ram_hits + nvm_hits) / static_cast<double>(gets);
@@ -79,18 +85,27 @@ class ShardedCache {
   bool Get(std::string_view key, std::string* value);
   void Remove(std::string_view key);
 
+  // Registers a device whose per-queue-pair stats should ride along in
+  // Stats(), and which Flush() drains as its final barrier. The device is
+  // not owned and must outlive the cache. Typically called once per backing
+  // device by the backend that wires shards to devices.
+  void AttachDevice(Device* device);
+
   // Locks each shard in turn and flushes its flash tier: seals open LOC
-  // regions and retires every in-flight async device write. The barrier to
-  // run before inspecting the device beneath a live cache (or shutting
-  // down); afterwards no shard has outstanding I/O.
+  // regions and retires every in-flight async device write (each shard
+  // waits out its own queue pair's tokens), then Drain()s every attached
+  // device so no queue pair holds unexecuted work. The barrier to run
+  // before inspecting the device beneath a live cache (or shutting down).
   void Flush();
 
-  // Lock-free aggregate snapshot: reads the per-shard atomic mirrors without
-  // touching any shard mutex. The mirrors are published as independent
-  // relaxed stores, so a snapshot racing a publish may pair counters from
-  // adjacent operations (e.g. transiently see a hit counted before its get)
-  // — approximate by design, which is fine for monitoring. Quiescent reads
-  // are exact.
+  // Aggregate snapshot. The cache counters are read lock-free from the
+  // per-shard atomic mirrors (no shard mutex is ever taken); the mirrors are
+  // published as independent relaxed stores, so a snapshot racing a publish
+  // may pair counters from adjacent operations (e.g. transiently see a hit
+  // counted before its get) — approximate by design, which is fine for
+  // monitoring. Quiescent reads are exact. Filling device_queue_pairs does
+  // briefly take each attached device's per-queue-pair stat mutexes (never a
+  // shard lock), so Stats() may contend with submitters for those.
   ShardedCacheStats Stats() const;
 
   // Locks each shard in turn and zeroes both the shard stats and the mirrors.
@@ -129,6 +144,9 @@ class ShardedCache {
   static void PublishStats(Shard& shard);
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Devices registered via AttachDevice (not owned). Only appended to during
+  // construction/wiring, before concurrent use begins.
+  std::vector<Device*> devices_;
 };
 
 }  // namespace fdpcache

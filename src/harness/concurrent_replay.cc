@@ -31,6 +31,10 @@ ShardedCacheStats DiffStats(const ShardedCacheStats& after, const ShardedCacheSt
   for (size_t s = 0; s < after.shard_ops.size(); ++s) {
     d.shard_ops[s] = after.shard_ops[s] - (s < before.shard_ops.size() ? before.shard_ops[s] : 0);
   }
+  // Per-QP device stats carry the cumulative view (histograms cannot be
+  // diffed); they describe the device since construction/reset, not just
+  // this run — documented on ShardedCacheStats.
+  d.device_queue_pairs = after.device_queue_pairs;
   return d;
 }
 
@@ -131,19 +135,6 @@ ShardedSimBackend::ShardedSimBackend(const ShardedBackendConfig& config) {
   }
 }
 
-ShardedSimBackend::ShardedSimBackend(uint32_t num_shards, const SsdConfig& shard_ssd_config,
-                                     const HybridCacheConfig& shard_cache_config) {
-  ShardedBackendConfig config;
-  config.num_shards = num_shards == 0 ? 1 : num_shards;
-  config.topology = BackendTopology::kPerShardDevice;
-  config.ssd = shard_ssd_config;
-  config.cache = shard_cache_config;
-  // PR 1 semantics: synchronous flash writes beneath each shard.
-  config.cache.navy.loc_inflight_regions = 0;
-  config.cache.navy.soc_inflight_writes = 0;
-  BuildPerShard(config);
-}
-
 void ShardedSimBackend::BuildShared(const ShardedBackendConfig& config) {
   auto stack = std::make_unique<ShardStack>();
   stack->ssd = std::make_unique<SimulatedSsd>(config.ssd);
@@ -154,6 +145,12 @@ void ShardedSimBackend::BuildShared(const ShardedBackendConfig& config) {
   }
   IoQueueConfig queue;
   queue.sq_depth = config.queue_depth;
+  // Auto topology: one queue pair per shard, so every shard submits on its
+  // own SQ/CQ and the device arbitrates across them.
+  queue.num_queue_pairs = config.queue_pairs == 0 ? config.num_shards : config.queue_pairs;
+  queue.arbitration = config.arbitration;
+  queue.wrr_weights = config.wrr_weights;
+  queue.read_priority = config.read_priority;
   stack->device = std::make_unique<SimSsdDevice>(stack->ssd.get(), *nsid, &stack->clock, queue);
   stack->allocator = std::make_unique<PlacementHandleAllocator>(*stack->device);
   stacks_.push_back(std::move(stack));
@@ -171,19 +168,29 @@ void ShardedSimBackend::BuildShared(const ShardedBackendConfig& config) {
                  config.num_shards);
     std::abort();
   }
+  const uint32_t num_qps = shared.device->num_queue_pairs();
   cache_ = std::make_unique<ShardedCache>(config.num_shards, [&](uint32_t shard_index) {
     HybridCacheConfig shard_config = config.cache;
     shard_config.navy.base_offset = shard_index * shard_bytes;
     shard_config.navy.size_bytes = shard_bytes;
+    // Shard -> queue pair: each shard's engines ride one SQ/CQ, wrapping
+    // when there are more shards than queue pairs.
+    shard_config.navy.queue_pair = shard_index % num_qps;
     return std::make_unique<HybridCache>(shared.device.get(), shard_config,
                                          shared.allocator.get());
   });
+  cache_->AttachDevice(shared.device.get());
 }
 
 void ShardedSimBackend::BuildPerShard(const ShardedBackendConfig& config) {
   stacks_.reserve(config.num_shards);
   IoQueueConfig queue;
   queue.sq_depth = config.queue_depth;
+  // Auto topology: a private device needs no fan-in, so default to one QP.
+  queue.num_queue_pairs = config.queue_pairs == 0 ? 1 : config.queue_pairs;
+  queue.arbitration = config.arbitration;
+  queue.wrr_weights = config.wrr_weights;
+  queue.read_priority = config.read_priority;
   for (uint32_t i = 0; i < config.num_shards; ++i) {
     auto stack = std::make_unique<ShardStack>();
     stack->ssd = std::make_unique<SimulatedSsd>(config.ssd);
@@ -202,6 +209,9 @@ void ShardedSimBackend::BuildPerShard(const ShardedBackendConfig& config) {
     return std::make_unique<HybridCache>(stack.device.get(), config.cache,
                                          stack.allocator.get());
   });
+  for (auto& stack : stacks_) {
+    cache_->AttachDevice(stack->device.get());
+  }
 }
 
 ShardedSimBackend::~ShardedSimBackend() {

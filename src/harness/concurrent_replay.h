@@ -77,10 +77,11 @@ class ConcurrentReplayDriver {
 
 // Device topology beneath the shards.
 enum class BackendTopology : uint8_t {
-  // All shards share ONE simulated SSD through one SimSsdDevice submission
-  // queue: each shard gets a byte-range partition of the namespace and its
-  // own placement handles, so cross-shard FDP streams genuinely interleave
-  // on the same NAND geometry — the deployment shape the paper measures.
+  // All shards share ONE simulated SSD through one SimSsdDevice: each shard
+  // gets a byte-range partition of the namespace, its own placement handles,
+  // and its own device queue pair (the device arbitrates across the SQs),
+  // so cross-shard FDP streams genuinely interleave on the same NAND
+  // geometry — the deployment shape the paper measures.
   kSharedDevice,
   // One private SSD stack per shard (PR 1 behaviour): no cross-shard device
   // interference; useful for front-end scaling studies.
@@ -95,9 +96,18 @@ struct ShardedBackendConfig {
   // Per-shard cache config. In shared mode the backend overrides
   // `cache.navy.base_offset/size_bytes` with the shard's partition.
   HybridCacheConfig cache;
-  // Device submission-ring capacity (queue-depth knob for the async
-  // pipeline; Submit blocks once this many requests are outstanding).
+  // Per-queue-pair submission-ring capacity (queue-depth knob for the async
+  // pipeline; Submit blocks once this many requests are outstanding on one
+  // queue pair).
   uint32_t queue_depth = 256;
+  // Queue pairs per device. 0 = auto: one QP per shard in shared mode (each
+  // shard rides its own SQ/CQ, like per-core NVMe queues), one QP per
+  // device in per-shard mode. Shards wrap modulo this count.
+  uint32_t queue_pairs = 0;
+  // Device-side arbitration across the queue pairs (see IoQueueConfig).
+  QueueArbitration arbitration = QueueArbitration::kRoundRobin;
+  std::vector<uint32_t> wrr_weights;  // kWeightedRoundRobin only.
+  bool read_priority = false;
   // Async flash-write pipelining per shard (applied to cache.navy); the
   // concurrent backend defaults both on, unlike the single-threaded driver.
   uint32_t loc_inflight_regions = 2;
@@ -105,15 +115,12 @@ struct ShardedBackendConfig {
 };
 
 // Owns the simulated-SSD stack(s) beneath a ShardedCache. By default
-// (kSharedDevice) one thread-safe SSD + device queue serves every shard;
-// kPerShardDevice provisions one private stack per shard instead.
+// (kSharedDevice) one thread-safe SSD behind one multi-queue-pair device
+// serves every shard (shard i submits on queue pair i); kPerShardDevice
+// provisions one private stack per shard instead.
 class ShardedSimBackend {
  public:
   explicit ShardedSimBackend(const ShardedBackendConfig& config);
-  // Back-compat with PR 1 call sites: per-shard topology, one
-  // `shard_ssd_config` stack per shard, synchronous flash writes.
-  ShardedSimBackend(uint32_t num_shards, const SsdConfig& shard_ssd_config,
-                    const HybridCacheConfig& shard_cache_config);
   ~ShardedSimBackend();
 
   ShardedCache& cache() { return *cache_; }

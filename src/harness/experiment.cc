@@ -55,10 +55,14 @@ ExperimentRunner::ExperimentRunner(const ExperimentConfig& config) : config_(con
         10'000, static_cast<uint64_t>(working_set_bytes / AvgItemBytes(workload)));
   }
 
+  const uint32_t queue_depth = config_.queue_depth == 0 ? 1 : config_.queue_depth;
+  const uint32_t queue_pairs = config_.queue_pairs == 0 ? 1 : config_.queue_pairs;
   for (uint32_t t = 0; t < config_.num_tenants; ++t) {
     const auto nsid = ssd_->CreateNamespace(cache_bytes_per_tenant_);
     auto tenant = std::make_unique<Tenant>();
-    tenant->device = std::make_unique<SimSsdDevice>(ssd_.get(), *nsid, &clock_);
+    IoQueueConfig queue;
+    queue.num_queue_pairs = queue_pairs;
+    tenant->device = std::make_unique<SimSsdDevice>(ssd_.get(), *nsid, &clock_, queue);
 
     HybridCacheConfig cache_config;
     cache_config.ram_bytes = ram_bytes_;
@@ -68,6 +72,18 @@ ExperimentRunner::ExperimentRunner(const ExperimentConfig& config) : config_(con
     cache_config.navy.loc_eviction = config_.loc_eviction;
     cache_config.navy.loc_trim_on_evict = config_.loc_trim_on_evict;
     cache_config.navy.use_placement_handles = config_.fdp;
+    // Each placement stream rides its own queue pair when enough are
+    // configured: tenant t's SOC on QP 2t, its LOC on QP 2t+1 (mod qps) —
+    // so even a single-tenant run exercises multiple SQs at --qps >= 2.
+    cache_config.navy.queue_pair = (2 * t) % queue_pairs;
+    cache_config.navy.loc_queue_pair = (2 * t + 1) % queue_pairs;
+    if (queue_depth > 1) {
+      // Async path: batch up to `queue_depth` region seals / bucket rewrites
+      // in flight; the engines reap completions opportunistically and Run()
+      // adds flush barriers before statistics are read.
+      cache_config.navy.loc_inflight_regions = queue_depth;
+      cache_config.navy.soc_inflight_writes = queue_depth;
+    }
     tenant->cache =
         std::make_unique<HybridCache>(tenant->device.get(), cache_config, allocator_.get());
 
@@ -140,6 +156,18 @@ MetricsReport ExperimentRunner::Run() {
       ++warmup_ops;
     }
   }
+  // At queue_depth > 1 the engines may still hold in-flight warm-up writes;
+  // retire them before the reset so the measured phase starts quiescent.
+  // ReapPending (not Flush) keeps the open LOC region's fill state intact,
+  // so the async run enters measurement from the same cache state a
+  // synchronous run would — only the pending device writes land. At
+  // queue_depth == 1 nothing is in flight and this is skipped entirely.
+  if (config_.queue_depth > 1) {
+    for (auto& tenant : tenants_) {
+      tenant->cache->navy().ReapPending();
+      tenant->device->Drain();
+    }
+  }
   ssd_->ftl().ResetStats();
   for (auto& tenant : tenants_) {
     tenant->cache->ResetStats();
@@ -166,6 +194,18 @@ MetricsReport ExperimentRunner::Run() {
         report.interval_dlwa.push_back(FdpStatistics::IntervalDlwa(last_sample, now_stats));
         last_sample = now_stats;
       }
+    }
+  }
+
+  // Reap the async pipeline before reading any statistic, so host/device
+  // byte counts, latency histograms, and FTL state cover every submitted
+  // write. Drain-only (no seal): the open region's unwritten tail stays
+  // unwritten, exactly as it would in a synchronous run, keeping qd>1 byte
+  // accounting comparable to the qd=1 baseline. No-op in synchronous mode.
+  if (config_.queue_depth > 1) {
+    for (auto& tenant : tenants_) {
+      tenant->cache->navy().ReapPending();
+      tenant->device->Drain();
     }
   }
 
@@ -198,6 +238,8 @@ MetricsReport ExperimentRunner::Run() {
     nvm_lookups += static_cast<double>(cache_stats.nvm_lookups);
     reads.Merge(tenant->device->stats().read_latency_ns);
     writes.Merge(tenant->device->stats().write_latency_ns);
+    report.device_queue_pairs = MergeQueuePairStats(std::move(report.device_queue_pairs),
+                                                    tenant->device->PerQueuePairStats());
     const NavyStats navy = tenant->cache->navy().stats();
     item_bytes += static_cast<double>(navy.soc.item_bytes_written + navy.loc.item_bytes_written);
     dev_bytes += static_cast<double>(navy.soc.bytes_written + navy.loc.bytes_written);

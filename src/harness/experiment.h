@@ -55,6 +55,21 @@ struct ExperimentConfig {
   // cache (working set exceeds cache, producing churn like the traces).
   uint64_t num_keys_override = 0;
 
+  // --- Device pipeline --------------------------------------------------------
+  // Target device queue depth for each tenant's flash writes. 1 (default)
+  // keeps the legacy fully synchronous path — every device write blocks, so
+  // results are bit-identical to the pre-async harness. >1 enables batched
+  // submission: up to `queue_depth` LOC region seals and SOC bucket rewrites
+  // ride the device queue pairs in flight at once and completions are reaped
+  // opportunistically, with a flush barrier before statistics are collected.
+  uint32_t queue_depth = 1;
+  // Queue pairs per tenant device. Each placement stream rides its own SQ:
+  // tenant t's SOC submits on QP (2t % queue_pairs), its LOC on QP
+  // ((2t+1) % queue_pairs). The split shows up in
+  // MetricsReport::device_queue_pairs at any queue depth; actual pipelining
+  // needs queue_depth > 1.
+  uint32_t queue_pairs = 1;
+
   // --- Run --------------------------------------------------------------------
   uint64_t total_ops = 2'000'000;
   // Warm-up runs until the host has written this many multiples of the flash
@@ -101,6 +116,10 @@ struct MetricsReport {
 
   // Write-stream composition (SOC share of flash-cache device write bytes).
   double soc_write_share = 0.0;
+
+  // Per-queue-pair device stats (queue-depth histograms, per-QP latency),
+  // merged across every tenant device. Index = queue pair.
+  std::vector<QueuePairStats> device_queue_pairs;
 
   // Run bookkeeping.
   uint64_t elapsed_virtual_ns = 0;

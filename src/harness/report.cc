@@ -114,6 +114,19 @@ std::string SummarizeConcurrentReport(const std::string& label,
   return out.str();
 }
 
+std::string FormatQueuePairStats(const std::string& indent,
+                                 const std::vector<QueuePairStats>& queue_pairs) {
+  std::ostringstream out;
+  for (size_t i = 0; i < queue_pairs.size(); ++i) {
+    const QueuePairStats& qp = queue_pairs[i];
+    out << indent << "qp" << i << ": dispatched=" << qp.dispatched << " writes=" << qp.writes
+        << " reads=" << qp.reads << " p50_qd=" << qp.queue_depth.Percentile(50.0)
+        << " max_qd=" << qp.queue_depth.Max()
+        << " p99w=" << FormatNsAsUs(qp.write_latency_ns.Percentile(99.0)) << "\n";
+  }
+  return out.str();
+}
+
 double BenchScale() {
   const char* env = std::getenv("FDPBENCH_SCALE");
   if (env == nullptr) {

@@ -44,6 +44,12 @@ struct ConcurrentReplayReport;
 std::string SummarizeConcurrentReport(const std::string& label,
                                       const ConcurrentReplayReport& report);
 
+// One line per queue pair (dispatches, writes/reads, observed p50/max SQ
+// depth, p99 write latency), prefixed with `indent`. Empty string for an
+// empty vector.
+std::string FormatQueuePairStats(const std::string& indent,
+                                 const std::vector<QueuePairStats>& queue_pairs);
+
 // Reads FDPBENCH_SCALE from the environment (0.1 .. 10, default 1.0):
 // benches multiply op counts by it so users can trade speed for fidelity.
 double BenchScale();

@@ -9,15 +9,19 @@
 // The I/O contract is asynchronous and NVMe-shaped: callers Submit() an
 // IoRequest and get back a CompletionToken, then reap the completion with
 // Poll() (non-blocking) or Wait() (blocking); Drain() waits for every
-// submitted request to execute. Requests execute in submission order — one
-// logical submission queue feeding one completion queue — so overlapping
-// write/trim sequences resolve exactly as submitted. The blocking
-// Write/Read/Trim calls are a synchronous shim (Submit + Wait) so callers
-// can migrate incrementally.
+// submitted request to execute. A device exposes one or more queue pairs
+// (per-core SQ/CQ pairs on real NVMe); every request names the queue pair it
+// rides (IoRequest::qp, 0 by default) and requests on the SAME queue pair
+// execute in submission order, so overlapping write/trim sequences within a
+// queue pair resolve exactly as submitted. Ordering ACROSS queue pairs is
+// arbitration-dependent — callers that need cross-request ordering must keep
+// those requests on one queue pair (exactly the guarantee real NVMe gives).
+// The blocking Write/Read/Trim calls are a synchronous shim (Submit + Wait)
+// so callers can migrate incrementally.
 //
 // Devices are safe for concurrent submitters; see QueuedDevice
-// (src/navy/queued_device.h) for the shared submission-ring implementation
-// both concrete devices build on.
+// (src/navy/queued_device.h) for the multi-queue-pair submission/arbitration
+// pipeline both concrete devices build on.
 #ifndef SRC_NAVY_DEVICE_H_
 #define SRC_NAVY_DEVICE_H_
 
@@ -25,6 +29,7 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "src/common/histogram.h"
 #include "src/nvme/types.h"
@@ -40,7 +45,10 @@ enum class IoOp : uint8_t { kRead, kWrite, kTrim };
 
 // One device command. Payload buffers (`data` for writes, `out` for reads)
 // are owned by the submitter and must stay alive and untouched until the
-// request's completion has been reaped.
+// request's completion has been reaped. `qp` selects the queue pair the
+// request rides (wrapped modulo the device's queue-pair count); requests
+// that must execute in submission order relative to each other have to share
+// a queue pair.
 struct IoRequest {
   IoOp op = IoOp::kRead;
   uint64_t offset = 0;
@@ -48,30 +56,34 @@ struct IoRequest {
   const void* data = nullptr;      // kWrite payload.
   void* out = nullptr;             // kRead destination.
   PlacementHandle handle = kNoPlacement;  // kWrite only.
+  uint32_t qp = 0;                 // Queue pair carrying this request.
 
   static IoRequest MakeWrite(uint64_t offset, const void* data, uint64_t size,
-                             PlacementHandle handle) {
+                             PlacementHandle handle, uint32_t qp = 0) {
     IoRequest r;
     r.op = IoOp::kWrite;
     r.offset = offset;
     r.size = size;
     r.data = data;
     r.handle = handle;
+    r.qp = qp;
     return r;
   }
-  static IoRequest MakeRead(uint64_t offset, void* out, uint64_t size) {
+  static IoRequest MakeRead(uint64_t offset, void* out, uint64_t size, uint32_t qp = 0) {
     IoRequest r;
     r.op = IoOp::kRead;
     r.offset = offset;
     r.size = size;
     r.out = out;
+    r.qp = qp;
     return r;
   }
-  static IoRequest MakeTrim(uint64_t offset, uint64_t size) {
+  static IoRequest MakeTrim(uint64_t offset, uint64_t size, uint32_t qp = 0) {
     IoRequest r;
     r.op = IoOp::kTrim;
     r.offset = offset;
     r.size = size;
+    r.qp = qp;
     return r;
   }
 };
@@ -105,6 +117,54 @@ struct DeviceStats {
   Histogram write_latency_ns;
 };
 
+// Per-queue-pair stats snapshot (the per-QP view of DeviceStats, plus
+// queue-pair-only metrics). Counter semantics match RecordCompletion exactly,
+// so summing every queue pair's counters reproduces the aggregate
+// DeviceStats counters on a quiescent device.
+struct QueuePairStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t read_bytes = 0;
+  uint64_t write_bytes = 0;
+  uint64_t trims = 0;
+  uint64_t io_errors = 0;
+  // Requests the arbiter has popped from this QP's submission ring (all ops,
+  // including ones that later fail; excludes the inline SyncIo fast path,
+  // which never enters a ring).
+  uint64_t dispatched = 0;
+  Histogram read_latency_ns;
+  Histogram write_latency_ns;
+  // SQ occupancy sampled at every Submit (after the push): the queue-depth
+  // distribution this QP's submitters actually achieved.
+  Histogram queue_depth;
+
+  void Merge(const QueuePairStats& other) {
+    reads += other.reads;
+    writes += other.writes;
+    read_bytes += other.read_bytes;
+    write_bytes += other.write_bytes;
+    trims += other.trims;
+    io_errors += other.io_errors;
+    dispatched += other.dispatched;
+    read_latency_ns.Merge(other.read_latency_ns);
+    write_latency_ns.Merge(other.write_latency_ns);
+    queue_depth.Merge(other.queue_depth);
+  }
+};
+
+// Element-wise merge of two per-QP stat vectors (used to aggregate multiple
+// devices' views into one report); the result has max(a.size, b.size) QPs.
+inline std::vector<QueuePairStats> MergeQueuePairStats(std::vector<QueuePairStats> a,
+                                                       const std::vector<QueuePairStats>& b) {
+  if (a.size() < b.size()) {
+    a.resize(b.size());
+  }
+  for (size_t i = 0; i < b.size(); ++i) {
+    a[i].Merge(b[i]);
+  }
+  return a;
+}
+
 class Device {
  public:
   virtual ~Device() = default;
@@ -133,15 +193,17 @@ class Device {
   // --- Synchronous shim -------------------------------------------------------
   // Semantically Submit + Wait; implementations may bypass the queue when
   // the pipeline is idle (see QueuedDevice::SyncIo) so single-threaded
-  // callers keep direct-call performance.
-  bool Write(uint64_t offset, const void* data, uint64_t size, PlacementHandle handle) {
-    return SyncIo(IoRequest::MakeWrite(offset, data, size, handle)).ok;
+  // callers keep direct-call performance. Callers that leave `qp` at 0 ride
+  // queue pair 0 (the legacy single-queue behaviour).
+  bool Write(uint64_t offset, const void* data, uint64_t size, PlacementHandle handle,
+             uint32_t qp = 0) {
+    return SyncIo(IoRequest::MakeWrite(offset, data, size, handle, qp)).ok;
   }
-  bool Read(uint64_t offset, void* out, uint64_t size) {
-    return SyncIo(IoRequest::MakeRead(offset, out, size)).ok;
+  bool Read(uint64_t offset, void* out, uint64_t size, uint32_t qp = 0) {
+    return SyncIo(IoRequest::MakeRead(offset, out, size, qp)).ok;
   }
-  bool Trim(uint64_t offset, uint64_t size) {
-    return SyncIo(IoRequest::MakeTrim(offset, size)).ok;
+  bool Trim(uint64_t offset, uint64_t size, uint32_t qp = 0) {
+    return SyncIo(IoRequest::MakeTrim(offset, size, qp)).ok;
   }
 
   // One blocking request, start to finish.
@@ -156,6 +218,15 @@ class Device {
   // Number of distinct placement handles this device can honour (excluding
   // the default). 0 for devices without data placement.
   virtual uint32_t NumPlacementHandles() const { return 0; }
+
+  // Queue-pair topology: how many independent SQ/CQ pairs this device
+  // exposes. IoRequest::qp is wrapped modulo this count.
+  virtual uint32_t num_queue_pairs() const { return 1; }
+
+  // Per-queue-pair stats snapshot (empty for devices without a queued
+  // pipeline). On a quiescent device the per-QP counters sum to the
+  // aggregate DeviceStats counters.
+  virtual std::vector<QueuePairStats> PerQueuePairStats() const { return {}; }
 
   // Lock-free counter snapshot plus mutex-guarded latency histograms; safe to
   // call concurrently with in-flight I/O.
@@ -174,8 +245,9 @@ class Device {
   }
 
   // Safe to call while I/O is in flight: completions racing the reset land in
-  // whichever epoch their counter store hits, never in torn state.
-  void ResetStats() {
+  // whichever epoch their counter store hits, never in torn state. Queued
+  // implementations also clear their per-queue-pair stats.
+  virtual void ResetStats() {
     reads_.store(0, std::memory_order_relaxed);
     writes_.store(0, std::memory_order_relaxed);
     read_bytes_.store(0, std::memory_order_relaxed);

@@ -2,7 +2,7 @@
 // block device path) with no FDP and no simulation. Useful for examples,
 // integration tests, and as the seam where a real io_uring/NVMe passthru
 // backend would slot in. I/O goes through the same QueuedDevice
-// submission/completion pipeline as the simulated SSD, so it is safe for
+// multi-queue-pair pipeline as the simulated SSD, so it is safe for
 // concurrent submitters; completion latencies are wall-clock.
 #ifndef SRC_NAVY_FILE_DEVICE_H_
 #define SRC_NAVY_FILE_DEVICE_H_

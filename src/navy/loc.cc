@@ -193,7 +193,7 @@ bool LargeObjectCache::SealAndRotate() {
   if (config_.inflight_regions == 0) {
     // Synchronous seal: block on the device write; failure aborts the seal.
     if (!device_->Write(RegionBase(open_region_), open_buffer_.data(), config_.region_size,
-                        config_.placement)) {
+                        config_.placement, config_.queue_pair)) {
       return false;
     }
     std::fill(open_buffer_.begin(), open_buffer_.end(), 0);
@@ -212,8 +212,9 @@ bool LargeObjectCache::SealAndRotate() {
     InFlightRegion entry;
     entry.region = open_region_;
     entry.buffer = std::move(open_buffer_);
-    entry.token = device_->Submit(IoRequest::MakeWrite(
-        RegionBase(open_region_), entry.buffer.data(), config_.region_size, config_.placement));
+    entry.token = device_->Submit(IoRequest::MakeWrite(RegionBase(open_region_),
+                                                       entry.buffer.data(), config_.region_size,
+                                                       config_.placement, config_.queue_pair));
     inflight_.push_back(std::move(entry));
     open_buffer_ = AcquireBuffer();
   }
@@ -272,7 +273,7 @@ void LargeObjectCache::EvictRegion(uint32_t region) {
   info.sealed = false;
   info.seal_seq = 0;
   if (config_.trim_on_evict) {
-    device_->Trim(RegionBase(region), config_.region_size);
+    device_->Trim(RegionBase(region), config_.region_size, config_.queue_pair);
   }
   ++stats_.regions_evicted;
 }
@@ -306,7 +307,7 @@ std::optional<std::string> LargeObjectCache::Lookup(std::string_view key) {
     const uint64_t aligned_start = item_start / page * page;
     const uint64_t aligned_end = (item_start + loc.length + page - 1) / page * page;
     std::vector<uint8_t> buf(aligned_end - aligned_start);
-    if (!device_->Read(aligned_start, buf.data(), buf.size())) {
+    if (!device_->Read(aligned_start, buf.data(), buf.size(), config_.queue_pair)) {
       return std::nullopt;
     }
     const uint8_t* p = buf.data() + (item_start - aligned_start);
@@ -346,6 +347,8 @@ bool LargeObjectCache::Flush() {
   }
   return DrainInFlight() && ok;
 }
+
+bool LargeObjectCache::RetireInFlight() { return DrainInFlight(); }
 
 namespace {
 constexpr uint32_t kStateMagic = 0x4c4f4353;  // "SCOL"

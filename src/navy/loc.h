@@ -46,6 +46,10 @@ struct LocConfig {
   // 0 = synchronous seals (legacy behaviour: SealAndRotate blocks on the
   // device write).
   uint32_t inflight_regions = 0;
+  // Device queue pair carrying every request this engine issues. All of one
+  // LOC's I/O must share a queue pair: region rewrites after eviction (and
+  // trim_on_evict trims) rely on per-QP FIFO ordering.
+  uint32_t queue_pair = 0;
 };
 
 struct LocStats {
@@ -87,6 +91,13 @@ class LargeObjectCache {
   // Seals the open region early (writing it out zero-padded) and retires
   // every in-flight region write. Mostly for tests and orderly shutdown.
   bool Flush();
+
+  // Retires every in-flight region write WITHOUT sealing the open region —
+  // the measurement barrier: pending device writes land, but the open
+  // region's fill state (and therefore bytes_written / DLWA accounting)
+  // stays exactly as a synchronous-mode run would leave it. Returns false
+  // if any retired write had failed (its items degraded to misses).
+  bool RetireInFlight();
 
   // Sealed regions whose device write has not been retired yet.
   uint32_t InFlightRegions() const { return static_cast<uint32_t>(inflight_.size()); }

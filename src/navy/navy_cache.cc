@@ -27,6 +27,7 @@ NavyCache::NavyCache(Device* device, const NavyConfig& config,
   soc.placement = soc_handle_;
   soc.use_bloom_filters = config_.soc_bloom_filters;
   soc.inflight_writes = config_.soc_inflight_writes;
+  soc.queue_pair = config_.queue_pair;
   soc_ = std::make_unique<SmallObjectCache>(device_, soc);
 
   LocConfig loc;
@@ -37,6 +38,7 @@ NavyCache::NavyCache(Device* device, const NavyConfig& config,
   loc.eviction = config_.loc_eviction;
   loc.trim_on_evict = config_.loc_trim_on_evict;
   loc.inflight_regions = config_.loc_inflight_regions;
+  loc.queue_pair = config_.loc_queue_pair.value_or(config_.queue_pair);
   loc_ = std::make_unique<LargeObjectCache>(device_, loc);
   (void)page;
 }
@@ -91,6 +93,13 @@ bool NavyCache::Remove(std::string_view key) {
 bool NavyCache::Flush() {
   const bool soc_ok = soc_->Flush();
   return loc_->Flush() && soc_ok;
+}
+
+bool NavyCache::ReapPending() {
+  // SOC Flush only retires pending bucket rewrites (there is no open-region
+  // equivalent to seal), so it is already the drain-only barrier.
+  const bool soc_ok = soc_->Flush();
+  return loc_->RetireInFlight() && soc_ok;
 }
 
 bool NavyCache::Persist(std::string* state) {

@@ -39,6 +39,15 @@ struct NavyConfig {
   // Use FDP placement handles when the device offers them (the paper's
   // upstreamed CacheLib change; disable for the Non-FDP baseline).
   bool use_placement_handles = true;
+  // Device queue pair the engines submit on (wrapped modulo the device's
+  // queue-pair count). ShardedSimBackend maps shard index -> queue pair so
+  // each shard rides its own SQ/CQ, like per-core NVMe queues.
+  uint32_t queue_pair = 0;
+  // Optional separate queue pair for the LOC (default: same as queue_pair).
+  // The two engines address disjoint byte ranges, so splitting their streams
+  // across SQs is safe — ExperimentRunner uses this to give each placement
+  // stream its own queue, mirroring the per-stream RUH segregation.
+  std::optional<uint32_t> loc_queue_pair;
   // Byte range of the device used by this engine pair.
   uint64_t base_offset = 0;
   uint64_t size_bytes = 0;  // 0 = whole device.
@@ -75,6 +84,12 @@ class NavyCache {
   // Returns false if a seal or an async write failed (state stays
   // consistent; the affected items degrade to misses).
   bool Flush();
+
+  // Retires every in-flight flash write WITHOUT sealing the open LOC region
+  // — the measurement barrier ExperimentRunner uses at sampling boundaries:
+  // pending writes land, but the open region's fill state (and so DLWA /
+  // byte accounting) stays exactly where a synchronous run would be.
+  bool ReapPending();
 
   bool IsSmall(std::string_view key, std::string_view value) const {
     return key.size() + value.size() <= config_.small_item_max_bytes;

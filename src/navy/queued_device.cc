@@ -1,10 +1,41 @@
 #include "src/navy/queued_device.h"
 
 namespace fdpcache {
+namespace {
+
+IoQueueConfig Normalize(IoQueueConfig config) {
+  // Tokens reserve the bits above kQpShift (16 of 64) for the queue-pair
+  // index; more queue pairs than that would alias tokens across QPs and
+  // break Poll/Wait routing.
+  constexpr uint32_t kMaxQueuePairs = 1u << 16;
+  if (config.sq_depth == 0) {
+    config.sq_depth = 1;
+  }
+  if (config.num_queue_pairs == 0) {
+    config.num_queue_pairs = 1;
+  }
+  if (config.num_queue_pairs > kMaxQueuePairs) {
+    config.num_queue_pairs = kMaxQueuePairs;
+  }
+  config.wrr_weights.resize(config.num_queue_pairs, 1);
+  for (uint32_t& weight : config.wrr_weights) {
+    if (weight == 0) {
+      weight = 1;
+    }
+  }
+  return config;
+}
+
+}  // namespace
 
 QueuedDevice::QueuedDevice(const IoQueueConfig& queue_config)
-    : queue_config_{queue_config.sq_depth == 0 ? 1 : queue_config.sq_depth} {
-  worker_ = std::thread([this] { WorkerLoop(); });
+    : queue_config_(Normalize(queue_config)) {
+  qps_.reserve(queue_config_.num_queue_pairs);
+  for (uint32_t i = 0; i < queue_config_.num_queue_pairs; ++i) {
+    qps_.push_back(std::make_unique<IoQueuePair>());
+  }
+  arb_credit_ = WeightOf(0);
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
 QueuedDevice::~QueuedDevice() {
@@ -24,62 +55,99 @@ void QueuedDevice::StopQueue() {
     stop_ = true;
     work_cv_.notify_one();
   }
-  if (worker_.joinable()) {
-    worker_.join();
+  if (dispatcher_.joinable()) {
+    dispatcher_.join();
   }
 }
 
+uint32_t QueuedDevice::WeightOf(uint32_t qp_index) const {
+  return queue_config_.arbitration == QueueArbitration::kWeightedRoundRobin
+             ? queue_config_.wrr_weights[qp_index]
+             : 1;
+}
+
 CompletionToken QueuedDevice::Submit(const IoRequest& request) {
-  std::unique_lock<std::mutex> lock(mu_);
-  space_cv_.wait(lock, [this] { return sq_.size() < queue_config_.sq_depth; });
-  const CompletionToken token = next_token_++;
-  sq_.push_back(Pending{token, request});
-  outstanding_.insert(token);
-  work_cv_.notify_one();
+  const uint32_t qp_index = request.qp % static_cast<uint32_t>(qps_.size());
+  IoQueuePair& qp = *qps_[qp_index];
+  CompletionToken token;
+  {
+    std::unique_lock<std::mutex> lock(qp.mu);
+    qp.space_cv.wait(lock, [this, &qp] { return qp.sq.size() < queue_config_.sq_depth; });
+    token = (static_cast<CompletionToken>(qp_index) << kQpShift) | qp.next_seq++;
+    Pending pending;
+    pending.token = token;
+    pending.request = request;
+    pending.request.qp = qp_index;
+    qp.sq.push_back(std::move(pending));
+    qp.outstanding.insert(token);
+    qp.stats.queue_depth.Record(qp.sq.size());
+  }
+  queued_total_.fetch_add(1);
+  // Wake the dispatcher only when it may actually be asleep, keeping the
+  // device-global mutex off the cross-QP submit fast path. seq_cst ordering
+  // makes the race safe: if the dispatcher's wait predicate read
+  // queued_total_ == 0, that read preceded our increment, so our
+  // dispatcher_idle_ load is after its idle store and must see true.
+  if (dispatcher_idle_.load()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    work_cv_.notify_one();
+  }
   return token;
 }
 
 std::optional<IoResult> QueuedDevice::Poll(CompletionToken token) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = cq_.find(token);
-  if (it == cq_.end()) {
+  const uint32_t qp_index = QpOfToken(token);
+  if (qp_index >= qps_.size()) {
+    return std::nullopt;
+  }
+  IoQueuePair& qp = *qps_[qp_index];
+  std::lock_guard<std::mutex> lock(qp.mu);
+  const auto it = qp.cq.find(token);
+  if (it == qp.cq.end()) {
     return std::nullopt;
   }
   const IoResult result = it->second;
-  cq_.erase(it);
+  qp.cq.erase(it);
   return result;
 }
 
 IoResult QueuedDevice::Wait(CompletionToken token) {
-  std::unique_lock<std::mutex> lock(mu_);
-  // Fail fast on tokens that can never complete (never submitted, already
-  // reaped, kInvalidToken) instead of blocking forever on a caller bug.
-  complete_cv_.wait(lock, [this, token] {
-    return cq_.find(token) != cq_.end() || outstanding_.find(token) == outstanding_.end();
+  const uint32_t qp_index = QpOfToken(token);
+  // Fail fast on tokens that can never complete (kInvalidToken, a queue pair
+  // this device does not have) instead of blocking forever on a caller bug.
+  if (token == kInvalidToken || qp_index >= qps_.size()) {
+    return IoResult{};
+  }
+  IoQueuePair& qp = *qps_[qp_index];
+  std::unique_lock<std::mutex> lock(qp.mu);
+  // Same fail-fast for never-submitted / already-reaped tokens.
+  qp.complete_cv.wait(lock, [&qp, token] {
+    return qp.cq.find(token) != qp.cq.end() ||
+           qp.outstanding.find(token) == qp.outstanding.end();
   });
-  const auto it = cq_.find(token);
-  if (it == cq_.end()) {
+  const auto it = qp.cq.find(token);
+  if (it == qp.cq.end()) {
     return IoResult{};
   }
   const IoResult result = it->second;
-  cq_.erase(it);
+  qp.cq.erase(it);
   return result;
 }
 
 void QueuedDevice::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
-  complete_cv_.wait(lock, [this] { return sq_.empty() && active_ == 0; });
+  idle_cv_.wait(lock, [this] { return queued_total_.load() == 0 && active_ == 0; });
 }
 
 uint32_t QueuedDevice::InFlight() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<uint32_t>(sq_.size()) + active_;
+  return queued_total_.load() + active_;
 }
 
 IoResult QueuedDevice::SyncIo(const IoRequest& request) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    if (sq_.empty() && active_ == 0) {
+    if (queued_total_.load() == 0 && active_ == 0) {
       // Idle pipeline: execute inline on the calling thread. `active_` keeps
       // Drain()/InFlight() honest while the lock is dropped for the
       // (possibly slow) backend call.
@@ -87,9 +155,15 @@ IoResult QueuedDevice::SyncIo(const IoRequest& request) {
       lock.unlock();
       const IoResult result = Execute(request);
       RecordCompletion(request, result);
+      const uint32_t qp_index = request.qp % static_cast<uint32_t>(qps_.size());
+      {
+        IoQueuePair& qp = *qps_[qp_index];
+        std::lock_guard<std::mutex> qp_lock(qp.mu);
+        RecordQpCompletion(qp, request, result);
+      }
       lock.lock();
       --active_;
-      complete_cv_.notify_all();
+      idle_cv_.notify_all();
       return result;
     }
   }
@@ -108,26 +182,121 @@ IoResult QueuedDevice::Execute(const IoRequest& request) {
   return IoResult{};
 }
 
-void QueuedDevice::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  for (;;) {
-    work_cv_.wait(lock, [this] { return stop_ || !sq_.empty(); });
-    if (sq_.empty()) {
-      // stop_ is set and everything submitted has been executed.
-      return;
+void QueuedDevice::RecordQpCompletion(IoQueuePair& qp, const IoRequest& request,
+                                      const IoResult& result) {
+  // Caller holds qp.mu. Mirrors Device::RecordCompletion so the per-QP
+  // counters sum to the aggregate DeviceStats.
+  QueuePairStats& stats = qp.stats;
+  if (!result.ok) {
+    ++stats.io_errors;
+    return;
+  }
+  switch (request.op) {
+    case IoOp::kRead:
+      ++stats.reads;
+      stats.read_bytes += request.size;
+      stats.read_latency_ns.Record(result.latency_ns);
+      break;
+    case IoOp::kWrite:
+      ++stats.writes;
+      stats.write_bytes += request.size;
+      stats.write_latency_ns.Record(result.latency_ns);
+      break;
+    case IoOp::kTrim:
+      ++stats.trims;
+      break;
+  }
+}
+
+bool QueuedDevice::PopNext(Pending* out, uint32_t* out_qp) {
+  // Serve the current QP while it has credit and queued work; an empty ring
+  // forfeits the rest of the slot (NVMe WRR: an idle queue donates its
+  // bandwidth). `scanned <= n` lets the cursor come back around to the
+  // starting QP with fresh credit when everything else is empty.
+  const uint32_t n = static_cast<uint32_t>(qps_.size());
+  for (uint32_t scanned = 0; scanned <= n; ++scanned) {
+    IoQueuePair& qp = *qps_[arb_qp_];
+    if (arb_credit_ > 0) {
+      std::lock_guard<std::mutex> lock(qp.mu);
+      if (!qp.sq.empty()) {
+        auto it = qp.sq.begin();
+        if (queue_config_.read_priority) {
+          for (auto scan = qp.sq.begin(); scan != qp.sq.end(); ++scan) {
+            if (scan->request.op == IoOp::kRead) {
+              it = scan;
+              break;
+            }
+          }
+        }
+        *out = std::move(*it);
+        qp.sq.erase(it);
+        *out_qp = arb_qp_;
+        ++qp.stats.dispatched;
+        --arb_credit_;
+        qp.space_cv.notify_one();
+        return true;
+      }
+      // Ring empty: forfeit the rest of this slot and advance below.
     }
-    Pending pending = sq_.front();
-    sq_.pop_front();
-    ++active_;
-    space_cv_.notify_one();
-    lock.unlock();
-    const IoResult result = Execute(pending.request);
-    RecordCompletion(pending.request, result);
-    lock.lock();
-    --active_;
-    cq_[pending.token] = result;
-    outstanding_.erase(pending.token);
-    complete_cv_.notify_all();
+    arb_qp_ = (arb_qp_ + 1) % n;
+    arb_credit_ = WeightOf(arb_qp_);
+  }
+  return false;
+}
+
+void QueuedDevice::DispatcherLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      dispatcher_idle_.store(true);
+      work_cv_.wait(lock, [this] { return stop_ || queued_total_.load() > 0; });
+      dispatcher_idle_.store(false);
+      if (queued_total_.load() == 0) {
+        // stop_ is set and everything submitted has been executed.
+        return;
+      }
+      queued_total_.fetch_sub(1);
+      ++active_;
+    }
+    Pending pending;
+    uint32_t qp_index = 0;
+    // queued_total_ was nonzero and this thread is the only popper, so some
+    // ring holds a request; PopNext scans them all.
+    const bool popped = PopNext(&pending, &qp_index);
+    IoResult result;
+    if (popped) {
+      result = Execute(pending.request);
+      RecordCompletion(pending.request, result);
+      IoQueuePair& qp = *qps_[qp_index];
+      std::lock_guard<std::mutex> lock(qp.mu);
+      RecordQpCompletion(qp, pending.request, result);
+      qp.cq[pending.token] = result;
+      qp.outstanding.erase(pending.token);
+      qp.complete_cv.notify_all();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+std::vector<QueuePairStats> QueuedDevice::PerQueuePairStats() const {
+  std::vector<QueuePairStats> out;
+  out.reserve(qps_.size());
+  for (const auto& qp : qps_) {
+    std::lock_guard<std::mutex> lock(qp->mu);
+    out.push_back(qp->stats);
+  }
+  return out;
+}
+
+void QueuedDevice::ResetStats() {
+  Device::ResetStats();
+  for (auto& qp : qps_) {
+    std::lock_guard<std::mutex> lock(qp->mu);
+    qp->stats = QueuePairStats{};
   }
 }
 

@@ -1,34 +1,67 @@
-// QueuedDevice: the shared submission/completion pipeline both concrete
-// devices build on.
+// QueuedDevice: the multi-queue-pair submission/completion pipeline both
+// concrete devices build on.
 //
-// Models one NVMe queue pair in host software: Submit() appends to a
-// mutex-guarded submission ring (applying backpressure when the ring is
-// full), a dedicated queue worker pops requests in FIFO order and executes
-// them against the blocking backend (ExecuteWrite/Read/Trim, supplied by the
-// derived device), and completions land in a completion table keyed by token
-// for Poll()/Wait() to reap. Because one worker executes everything in
-// submission order, concurrent submitters get a device that behaves like a
-// single serially-consistent SSD — which is exactly what lets every
-// ShardedCache shard share ONE simulated FDP device and genuinely interleave
-// their placement streams on the same NAND geometry.
+// Models an NVMe controller's queue-pair structure in host software: the
+// device owns N independent IoQueuePairs (each its own mutex-guarded SQ ring
+// and completion table), Submit() routes a request to the queue pair named
+// by IoRequest::qp (wrapped modulo N) and applies backpressure when that
+// ring is full, and ONE dispatcher thread arbitrates across the SQs —
+// round-robin by default, weighted-round-robin via IoQueueConfig weights,
+// optionally serving reads ahead of queued writes within the selected QP's
+// slot — and executes each popped request against the blocking backend
+// (ExecuteWrite/Read/Trim, supplied by the derived device). Completions land
+// in the owning QP's table keyed by token; tokens encode their queue pair,
+// so Poll()/Wait() work from any thread on any token (cross-QP reaping is
+// fine).
+//
+// Ordering: requests on the SAME queue pair execute in submission order
+// (per-QP FIFO, like a real NVMe SQ); ordering across queue pairs is up to
+// the arbiter. Because one dispatcher executes everything, concurrent
+// submitters still get a device that behaves like a single
+// serially-consistent SSD — which is what lets every ShardedCache shard
+// share ONE simulated FDP device on its own queue pair and genuinely
+// interleave placement streams on the same NAND geometry.
 #ifndef SRC_NAVY_QUEUED_DEVICE_H_
 #define SRC_NAVY_QUEUED_DEVICE_H_
 
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "src/navy/device.h"
 
 namespace fdpcache {
 
+// How the dispatcher picks the next submission queue to serve (NVMe command
+// arbitration, Base spec §4.13).
+enum class QueueArbitration : uint8_t {
+  kRoundRobin,          // One request per QP per turn (NVMe RR).
+  kWeightedRoundRobin,  // Up to weight[qp] consecutive requests per turn (NVMe WRR).
+};
+
 struct IoQueueConfig {
-  // Submission ring capacity; Submit() blocks (backpressure) when this many
-  // requests are queued and not yet picked up by the worker.
+  // Per-queue-pair submission ring capacity; Submit() blocks (backpressure)
+  // when the target QP has this many requests queued and not yet picked up
+  // by the dispatcher.
   uint32_t sq_depth = 256;
+  // Independent SQ/CQ pairs. 1 reproduces the single-queue PR 2 pipeline.
+  uint32_t num_queue_pairs = 1;
+  QueueArbitration arbitration = QueueArbitration::kRoundRobin;
+  // Per-QP weights for kWeightedRoundRobin (missing/zero entries count as 1;
+  // ignored under kRoundRobin).
+  std::vector<uint32_t> wrr_weights;
+  // Serve the first queued read of the selected QP ahead of earlier queued
+  // writes/trims in that QP's slot (read latency over write throughput).
+  // This relaxes per-QP FIFO for reads ONLY — safe for the cache engines,
+  // which never issue a device read for an offset with an in-flight write
+  // (in-flight LOC regions and pending SOC buckets are served from host
+  // buffers) — and leaves write/trim relative order untouched.
+  bool read_priority = false;
 };
 
 class QueuedDevice : public Device {
@@ -42,34 +75,43 @@ class QueuedDevice : public Device {
   CompletionToken Submit(const IoRequest& request) override;
   std::optional<IoResult> Poll(CompletionToken token) override;
   // Blocking reap. A token that is neither in flight nor parked (never
-  // submitted, already reaped, or kInvalidToken) returns ok=false
-  // immediately instead of blocking forever.
+  // submitted, already reaped, kInvalidToken, or naming a queue pair this
+  // device does not have) returns ok=false immediately instead of blocking
+  // forever. Any thread may wait on any token regardless of which QP it was
+  // submitted to.
   IoResult Wait(CompletionToken token) override;
+  // Blocks until every submitted request on every queue pair has executed.
   void Drain() override;
   uint32_t InFlight() const override;
 
-  // Synchronous I/O fast path: when the pipeline is idle the calling thread
-  // executes the request inline — no tokens, no queue-worker handoff — which
-  // keeps single-threaded callers of the Write/Read/Trim shim at direct-call
-  // cost. Requests submitted by other threads while an inline execution is
-  // in progress may run concurrently against the backend (the backends are
-  // thread-safe); same-caller ordering is unaffected.
+  // Synchronous I/O fast path: when the whole pipeline is idle the calling
+  // thread executes the request inline — no tokens, no dispatcher handoff —
+  // which keeps single-threaded callers of the Write/Read/Trim shim at
+  // direct-call cost. Requests submitted by other threads while an inline
+  // execution is in progress may run concurrently against the backend (the
+  // backends are thread-safe); same-caller ordering is unaffected.
   IoResult SyncIo(const IoRequest& request) override;
+
+  uint32_t num_queue_pairs() const override {
+    return static_cast<uint32_t>(qps_.size());
+  }
+  std::vector<QueuePairStats> PerQueuePairStats() const override;
+  void ResetStats() override;
 
   const IoQueueConfig& queue_config() const { return queue_config_; }
 
  protected:
-  // Blocking backend ops, executed on the queue worker strictly in
-  // submission order. Implementations validate alignment/bounds themselves
-  // and report failures through IoResult::ok.
+  // Blocking backend ops, executed on the dispatcher thread in per-QP
+  // submission order (or inline by SyncIo). Implementations validate
+  // alignment/bounds themselves and report failures through IoResult::ok.
   virtual IoResult ExecuteWrite(uint64_t offset, const void* data, uint64_t size,
                                 PlacementHandle handle) = 0;
   virtual IoResult ExecuteRead(uint64_t offset, void* out, uint64_t size) = 0;
   virtual IoResult ExecuteTrim(uint64_t offset, uint64_t size) = 0;
 
-  // Stops the worker after it finishes everything already submitted. Every
-  // derived destructor MUST call this first, so the worker cannot call into a
-  // partially-destroyed derived class. Idempotent.
+  // Stops the dispatcher after it finishes everything already submitted.
+  // Every derived destructor MUST call this first, so the dispatcher cannot
+  // call into a partially-destroyed derived class. Idempotent.
   void StopQueue();
 
  private:
@@ -78,25 +120,60 @@ class QueuedDevice : public Device {
     IoRequest request;
   };
 
+  // One NVMe-style queue pair: SQ ring + completion table + per-QP stats,
+  // all guarded by the QP's own mutex so submitters on different queue pairs
+  // never contend.
+  struct IoQueuePair {
+    mutable std::mutex mu;
+    std::condition_variable space_cv;     // Ring space freed.
+    std::condition_variable complete_cv;  // A completion landed.
+    std::deque<Pending> sq;
+    std::unordered_map<CompletionToken, IoResult> cq;
+    // Tokens submitted and not yet completed (queued or executing); lets
+    // Wait() distinguish "still in flight" from "never existed / reaped".
+    std::unordered_set<CompletionToken> outstanding;
+    uint64_t next_seq = 1;  // Low bits of the next token.
+    QueuePairStats stats;
+  };
+
+  // Tokens encode their queue pair in the high bits so Poll()/Wait() route
+  // without a global table: token = (qp << kQpShift) | seq, seq >= 1.
+  static constexpr uint32_t kQpShift = 48;
+  static uint32_t QpOfToken(CompletionToken token) {
+    return static_cast<uint32_t>(token >> kQpShift);
+  }
+
+  uint32_t WeightOf(uint32_t qp_index) const;
+  // Arbitration step: pops the next request across all SQs into `*out`.
+  // Returns false only when every ring is empty.
+  bool PopNext(Pending* out, uint32_t* out_qp);
+  void RecordQpCompletion(IoQueuePair& qp, const IoRequest& request, const IoResult& result);
   IoResult Execute(const IoRequest& request);
-  void WorkerLoop();
+  void DispatcherLoop();
 
   const IoQueueConfig queue_config_;
+  std::vector<std::unique_ptr<IoQueuePair>> qps_;
 
+  // Global pipeline accounting for the dispatcher wakeup, Drain(),
+  // InFlight(), and the SyncIo idle check. The submit fast path stays off
+  // mu_: queued_total_ is atomic and Submit only takes mu_ (to notify) when
+  // dispatcher_idle_ says the dispatcher may be asleep — both seq_cst, so a
+  // dispatcher that observed an empty pipeline before blocking is always
+  // seen as idle by the submitter that made it non-empty.
   mutable std::mutex mu_;
-  std::condition_variable space_cv_;     // Ring space freed.
-  std::condition_variable work_cv_;      // Work submitted / stop requested.
-  std::condition_variable complete_cv_;  // A completion landed.
-  std::deque<Pending> sq_;
-  std::unordered_map<CompletionToken, IoResult> cq_;
-  // Tokens submitted and not yet completed (queued or executing); lets
-  // Wait() distinguish "still in flight" from "never existed / reaped".
-  std::unordered_set<CompletionToken> outstanding_;
-  CompletionToken next_token_ = 1;
-  uint32_t active_ = 0;  // Executions in progress (worker + inline SyncIo).
+  std::condition_variable work_cv_;  // Work submitted / stop requested.
+  std::condition_variable idle_cv_;  // An execution finished.
+  std::atomic<uint32_t> queued_total_{0};
+  std::atomic<bool> dispatcher_idle_{false};  // Set under mu_ around the wait.
+  uint32_t active_ = 0;  // Executions in progress (dispatcher + inline SyncIo).
   bool stop_ = false;
   bool stopped_ = false;
-  std::thread worker_;
+
+  // Arbitration cursor; touched only by the dispatcher thread.
+  uint32_t arb_qp_ = 0;
+  uint32_t arb_credit_ = 0;
+
+  std::thread dispatcher_;
 };
 
 }  // namespace fdpcache

@@ -4,10 +4,11 @@
 // translated to FDP placement identifiers, attached to writes as DTYPE/DSPEC
 // directive fields, and submitted to the device. Reads are unchanged.
 //
-// I/O flows through the QueuedDevice submission/completion pipeline, so any
+// I/O flows through the QueuedDevice multi-queue-pair pipeline, so any
 // number of threads (ShardedCache shards in particular) can submit against
-// one device; the queue worker serializes execution against the SimulatedSsd
-// in submission order.
+// one device — each on its own SQ/CQ pair — while the dispatcher arbitrates
+// across the queues and serializes execution against the SimulatedSsd in
+// per-queue-pair submission order.
 #ifndef SRC_NAVY_SIM_SSD_DEVICE_H_
 #define SRC_NAVY_SIM_SSD_DEVICE_H_
 

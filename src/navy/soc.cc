@@ -67,7 +67,8 @@ bool SmallObjectCache::RetireOldest(bool blocking) {
     // bucket is still queued behind us, since that one supersedes this and
     // a trim submitted now would execute after it (FIFO).
     if (FindPending(bucket_id) == nullptr) {
-      device_->Trim(config_.base_offset + bucket_id * config_.bucket_size, config_.bucket_size);
+      device_->Trim(config_.base_offset + bucket_id * config_.bucket_size,
+                    config_.bucket_size, config_.queue_pair);
       if (blooms_.has_value()) {
         blooms_->ClearBucket(bucket_id);
       }
@@ -103,7 +104,7 @@ Bucket SmallObjectCache::LoadBucket(uint64_t bucket_id, bool* io_ok) {
     return std::move(*bucket);
   }
   const uint64_t offset = config_.base_offset + bucket_id * config_.bucket_size;
-  if (!device_->Read(offset, scratch_.data(), config_.bucket_size)) {
+  if (!device_->Read(offset, scratch_.data(), config_.bucket_size, config_.queue_pair)) {
     *io_ok = false;
     return Bucket(config_.bucket_size);
   }
@@ -121,7 +122,8 @@ bool SmallObjectCache::StoreBucket(uint64_t bucket_id, const Bucket& bucket) {
   if (config_.inflight_writes == 0) {
     // Synchronous rewrite: device errors surface to the caller immediately.
     bucket.Serialize(scratch_.data());
-    if (!device_->Write(offset, scratch_.data(), config_.bucket_size, config_.placement)) {
+    if (!device_->Write(offset, scratch_.data(), config_.bucket_size, config_.placement,
+                        config_.queue_pair)) {
       return false;
     }
   } else {
@@ -134,7 +136,8 @@ bool SmallObjectCache::StoreBucket(uint64_t bucket_id, const Bucket& bucket) {
     entry.buffer = AcquireBuffer();
     bucket.Serialize(entry.buffer.data());
     entry.token = device_->Submit(IoRequest::MakeWrite(offset, entry.buffer.data(),
-                                                       config_.bucket_size, config_.placement));
+                                                       config_.bucket_size, config_.placement,
+                                                       config_.queue_pair));
     pending_.push_back(std::move(entry));
   }
   stats_.bytes_written += config_.bucket_size;

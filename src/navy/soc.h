@@ -40,6 +40,10 @@ struct SocConfig {
   // 0 = synchronous rewrites (legacy behaviour: StoreBucket blocks and
   // surfaces device errors as insert failures).
   uint32_t inflight_writes = 0;
+  // Device queue pair carrying every request this engine issues. All of one
+  // SOC's I/O must share a queue pair: failed-write trims and overlapping
+  // bucket rewrites rely on per-QP FIFO ordering.
+  uint32_t queue_pair = 0;
 };
 
 struct SocStats {

@@ -37,6 +37,19 @@ HybridCacheConfig ShardConfig(uint64_t ram_bytes) {
   return config;
 }
 
+// Per-shard topology with synchronous flash writes (the PR 1 deployment
+// shape these tests were written against).
+ShardedBackendConfig PerShardConfig(uint32_t num_shards, uint64_t ram_bytes_per_shard) {
+  ShardedBackendConfig config;
+  config.num_shards = num_shards;
+  config.topology = BackendTopology::kPerShardDevice;
+  config.ssd = SmallSsdConfig();
+  config.cache = ShardConfig(ram_bytes_per_shard);
+  config.loc_inflight_regions = 0;
+  config.soc_inflight_writes = 0;
+  return config;
+}
+
 TEST(ShardedCacheRoutingTest, StableAndInRange) {
   for (const uint32_t shards : {1u, 2u, 7u, 16u}) {
     for (int i = 0; i < 1000; ++i) {
@@ -61,8 +74,7 @@ TEST(ShardedCacheRoutingTest, UsesEveryShard) {
 class ShardedCacheTest : public ::testing::Test {
  protected:
   void Build(uint32_t num_shards, uint64_t ram_bytes_per_shard) {
-    backend_ = std::make_unique<ShardedSimBackend>(num_shards, SmallSsdConfig(),
-                                                   ShardConfig(ram_bytes_per_shard));
+    backend_ = std::make_unique<ShardedSimBackend>(PerShardConfig(num_shards, ram_bytes_per_shard));
   }
 
   ShardedCache& cache() { return backend_->cache(); }
@@ -282,6 +294,37 @@ TEST(SharedDeviceBackendTest, ShardsGetDistinctPlacementHandles) {
   EXPECT_EQ(handles.count(kNoPlacement), 0u);
 }
 
+TEST(SharedDeviceBackendTest, ShardsRideDistinctQueuePairsAndPerQpStatsSurface) {
+  ShardedSimBackend backend(SharedConfig(4));
+  // Auto queue-pair topology: one SQ/CQ per shard on the one shared device.
+  EXPECT_EQ(backend.device(0).num_queue_pairs(), 4u);
+  ShardedCache& cache = backend.cache();
+  for (int i = 0; i < 800; ++i) {
+    cache.Set("key" + std::to_string(i), std::string(600, 'q'));
+  }
+  cache.Flush();  // Seal + retire + drain every queue pair.
+
+  const ShardedCacheStats stats = cache.Stats();
+  ASSERT_EQ(stats.device_queue_pairs.size(), 4u);
+  const DeviceStats device = backend.device(0).stats();
+  uint64_t qp_writes = 0;
+  uint64_t qp_write_bytes = 0;
+  uint64_t qp_latency_count = 0;
+  uint32_t qps_with_traffic = 0;
+  for (const QueuePairStats& qp : stats.device_queue_pairs) {
+    qp_writes += qp.writes;
+    qp_write_bytes += qp.write_bytes;
+    qp_latency_count += qp.write_latency_ns.Count();
+    qps_with_traffic += qp.writes > 0 ? 1 : 0;
+  }
+  // Per-QP stats sum to the aggregate DeviceStats on the quiesced device.
+  EXPECT_EQ(qp_writes, device.writes);
+  EXPECT_EQ(qp_write_bytes, device.write_bytes);
+  EXPECT_EQ(qp_latency_count, device.write_latency_ns.Count());
+  // Every shard spilled to flash, so more than one queue pair carried writes.
+  EXPECT_GT(qps_with_traffic, 1u);
+}
+
 // The shared-device counterpart of MultithreadedMixedSmoke: 4 threads of
 // mixed Get/Set/Remove over 4 shards whose async flash writes all interleave
 // on ONE SSD. Values are a pure function of the key, so hits are
@@ -366,7 +409,7 @@ TEST(SharedDeviceBackendTest, ReplayDriverRunsOnSharedTopology) {
 }
 
 TEST(ConcurrentReplayDriverTest, ExecutesAllOpsAndMergesHistograms) {
-  ShardedSimBackend backend(4, SmallSsdConfig(), ShardConfig(256 * 1024));
+  ShardedSimBackend backend(PerShardConfig(4, 256 * 1024));
   ConcurrentReplayConfig config;
   config.num_threads = 3;
   config.total_ops = 30'001;  // Remainder lands on thread 0.
@@ -404,7 +447,7 @@ TEST(ConcurrentReplayDriverTest, SameSeedSameStreamCounts) {
   config.workload.num_keys = 5'000;
 
   auto run = [&config] {
-    ShardedSimBackend backend(2, SmallSsdConfig(), ShardConfig(256 * 1024));
+    ShardedSimBackend backend(PerShardConfig(2, 256 * 1024));
     ConcurrentReplayDriver driver(&backend.cache(), config);
     return driver.Run();
   };

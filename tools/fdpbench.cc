@@ -29,6 +29,11 @@ void PrintUsage() {
       "  --tenants=1                       number of cache instances sharing the SSD\n"
       "  --superblocks=256                 device size in 2 MiB reclaim units\n"
       "  --ops=400000                      measured operations\n"
+      "  --qd=1                            target device queue depth (1 = synchronous,\n"
+      "                                    >1 pipelines flash writes through the device\n"
+      "                                    queue pairs with a flush barrier at collection)\n"
+      "  --qps=1                           queue pairs per tenant device (tenant t's SOC\n"
+      "                                    rides QP 2t %% qps, its LOC QP (2t+1) %% qps)\n"
       "  --seed=42                         workload seed\n"
       "  --verify                          verify every hit's payload\n"
       "  --wear-leveling                   enable static wear leveling\n"
@@ -63,6 +68,8 @@ int Run(int argc, char** argv) {
   config.num_tenants = static_cast<uint32_t>(flags.GetInt("tenants", 1));
   config.num_superblocks = static_cast<uint32_t>(flags.GetInt("superblocks", 256));
   config.total_ops = static_cast<uint64_t>(flags.GetInt("ops", 400'000));
+  config.queue_depth = static_cast<uint32_t>(flags.GetInt("qd", 1));
+  config.queue_pairs = static_cast<uint32_t>(flags.GetInt("qps", 1));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   config.verify_values = flags.GetBool("verify", false);
   config.workload.seed = config.seed;
@@ -91,6 +98,10 @@ int Run(int argc, char** argv) {
   std::printf("cache: flash=%s ram=%s\n", FormatBytes(r.cache_bytes).c_str(),
               FormatBytes(r.ram_bytes).c_str());
   std::printf("%s\n", SummarizeReport("result", r).c_str());
+  if (config.queue_depth > 1 || config.queue_pairs > 1) {
+    std::printf("device queue pairs (qd=%u, qps=%u):\n%s", config.queue_depth,
+                config.queue_pairs, FormatQueuePairStats("  ", r.device_queue_pairs).c_str());
+  }
   std::printf("interval DLWA:\n%s", FormatDlwaSeries("  ", r.interval_dlwa).c_str());
   std::printf("device: gc_events=%llu relocated_pages=%llu clean_erases=%llu energy=%.1f J\n",
               static_cast<unsigned long long>(r.gc_events),
