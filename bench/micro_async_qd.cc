@@ -1,5 +1,5 @@
-// Async device queue-depth sweep: QD 1/4/16/64 x queue pairs 1/2/4/8,
-// shared vs per-shard device.
+// Async device queue-depth sweep: QD 1/4/16/64 x queue pairs 1/2/4/8 x
+// execution lanes 0/1/4, shared vs per-shard device.
 //
 // Submitter threads issue 256 KiB region-sized writes through the
 // Submit/Poll/Wait pipeline, each keeping QD writes outstanding (a slot
@@ -13,11 +13,15 @@
 //                      t % N), each on its own placement handle and byte
 //                      range: the multi-QP shared-SSD cache topology. N=1
 //                      reproduces the PR 2 single-ring pipeline;
+//   shared/4t x4 qp xL lanes — the same multi-QP topology with L execution
+//                      lanes behind the arbiter (L=1: one lane worker, the
+//                      serial-execution baseline with the handoff cost paid;
+//                      L=4: die-affine parallel execution);
 //   per-shard/4t     — four submitters, each with a private SSD stack (the
 //                      PR 1 deployment shape, no cross-shard interference).
-// Reported as MiB/s per (topology, qps, QD) combo plus a per-QP breakdown
-// (dispatches, writes, observed queue depth) in machine-readable
-// BENCH_async.json for the perf trajectory.
+// Reported as MiB/s per (topology, qps, lanes, QD) combo plus per-QP and
+// per-lane breakdowns (dispatches, writes, observed queue depth, lane busy)
+// in machine-readable BENCH_async.json for the perf trajectory.
 //
 // SHAPE CHECKS (enforced on multi-core hosts; single-core runs report the
 // sweep but cannot demonstrate overlap):
@@ -25,7 +29,10 @@
 //      overlaps payload preparation with device execution;
 //   2. shared/4t at QD 16: 4 queue pairs must be >= the single-QP ring
 //      (within a small noise floor) — per-QP submission locks remove the
-//      one-ring contention, and must never cost throughput.
+//      one-ring contention, and must never cost throughput;
+//   3. (>= 4 cores) shared/4t/4qp at QD 16: 4 lanes must be >= 1.2x the
+//      single lane — parallel payload copies across lanes beat one
+//      executor, the whole point of the lane engine.
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -114,16 +121,26 @@ struct QpRow {
   uint64_t max_queue_depth = 0;
 };
 
+struct LaneRow {
+  uint32_t lane = 0;
+  uint64_t dispatches = 0;
+  uint64_t conflict_waits = 0;
+  uint64_t busy_ns = 0;
+  uint64_t max_queue_depth = 0;
+};
+
 struct ComboResult {
   std::string topology;
   uint32_t submitters = 0;
   uint32_t qps = 1;
+  uint32_t lanes = 0;
   uint32_t qd = 0;
   double mib_per_sec = 0.0;
   double elapsed_s = 0.0;
   uint64_t writes = 0;
   uint64_t failures = 0;
   std::vector<QpRow> per_qp;
+  std::vector<LaneRow> per_lane;
 };
 
 std::vector<QpRow> CollectPerQp(Device& device) {
@@ -141,13 +158,31 @@ std::vector<QpRow> CollectPerQp(Device& device) {
   return rows;
 }
 
-ComboResult RunShared(uint32_t submitters, uint32_t qps, uint32_t qd, uint64_t total_writes) {
+std::vector<LaneRow> CollectPerLane(Device& device) {
+  std::vector<LaneRow> rows;
+  const std::vector<LaneStats> stats = device.PerLaneStats();
+  for (uint32_t i = 0; i < stats.size(); ++i) {
+    LaneRow row;
+    row.lane = i;
+    row.dispatches = stats[i].dispatches;
+    row.conflict_waits = stats[i].conflict_waits;
+    row.busy_ns = stats[i].busy_ns;
+    row.max_queue_depth = stats[i].queue_depth.Max();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+ComboResult RunShared(uint32_t submitters, uint32_t qps, uint32_t lanes, uint32_t qd,
+                      uint64_t total_writes) {
   SimulatedSsd ssd(SweepSsdConfig(64));
   const uint32_t nsid = *ssd.CreateNamespace(ssd.logical_capacity_bytes());
   VirtualClock clock;
   IoQueueConfig queue;
   queue.sq_depth = kMaxThreads * 64;  // Never the bottleneck in this sweep.
   queue.num_queue_pairs = qps;
+  queue.exec_lanes = lanes;
+  queue.lane_stripe_bytes = kWriteBytes;  // Consecutive regions hop lanes.
   SimSsdDevice device(&ssd, nsid, &clock, queue);
 
   const uint64_t per_thread = total_writes / submitters;
@@ -171,6 +206,7 @@ ComboResult RunShared(uint32_t submitters, uint32_t qps, uint32_t qd, uint64_t t
   result.topology = "shared";
   result.submitters = submitters;
   result.qps = qps;
+  result.lanes = lanes;
   result.qd = qd;
   result.elapsed_s = elapsed;
   for (const SubmitterStats& s : stats) {
@@ -180,6 +216,7 @@ ComboResult RunShared(uint32_t submitters, uint32_t qps, uint32_t qd, uint64_t t
   result.mib_per_sec =
       static_cast<double>(result.writes * kWriteBytes) / (1024.0 * 1024.0) / elapsed;
   result.per_qp = CollectPerQp(device);
+  result.per_lane = CollectPerLane(device);
   return result;
 }
 
@@ -249,11 +286,11 @@ void EmitJson(const std::vector<ComboResult>& results, uint64_t total_writes) {
   for (size_t i = 0; i < results.size(); ++i) {
     const ComboResult& r = results[i];
     std::fprintf(f,
-                 "    {\"topology\": \"%s\", \"submitters\": %u, \"qps\": %u, \"qd\": %u, "
-                 "\"mib_per_sec\": %.2f, \"elapsed_s\": %.4f, \"writes\": %llu, "
+                 "    {\"topology\": \"%s\", \"submitters\": %u, \"qps\": %u, \"lanes\": %u, "
+                 "\"qd\": %u, \"mib_per_sec\": %.2f, \"elapsed_s\": %.4f, \"writes\": %llu, "
                  "\"failures\": %llu, \"per_qp\": [",
-                 r.topology.c_str(), r.submitters, r.qps, r.qd, r.mib_per_sec, r.elapsed_s,
-                 static_cast<unsigned long long>(r.writes),
+                 r.topology.c_str(), r.submitters, r.qps, r.lanes, r.qd, r.mib_per_sec,
+                 r.elapsed_s, static_cast<unsigned long long>(r.writes),
                  static_cast<unsigned long long>(r.failures));
     for (size_t q = 0; q < r.per_qp.size(); ++q) {
       const QpRow& qp = r.per_qp[q];
@@ -265,6 +302,18 @@ void EmitJson(const std::vector<ComboResult>& results, uint64_t total_writes) {
                    static_cast<unsigned long long>(qp.p50_queue_depth),
                    static_cast<unsigned long long>(qp.max_queue_depth),
                    q + 1 < r.per_qp.size() ? ", " : "");
+    }
+    std::fprintf(f, "], \"per_lane\": [");
+    for (size_t l = 0; l < r.per_lane.size(); ++l) {
+      const LaneRow& lane = r.per_lane[l];
+      std::fprintf(f,
+                   "{\"lane\": %u, \"dispatches\": %llu, \"conflict_waits\": %llu, "
+                   "\"busy_ns\": %llu, \"max_qd\": %llu}%s",
+                   lane.lane, static_cast<unsigned long long>(lane.dispatches),
+                   static_cast<unsigned long long>(lane.conflict_waits),
+                   static_cast<unsigned long long>(lane.busy_ns),
+                   static_cast<unsigned long long>(lane.max_queue_depth),
+                   l + 1 < r.per_lane.size() ? ", " : "");
     }
     std::fprintf(f, "]}%s\n", i + 1 < results.size() ? "," : "");
   }
@@ -294,30 +343,38 @@ int main() {
     bool shared;
     uint32_t submitters;
     uint32_t qps;
+    uint32_t lanes;
   };
   std::vector<Combo> combos;
-  combos.push_back({true, 1, 1});
+  combos.push_back({true, 1, 1, 0});
   for (const uint32_t qps : qp_counts) {
-    combos.push_back({true, kMaxThreads, qps});
+    combos.push_back({true, kMaxThreads, qps, 0});
   }
-  combos.push_back({false, kMaxThreads, 1});
+  // Execution-lane axis on the 4-QP shared topology: one lane (serial
+  // execution with the handoff paid) vs four die-affine lanes.
+  combos.push_back({true, kMaxThreads, 4, 1});
+  combos.push_back({true, kMaxThreads, 4, 4});
+  combos.push_back({false, kMaxThreads, 1, 0});
 
   std::vector<ComboResult> results;
-  TextTable table({"topology", "submitters", "qps", "qd", "MiB/s", "elapsed", "writes",
-                   "failures"});
+  TextTable table({"topology", "submitters", "qps", "lanes", "qd", "MiB/s", "elapsed",
+                   "writes", "failures"});
   double shared_qd1 = 0.0;
   double shared_qd16 = 0.0;
   double shared_4t_qp1_qd16 = 0.0;
   double shared_4t_qp4_qd16 = 0.0;
+  double shared_lane1_qd16 = 0.0;
+  double shared_lane4_qd16 = 0.0;
   for (const Combo& combo : combos) {
     for (const uint32_t qd : depths) {
       // Best of two runs per combo: one scheduler hiccup in a 0.2s window
       // otherwise dominates the row.
-      ComboResult r = combo.shared ? RunShared(combo.submitters, combo.qps, qd, total_writes)
-                                   : RunPerShard(combo.submitters, qd, total_writes);
-      const ComboResult again = combo.shared
-                                    ? RunShared(combo.submitters, combo.qps, qd, total_writes)
-                                    : RunPerShard(combo.submitters, qd, total_writes);
+      ComboResult r = combo.shared
+                          ? RunShared(combo.submitters, combo.qps, combo.lanes, qd, total_writes)
+                          : RunPerShard(combo.submitters, qd, total_writes);
+      const ComboResult again =
+          combo.shared ? RunShared(combo.submitters, combo.qps, combo.lanes, qd, total_writes)
+                       : RunPerShard(combo.submitters, qd, total_writes);
       if (again.failures == 0 && again.mib_per_sec > r.mib_per_sec) {
         r = again;
       }
@@ -327,34 +384,44 @@ int main() {
       if (combo.shared && combo.submitters == 1 && qd == 16) {
         shared_qd16 = r.mib_per_sec;
       }
-      if (combo.shared && combo.submitters == kMaxThreads && qd == 16) {
+      if (combo.shared && combo.submitters == kMaxThreads && qd == 16 && combo.lanes == 0) {
         if (combo.qps == 1) {
           shared_4t_qp1_qd16 = r.mib_per_sec;
         } else if (combo.qps == 4) {
           shared_4t_qp4_qd16 = r.mib_per_sec;
         }
       }
+      if (combo.shared && combo.submitters == kMaxThreads && combo.qps == 4 && qd == 16) {
+        if (combo.lanes == 1) {
+          shared_lane1_qd16 = r.mib_per_sec;
+        } else if (combo.lanes == 4) {
+          shared_lane4_qd16 = r.mib_per_sec;
+        }
+      }
       table.AddRow({r.topology, std::to_string(r.submitters), std::to_string(r.qps),
-                    std::to_string(r.qd), FormatDouble(r.mib_per_sec, 1),
-                    FormatDouble(r.elapsed_s, 2) + "s", std::to_string(r.writes),
-                    std::to_string(r.failures)});
+                    std::to_string(r.lanes), std::to_string(r.qd),
+                    FormatDouble(r.mib_per_sec, 1), FormatDouble(r.elapsed_s, 2) + "s",
+                    std::to_string(r.writes), std::to_string(r.failures)});
       results.push_back(r);
     }
   }
   std::printf("%s\n", table.ToString().c_str());
   EmitJson(results, total_writes);
-  std::printf("wrote BENCH_async.json (with per-QP dispatch/queue-depth breakdown)\n");
+  std::printf("wrote BENCH_async.json (with per-QP and per-lane breakdowns)\n");
 
   for (const ComboResult& r : results) {
     if (r.failures != 0) {
-      std::printf("SHAPE CHECK: FAIL (%llu write failures in %s qps=%u qd=%u)\n",
-                  static_cast<unsigned long long>(r.failures), r.topology.c_str(), r.qps, r.qd);
+      std::printf("SHAPE CHECK: FAIL (%llu write failures in %s qps=%u lanes=%u qd=%u)\n",
+                  static_cast<unsigned long long>(r.failures), r.topology.c_str(), r.qps,
+                  r.lanes, r.qd);
       return 1;
     }
   }
   const double ratio = shared_qd1 > 0.0 ? shared_qd16 / shared_qd1 : 0.0;
   const double qp_ratio =
       shared_4t_qp1_qd16 > 0.0 ? shared_4t_qp4_qd16 / shared_4t_qp1_qd16 : 0.0;
+  const double lane_ratio =
+      shared_lane1_qd16 > 0.0 ? shared_lane4_qd16 / shared_lane1_qd16 : 0.0;
   if (hw_threads >= 2) {
     const bool qd_ok = shared_qd16 > shared_qd1;
     PrintShapeCheck(qd_ok, "shared device QD16 > QD1, got " + FormatDouble(ratio, 2) + "x");
@@ -364,10 +431,23 @@ int main() {
     const bool qp_ok = shared_4t_qp4_qd16 >= shared_4t_qp1_qd16 * 0.90;
     PrintShapeCheck(qp_ok, "shared device 4 QPs >= 1 QP at 4t/QD16 (noise floor 0.90x), got " +
                                FormatDouble(qp_ratio, 2) + "x");
-    return qd_ok && qp_ok ? 0 : 1;
+    // Lane scaling needs one core per lane on top of the submitters; only
+    // demand the 1.2x win where the hardware can express it.
+    bool lanes_ok = true;
+    if (hw_threads >= 4) {
+      lanes_ok = shared_lane4_qd16 >= shared_lane1_qd16 * 1.2;
+      PrintShapeCheck(lanes_ok, "shared device 4 lanes >= 1.2x 1 lane at 4t/4qp/QD16, got " +
+                                    FormatDouble(lane_ratio, 2) + "x");
+    } else {
+      std::printf("SHAPE CHECK: SKIP (lane scaling needs >=4 cores, have %u; measured "
+                  "4lane/1lane %sx)\n\n",
+                  hw_threads, FormatDouble(lane_ratio, 2).c_str());
+    }
+    return qd_ok && qp_ok && lanes_ok ? 0 : 1;
   }
   std::printf("SHAPE CHECK: SKIP (only %u hardware thread(s); overlap needs >=2 cores; "
-              "measured QD16/QD1 %sx, 4QP/1QP %sx)\n\n",
-              hw_threads, FormatDouble(ratio, 2).c_str(), FormatDouble(qp_ratio, 2).c_str());
+              "measured QD16/QD1 %sx, 4QP/1QP %sx, 4lane/1lane %sx)\n\n",
+              hw_threads, FormatDouble(ratio, 2).c_str(), FormatDouble(qp_ratio, 2).c_str(),
+              FormatDouble(lane_ratio, 2).c_str());
   return 0;
 }

@@ -115,6 +115,7 @@ ShardedCacheStats ShardedCache::Stats() const {
   for (Device* device : devices_) {
     out.device_queue_pairs = MergeQueuePairStats(std::move(out.device_queue_pairs),
                                                  device->PerQueuePairStats());
+    out.device_lanes = MergeLaneStats(std::move(out.device_lanes), device->PerLaneStats());
   }
   return out;
 }

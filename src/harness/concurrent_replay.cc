@@ -31,10 +31,11 @@ ShardedCacheStats DiffStats(const ShardedCacheStats& after, const ShardedCacheSt
   for (size_t s = 0; s < after.shard_ops.size(); ++s) {
     d.shard_ops[s] = after.shard_ops[s] - (s < before.shard_ops.size() ? before.shard_ops[s] : 0);
   }
-  // Per-QP device stats carry the cumulative view (histograms cannot be
-  // diffed); they describe the device since construction/reset, not just
-  // this run — documented on ShardedCacheStats.
+  // Per-QP and per-lane device stats carry the cumulative view (histograms
+  // cannot be diffed); they describe the device since construction/reset,
+  // not just this run — documented on ShardedCacheStats.
   d.device_queue_pairs = after.device_queue_pairs;
+  d.device_lanes = after.device_lanes;
   return d;
 }
 
@@ -151,6 +152,8 @@ void ShardedSimBackend::BuildShared(const ShardedBackendConfig& config) {
   queue.arbitration = config.arbitration;
   queue.wrr_weights = config.wrr_weights;
   queue.read_priority = config.read_priority;
+  queue.exec_lanes = config.exec_lanes;
+  queue.lane_stripe_bytes = config.lane_stripe_bytes;
   stack->device = std::make_unique<SimSsdDevice>(stack->ssd.get(), *nsid, &stack->clock, queue);
   stack->allocator = std::make_unique<PlacementHandleAllocator>(*stack->device);
   stacks_.push_back(std::move(stack));
@@ -191,6 +194,8 @@ void ShardedSimBackend::BuildPerShard(const ShardedBackendConfig& config) {
   queue.arbitration = config.arbitration;
   queue.wrr_weights = config.wrr_weights;
   queue.read_priority = config.read_priority;
+  queue.exec_lanes = config.exec_lanes;
+  queue.lane_stripe_bytes = config.lane_stripe_bytes;
   for (uint32_t i = 0; i < config.num_shards; ++i) {
     auto stack = std::make_unique<ShardStack>();
     stack->ssd = std::make_unique<SimulatedSsd>(config.ssd);

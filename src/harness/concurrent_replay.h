@@ -108,6 +108,11 @@ struct ShardedBackendConfig {
   QueueArbitration arbitration = QueueArbitration::kRoundRobin;
   std::vector<uint32_t> wrr_weights;  // kWeightedRoundRobin only.
   bool read_priority = false;
+  // Parallel execution lanes behind the arbiter (0 = inline dispatcher
+  // execution; see IoQueueConfig::exec_lanes). Applied to every device this
+  // backend builds.
+  uint32_t exec_lanes = 0;
+  uint64_t lane_stripe_bytes = 256 * 1024;
   // Async flash-write pipelining per shard (applied to cache.navy); the
   // concurrent backend defaults both on, unlike the single-threaded driver.
   uint32_t loc_inflight_regions = 2;

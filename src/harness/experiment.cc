@@ -1,6 +1,8 @@
 #include "src/harness/experiment.h"
 
 #include <algorithm>
+#include <sstream>
+#include <stdexcept>
 
 namespace fdpcache {
 
@@ -57,11 +59,36 @@ ExperimentRunner::ExperimentRunner(const ExperimentConfig& config) : config_(con
 
   const uint32_t queue_depth = config_.queue_depth == 0 ? 1 : config_.queue_depth;
   const uint32_t queue_pairs = config_.queue_pairs == 0 ? 1 : config_.queue_pairs;
+  if (cache_bytes_per_tenant_ == 0) {
+    std::ostringstream msg;
+    msg << "ExperimentRunner: device too small — logical capacity "
+        << ssd_->logical_capacity_bytes() << " bytes across " << config_.num_tenants
+        << " tenant(s) at utilization " << config_.utilization
+        << " leaves no per-tenant cache; increase num_superblocks or reduce num_tenants";
+    throw std::runtime_error(msg.str());
+  }
   for (uint32_t t = 0; t < config_.num_tenants; ++t) {
+    // Validate per-tenant namespace sizing instead of dereferencing a failed
+    // allocation: CreateNamespace rounds each tenant's share up to whole
+    // pages, so N tenants of logical/N bytes can exceed the device by up to
+    // N-1 pages — historically a segfault on the second tenant of a small
+    // device (fdpbench --tenants=2 --superblocks=64).
     const auto nsid = ssd_->CreateNamespace(cache_bytes_per_tenant_);
+    if (!nsid.has_value()) {
+      std::ostringstream msg;
+      msg << "ExperimentRunner: cannot carve namespace for tenant " << t << ": need "
+          << cache_bytes_per_tenant_ << " bytes but only " << ssd_->UnallocatedBytes()
+          << " of the device's " << ssd_->logical_capacity_bytes()
+          << "-byte logical capacity remain unallocated; increase num_superblocks, or reduce "
+             "num_tenants/utilization";
+      throw std::runtime_error(msg.str());
+    }
     auto tenant = std::make_unique<Tenant>();
     IoQueueConfig queue;
     queue.num_queue_pairs = queue_pairs;
+    queue.exec_lanes = config_.exec_lanes;
+    queue.lane_stripe_bytes =
+        config_.lane_stripe_bytes != 0 ? config_.lane_stripe_bytes : config_.loc_region_size;
     tenant->device = std::make_unique<SimSsdDevice>(ssd_.get(), *nsid, &clock_, queue);
 
     HybridCacheConfig cache_config;
@@ -240,6 +267,8 @@ MetricsReport ExperimentRunner::Run() {
     writes.Merge(tenant->device->stats().write_latency_ns);
     report.device_queue_pairs = MergeQueuePairStats(std::move(report.device_queue_pairs),
                                                     tenant->device->PerQueuePairStats());
+    report.device_lanes =
+        MergeLaneStats(std::move(report.device_lanes), tenant->device->PerLaneStats());
     const NavyStats navy = tenant->cache->navy().stats();
     item_bytes += static_cast<double>(navy.soc.item_bytes_written + navy.loc.item_bytes_written);
     dev_bytes += static_cast<double>(navy.soc.bytes_written + navy.loc.bytes_written);
@@ -261,6 +290,7 @@ MetricsReport ExperimentRunner::Run() {
 
   const SsdTelemetry telemetry = ssd_->Telemetry(elapsed);
   report.gc_events = telemetry.gc_events;
+  report.per_die_busy_ns = telemetry.per_die_busy_ns;
   report.gc_relocated_pages = telemetry.gc_relocated_pages;
   report.clean_ru_erases = telemetry.clean_ru_erases;
   report.op_energy_uj = telemetry.op_energy_uj;

@@ -69,6 +69,18 @@ struct ExperimentConfig {
   // MetricsReport::device_queue_pairs at any queue depth; actual pipelining
   // needs queue_depth > 1.
   uint32_t queue_pairs = 1;
+  // Parallel execution lanes behind each tenant device's arbiter
+  // (IoQueueConfig::exec_lanes; fdpbench --lanes). 0 keeps the inline
+  // dispatcher path — bit-identical to the pre-lane harness at any queue
+  // depth. >0 executes disjoint requests concurrently on lane worker
+  // threads (overlapping same-QP requests still retire in submission
+  // order), which makes wall-clock-side effects like thread interleaving
+  // nondeterministic while the virtual-time metrics stay deterministic per
+  // seed only at lanes=0.
+  uint32_t exec_lanes = 0;
+  // Die-affine routing stripe (fdpbench --stripe). 0 = the loc_region_size
+  // is used, so consecutive LOC regions fan out across lanes.
+  uint64_t lane_stripe_bytes = 0;
 
   // --- Run --------------------------------------------------------------------
   uint64_t total_ops = 2'000'000;
@@ -121,6 +133,14 @@ struct MetricsReport {
   // merged across every tenant device. Index = queue pair.
   std::vector<QueuePairStats> device_queue_pairs;
 
+  // Per-execution-lane device stats, merged across every tenant device.
+  // Empty when exec_lanes == 0.
+  std::vector<LaneStats> device_lanes;
+
+  // Per-die busy time from the device's DieScheduler (index = die), for
+  // cross-checking lane utilization against the dies it mirrors.
+  std::vector<uint64_t> per_die_busy_ns;
+
   // Run bookkeeping.
   uint64_t elapsed_virtual_ns = 0;
   uint64_t ops_executed = 0;
@@ -132,6 +152,9 @@ struct MetricsReport {
 
 class ExperimentRunner {
  public:
+  // Throws std::runtime_error when the deployment cannot be provisioned —
+  // in particular when the per-tenant namespaces do not fit the device
+  // (e.g. fdpbench --tenants=2 --superblocks=64), which used to crash.
   explicit ExperimentRunner(const ExperimentConfig& config);
   ~ExperimentRunner();
 

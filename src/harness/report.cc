@@ -127,6 +127,34 @@ std::string FormatQueuePairStats(const std::string& indent,
   return out.str();
 }
 
+std::string FormatLaneStats(const std::string& indent, const std::vector<LaneStats>& lanes) {
+  std::ostringstream out;
+  for (size_t i = 0; i < lanes.size(); ++i) {
+    const LaneStats& lane = lanes[i];
+    out << indent << "lane" << i << ": dispatches=" << lane.dispatches
+        << " conflict_waits=" << lane.conflict_waits
+        << " busy=" << FormatDouble(static_cast<double>(lane.busy_ns) / 1e6, 1) << "ms"
+        << " p50_qd=" << lane.queue_depth.Percentile(50.0)
+        << " max_qd=" << lane.queue_depth.Max() << "\n";
+  }
+  return out.str();
+}
+
+std::string FormatDieBusy(const std::string& indent,
+                          const std::vector<uint64_t>& per_die_busy_ns) {
+  if (per_die_busy_ns.empty()) {
+    return "";
+  }
+  std::ostringstream out;
+  out << indent;
+  for (size_t i = 0; i < per_die_busy_ns.size(); ++i) {
+    out << (i == 0 ? "" : " ") << "die" << i << "="
+        << FormatDouble(static_cast<double>(per_die_busy_ns[i]) / 1e6, 1) << "ms";
+  }
+  out << "\n";
+  return out.str();
+}
+
 double BenchScale() {
   const char* env = std::getenv("FDPBENCH_SCALE");
   if (env == nullptr) {

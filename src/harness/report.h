@@ -50,6 +50,17 @@ std::string SummarizeConcurrentReport(const std::string& label,
 std::string FormatQueuePairStats(const std::string& indent,
                                  const std::vector<QueuePairStats>& queue_pairs);
 
+// One line per execution lane (dispatches, conflict waits, device-model busy
+// time, observed p50/max lane-queue depth), prefixed with `indent`. Empty
+// string for an empty vector.
+std::string FormatLaneStats(const std::string& indent, const std::vector<LaneStats>& lanes);
+
+// Compact one-line per-die busy summary ("die0=1.2ms die1=0.9ms ..."), for
+// cross-checking lane utilization against die utilization. Empty string for
+// an empty vector.
+std::string FormatDieBusy(const std::string& indent,
+                          const std::vector<uint64_t>& per_die_busy_ns);
+
 // Reads FDPBENCH_SCALE from the environment (0.1 .. 10, default 1.0):
 // benches multiply op counts by it so users can trade speed for fidelity.
 double BenchScale();

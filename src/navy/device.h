@@ -11,9 +11,13 @@
 // Poll() (non-blocking) or Wait() (blocking); Drain() waits for every
 // submitted request to execute. A device exposes one or more queue pairs
 // (per-core SQ/CQ pairs on real NVMe); every request names the queue pair it
-// rides (IoRequest::qp, 0 by default) and requests on the SAME queue pair
-// execute in submission order, so overlapping write/trim sequences within a
-// queue pair resolve exactly as submitted. Ordering ACROSS queue pairs is
+// rides (IoRequest::qp, 0 by default). Requests on the SAME queue pair whose
+// byte ranges overlap (unless both are reads) retire in submission order, so
+// overlapping write/trim sequences within a queue pair resolve exactly as
+// submitted; disjoint requests on one queue pair may execute concurrently
+// when the device runs parallel execution lanes (IoQueueConfig::exec_lanes,
+// see src/navy/exec_lanes.h) and execute in strict per-QP FIFO order on the
+// inline dispatcher path (exec_lanes == 0). Ordering ACROSS queue pairs is
 // arbitration-dependent — callers that need cross-request ordering must keep
 // those requests on one queue pair (exactly the guarantee real NVMe gives).
 // The blocking Write/Read/Trim calls are a synchronous shim (Submit + Wait)
@@ -165,6 +169,45 @@ inline std::vector<QueuePairStats> MergeQueuePairStats(std::vector<QueuePairStat
   return a;
 }
 
+// Per-execution-lane stats snapshot (see ExecLaneEngine in
+// src/navy/exec_lanes.h). Every request the arbiter pops goes through
+// exactly one lane, so summing `dispatches` across lanes reproduces the sum
+// of QueuePairStats::dispatched on a quiescent device with lanes enabled.
+struct LaneStats {
+  // Requests routed to this lane by the die-affine stripe map.
+  uint64_t dispatches = 0;
+  // Dispatches that had to chain behind an earlier overlapping request on
+  // the same queue pair (the ordering-aware conflict tracker fired).
+  uint64_t conflict_waits = 0;
+  // Device-model execution time this lane accumulated (IoResult::latency_ns
+  // folded through a DieScheduler, the same accounting the simulated SSD
+  // uses for its dies) — cross-checkable against SsdTelemetry's per-die
+  // busy time.
+  uint64_t busy_ns = 0;
+  // Lane-queue occupancy sampled at every dispatch (after the push).
+  Histogram queue_depth;
+
+  void Merge(const LaneStats& other) {
+    dispatches += other.dispatches;
+    conflict_waits += other.conflict_waits;
+    busy_ns += other.busy_ns;
+    queue_depth.Merge(other.queue_depth);
+  }
+};
+
+// Element-wise merge of two per-lane stat vectors, mirroring
+// MergeQueuePairStats.
+inline std::vector<LaneStats> MergeLaneStats(std::vector<LaneStats> a,
+                                             const std::vector<LaneStats>& b) {
+  if (a.size() < b.size()) {
+    a.resize(b.size());
+  }
+  for (size_t i = 0; i < b.size(); ++i) {
+    a[i].Merge(b[i]);
+  }
+  return a;
+}
+
 class Device {
  public:
   virtual ~Device() = default;
@@ -227,6 +270,10 @@ class Device {
   // pipeline). On a quiescent device the per-QP counters sum to the
   // aggregate DeviceStats counters.
   virtual std::vector<QueuePairStats> PerQueuePairStats() const { return {}; }
+
+  // Per-execution-lane stats snapshot (empty for devices without execution
+  // lanes, including queued devices running the inline dispatcher path).
+  virtual std::vector<LaneStats> PerLaneStats() const { return {}; }
 
   // Lock-free counter snapshot plus mutex-guarded latency histograms; safe to
   // call concurrently with in-flight I/O.

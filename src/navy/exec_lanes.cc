@@ -1,0 +1,162 @@
+#include "src/navy/exec_lanes.h"
+
+namespace fdpcache {
+
+ExecLaneEngine::ExecLaneEngine(uint32_t num_lanes, uint64_t lane_stripe_bytes,
+                               uint32_t lane_queue_depth,
+                               std::function<IoResult(const IoRequest&)> execute,
+                               std::function<void(const LaneTask&, const IoResult&)> complete)
+    : stripe_bytes_(lane_stripe_bytes == 0 ? 1 : lane_stripe_bytes),
+      lane_queue_depth_(lane_queue_depth == 0 ? 1 : lane_queue_depth),
+      execute_(std::move(execute)),
+      complete_(std::move(complete)),
+      lane_sched_(num_lanes == 0 ? 1 : num_lanes) {
+  const uint32_t n = num_lanes == 0 ? 1 : num_lanes;
+  lanes_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    lanes_[i]->worker = std::thread([this, i] { WorkerLoop(i); });
+  }
+}
+
+ExecLaneEngine::~ExecLaneEngine() { Stop(); }
+
+bool ExecLaneEngine::Conflicts(const ConflictEntry& entry, const IoRequest& request) {
+  if (entry.op == IoOp::kRead && request.op == IoOp::kRead) {
+    return false;  // Reads never order against each other.
+  }
+  // Half-open range overlap; zero-sized requests conflict with nothing.
+  return entry.offset < request.offset + request.size &&
+         request.offset < entry.offset + entry.size;
+}
+
+void ExecLaneEngine::Dispatch(LaneTask task) {
+  QueuedTask queued;
+  // Admit into the conflict tracker first: admission order (the dispatcher's
+  // arbitration order, which is per-QP submission order) is the retirement
+  // order enforced on overlapping same-QP requests.
+  {
+    std::lock_guard<std::mutex> lock(conflict_mu_);
+    std::list<ConflictEntry>& inflight = inflight_[task.qp];
+    for (const ConflictEntry& entry : inflight) {
+      if (Conflicts(entry, task.request)) {
+        queued.waits_on.push_back(entry.latch);
+      }
+    }
+    ConflictEntry entry;
+    entry.offset = task.request.offset;
+    entry.size = task.request.size;
+    entry.op = task.request.op;
+    entry.latch = std::make_shared<Latch>();
+    queued.latch = entry.latch;
+    inflight.push_back(std::move(entry));
+    queued.entry = std::prev(inflight.end());
+  }
+  const uint32_t lane_index = RouteLane(task.request.offset);
+  queued.task = std::move(task);
+  Lane& lane = *lanes_[lane_index];
+  {
+    std::unique_lock<std::mutex> lock(lane.mu);
+    lane.space_cv.wait(lock, [this, &lane] { return lane.queue.size() < lane_queue_depth_; });
+    const bool waited = !queued.waits_on.empty();
+    lane.queue.push_back(std::move(queued));
+    ++lane.stats.dispatches;
+    if (waited) {
+      ++lane.stats.conflict_waits;
+    }
+    lane.stats.queue_depth.Record(lane.queue.size());
+  }
+  lane.work_cv.notify_one();
+}
+
+void ExecLaneEngine::WorkerLoop(uint32_t lane_index) {
+  Lane& lane = *lanes_[lane_index];
+  for (;;) {
+    QueuedTask queued;
+    {
+      std::unique_lock<std::mutex> lock(lane.mu);
+      lane.work_cv.wait(lock, [this, &lane] { return stop_ || !lane.queue.empty(); });
+      if (lane.queue.empty()) {
+        return;  // stop_ is set and everything dispatched here has run.
+      }
+      queued = std::move(lane.queue.front());
+      lane.queue.pop_front();
+    }
+    lane.space_cv.notify_one();
+    // Chain behind every earlier overlapping same-QP request. Dependencies
+    // only ever point at earlier-dispatched tasks, so this cannot cycle.
+    for (const std::shared_ptr<Latch>& dep : queued.waits_on) {
+      dep->Await();
+    }
+    const IoResult result = execute_(queued.task.request);
+    // Publish the completion BEFORE signalling: a chained request starts
+    // only after this one has fully retired (CQ entry visible, stats
+    // recorded) — retirement order equals submission order.
+    complete_(queued.task, result);
+    {
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      lane_sched_.Schedule(lane_index, 0, result.latency_ns);
+    }
+    {
+      std::lock_guard<std::mutex> lock(conflict_mu_);
+      inflight_[queued.task.qp].erase(queued.entry);
+    }
+    queued.latch->Signal();
+  }
+}
+
+void ExecLaneEngine::Stop() {
+  {
+    // stop_ is read under each lane's mutex in the worker wait predicate;
+    // take them all so no worker misses the flag.
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(lanes_.size());
+    for (auto& lane : lanes_) {
+      locks.emplace_back(lane->mu);
+    }
+    if (stopped_) {
+      return;
+    }
+    stopped_ = true;
+    stop_ = true;
+  }
+  for (auto& lane : lanes_) {
+    lane->work_cv.notify_all();
+  }
+  for (auto& lane : lanes_) {
+    if (lane->worker.joinable()) {
+      lane->worker.join();
+    }
+  }
+}
+
+std::vector<LaneStats> ExecLaneEngine::Stats() const {
+  std::vector<LaneStats> out;
+  out.reserve(lanes_.size());
+  for (uint32_t i = 0; i < lanes_.size(); ++i) {
+    LaneStats stats;
+    {
+      std::lock_guard<std::mutex> lock(lanes_[i]->mu);
+      stats = lanes_[i]->stats;
+    }
+    {
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      stats.busy_ns = lane_sched_.busy_ns(i);
+    }
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+void ExecLaneEngine::ResetStats() {
+  for (auto& lane : lanes_) {
+    std::lock_guard<std::mutex> lock(lane->mu);
+    lane->stats = LaneStats{};
+  }
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  lane_sched_.Reset();
+}
+
+}  // namespace fdpcache

@@ -1,0 +1,164 @@
+// ExecLaneEngine: parallel execution lanes behind the queue-pair arbiter.
+//
+// The QueuedDevice dispatcher keeps arbitrating across submission queues
+// (RR/WRR/read-priority, unchanged), but with lanes enabled it no longer
+// executes requests inline: each popped request is routed to one of N lane
+// worker threads by a die-affine stripe map — lane = (offset /
+// lane_stripe_bytes) % num_lanes — so requests that would land on
+// independent NAND dies execute concurrently, the way an SSD controller
+// fans transactions out to per-die back-end servers (MQSim's multi-queue
+// front-end / back-end split, in host software).
+//
+// Correctness comes from the ordering-aware conflict tracker: two requests
+// on the SAME queue pair whose byte ranges overlap (unless both are reads),
+// including any trim vs. write on the same range, must retire in submission
+// order. At dispatch the tracker records every in-flight same-QP conflict as
+// a dependency; the lane worker waits those latches out before executing, so
+// the later request starts only after the earlier one has fully retired
+// (completion recorded, token reaped-able). Disjoint requests — same QP or
+// different QPs — share no latch and run fully in parallel. Dependencies
+// always point from later-dispatched to earlier-dispatched requests and lane
+// queues drain FIFO in dispatch order, so the wait graph is acyclic: the
+// oldest unfinished request is always runnable, and the engine cannot
+// deadlock.
+//
+// Per-lane accounting (LaneStats): dispatches, conflict waits, a lane-queue
+// depth histogram, and busy time folded through a DieScheduler — the same
+// accounting object the simulated SSD uses for its dies — so reports can put
+// host-side lane utilization next to device-side die utilization.
+#ifndef SRC_NAVY_EXEC_LANES_H_
+#define SRC_NAVY_EXEC_LANES_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/navy/device.h"
+#include "src/ssd/die_scheduler.h"
+
+namespace fdpcache {
+
+// One arbitrated request in flight through the lanes. `qp` is the normalized
+// queue-pair index the request was popped from (what the completion callback
+// needs to file the result into the right CQ).
+struct LaneTask {
+  CompletionToken token = kInvalidToken;
+  IoRequest request;
+  uint32_t qp = 0;
+};
+
+class ExecLaneEngine {
+ public:
+  // `execute` runs the blocking backend op (thread-safe: lane workers call
+  // it concurrently); `complete` publishes the completion (CQ insert, stats)
+  // and is called from lane worker threads, one call per dispatched task,
+  // before any request chained behind it may start. `lane_queue_depth`
+  // bounds each lane's queue; Dispatch blocks (backpressure) when the routed
+  // lane is full.
+  ExecLaneEngine(uint32_t num_lanes, uint64_t lane_stripe_bytes, uint32_t lane_queue_depth,
+                 std::function<IoResult(const IoRequest&)> execute,
+                 std::function<void(const LaneTask&, const IoResult&)> complete);
+  ~ExecLaneEngine();
+
+  ExecLaneEngine(const ExecLaneEngine&) = delete;
+  ExecLaneEngine& operator=(const ExecLaneEngine&) = delete;
+
+  // Die-affine route: the lane that owns the stripe containing `offset`.
+  // Requests spanning multiple stripes route by their first byte.
+  uint32_t RouteLane(uint64_t offset) const {
+    return static_cast<uint32_t>((offset / stripe_bytes_) % lanes_.size());
+  }
+
+  // Hands one arbitrated request to its lane. Must be called from a single
+  // thread (the dispatcher): conflict admission order IS the retirement
+  // order the tracker enforces. Blocks while the routed lane's queue is
+  // full.
+  void Dispatch(LaneTask task);
+
+  // Executes everything already dispatched, then joins the workers.
+  // Idempotent; no Dispatch may race or follow this.
+  void Stop();
+
+  std::vector<LaneStats> Stats() const;
+  void ResetStats();
+
+  uint32_t num_lanes() const { return static_cast<uint32_t>(lanes_.size()); }
+  uint64_t stripe_bytes() const { return stripe_bytes_; }
+
+ private:
+  // Completion latch for one in-flight request; later conflicting requests
+  // block on it until the earlier one has retired.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+
+    void Signal() {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        done = true;
+      }
+      cv.notify_all();
+    }
+    void Await() {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [this] { return done; });
+    }
+  };
+
+  // One in-flight request's footprint in the per-QP conflict list.
+  struct ConflictEntry {
+    uint64_t offset = 0;
+    uint64_t size = 0;
+    IoOp op = IoOp::kRead;
+    std::shared_ptr<Latch> latch;
+  };
+
+  struct QueuedTask {
+    LaneTask task;
+    std::shared_ptr<Latch> latch;                  // Signalled when this task retires.
+    std::list<ConflictEntry>::iterator entry;      // This task's tracker entry.
+    std::vector<std::shared_ptr<Latch>> waits_on;  // Earlier conflicting requests.
+  };
+
+  struct Lane {
+    mutable std::mutex mu;
+    std::condition_variable work_cv;   // Task queued / stop requested.
+    std::condition_variable space_cv;  // Queue space freed.
+    std::deque<QueuedTask> queue;
+    LaneStats stats;  // busy_ns lives in lane_sched_, filled in at snapshot.
+    std::thread worker;
+  };
+
+  static bool Conflicts(const ConflictEntry& entry, const IoRequest& request);
+  void WorkerLoop(uint32_t lane_index);
+
+  const uint64_t stripe_bytes_;
+  const uint32_t lane_queue_depth_;
+  const std::function<IoResult(const IoRequest&)> execute_;
+  const std::function<void(const LaneTask&, const IoResult&)> complete_;
+
+  // Ordering-aware conflict tracker: per-QP lists of in-flight requests.
+  // Guarded by conflict_mu_; entries are admitted by the dispatcher (in
+  // arbitration order) and erased by lane workers at retirement.
+  std::mutex conflict_mu_;
+  std::unordered_map<uint32_t, std::list<ConflictEntry>> inflight_;
+
+  // Lane busy-time accounting, one "die" per lane.
+  mutable std::mutex sched_mu_;
+  DieScheduler lane_sched_;
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  bool stop_ = false;     // Set under every lane's mu in Stop().
+  bool stopped_ = false;  // Stop() ran to completion (join done).
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_NAVY_EXEC_LANES_H_

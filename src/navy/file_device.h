@@ -3,7 +3,9 @@
 // integration tests, and as the seam where a real io_uring/NVMe passthru
 // backend would slot in. I/O goes through the same QueuedDevice
 // multi-queue-pair pipeline as the simulated SSD, so it is safe for
-// concurrent submitters; completion latencies are wall-clock.
+// concurrent submitters; with IoQueueConfig::exec_lanes > 0 the positioned
+// pread/pwrite calls run concurrently from the lane workers (they share the
+// one fd safely). Completion latencies are wall-clock.
 #ifndef SRC_NAVY_FILE_DEVICE_H_
 #define SRC_NAVY_FILE_DEVICE_H_
 

@@ -23,6 +23,15 @@ IoQueueConfig Normalize(IoQueueConfig config) {
       weight = 1;
     }
   }
+  if (config.lane_stripe_bytes == 0) {
+    config.lane_stripe_bytes = 256 * 1024;
+  }
+  // Each lane is a real thread; cap the count so a config typo cannot fork
+  // thousands of workers.
+  constexpr uint32_t kMaxExecLanes = 256;
+  if (config.exec_lanes > kMaxExecLanes) {
+    config.exec_lanes = kMaxExecLanes;
+  }
   return config;
 }
 
@@ -35,6 +44,13 @@ QueuedDevice::QueuedDevice(const IoQueueConfig& queue_config)
     qps_.push_back(std::make_unique<IoQueuePair>());
   }
   arb_credit_ = WeightOf(0);
+  if (queue_config_.exec_lanes > 0) {
+    lanes_ = std::make_unique<ExecLaneEngine>(
+        queue_config_.exec_lanes, queue_config_.lane_stripe_bytes,
+        /*lane_queue_depth=*/queue_config_.sq_depth,
+        [this](const IoRequest& request) { return Execute(request); },
+        [this](const LaneTask& task, const IoResult& result) { CompleteLaneTask(task, result); });
+  }
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
@@ -57,6 +73,12 @@ void QueuedDevice::StopQueue() {
   }
   if (dispatcher_.joinable()) {
     dispatcher_.join();
+  }
+  if (lanes_ != nullptr) {
+    // The dispatcher has drained every SQ; the lanes still hold whatever it
+    // handed off. Stop() executes the backlog and joins the workers, so no
+    // lane can touch the derived class after this returns.
+    lanes_->Stop();
   }
 }
 
@@ -263,22 +285,50 @@ void QueuedDevice::DispatcherLoop() {
     // queued_total_ was nonzero and this thread is the only popper, so some
     // ring holds a request; PopNext scans them all.
     const bool popped = PopNext(&pending, &qp_index);
-    IoResult result;
+    if (popped && lanes_ != nullptr) {
+      // Lane path: hand the popped request to its die-affine lane; the lane
+      // worker publishes the completion and releases the active_ slot this
+      // loop iteration took. Dispatch may block on lane backpressure, which
+      // is fine — backpressure is supposed to reach the submitters.
+      LaneTask task;
+      task.token = pending.token;
+      task.request = pending.request;
+      task.qp = qp_index;
+      lanes_->Dispatch(std::move(task));
+      continue;
+    }
     if (popped) {
-      result = Execute(pending.request);
-      RecordCompletion(pending.request, result);
-      IoQueuePair& qp = *qps_[qp_index];
-      std::lock_guard<std::mutex> lock(qp.mu);
-      RecordQpCompletion(qp, pending.request, result);
-      qp.cq[pending.token] = result;
-      qp.outstanding.erase(pending.token);
-      qp.complete_cv.notify_all();
+      // Inline path: execute on this thread and publish through the same
+      // completion routine the lane workers use.
+      LaneTask task;
+      task.token = pending.token;
+      task.request = pending.request;
+      task.qp = qp_index;
+      CompleteLaneTask(task, Execute(task.request));
+      continue;
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;
       idle_cv_.notify_all();
     }
+  }
+}
+
+void QueuedDevice::CompleteLaneTask(const LaneTask& task, const IoResult& result) {
+  RecordCompletion(task.request, result);
+  {
+    IoQueuePair& qp = *qps_[task.qp];
+    std::lock_guard<std::mutex> lock(qp.mu);
+    RecordQpCompletion(qp, task.request, result);
+    qp.cq[task.token] = result;
+    qp.outstanding.erase(task.token);
+    qp.complete_cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_;
+    idle_cv_.notify_all();
   }
 }
 
@@ -292,11 +342,18 @@ std::vector<QueuePairStats> QueuedDevice::PerQueuePairStats() const {
   return out;
 }
 
+std::vector<LaneStats> QueuedDevice::PerLaneStats() const {
+  return lanes_ == nullptr ? std::vector<LaneStats>{} : lanes_->Stats();
+}
+
 void QueuedDevice::ResetStats() {
   Device::ResetStats();
   for (auto& qp : qps_) {
     std::lock_guard<std::mutex> lock(qp->mu);
     qp->stats = QueuePairStats{};
+  }
+  if (lanes_ != nullptr) {
+    lanes_->ResetStats();
   }
 }
 

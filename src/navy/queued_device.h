@@ -8,19 +8,30 @@
 // ring is full, and ONE dispatcher thread arbitrates across the SQs —
 // round-robin by default, weighted-round-robin via IoQueueConfig weights,
 // optionally serving reads ahead of queued writes within the selected QP's
-// slot — and executes each popped request against the blocking backend
-// (ExecuteWrite/Read/Trim, supplied by the derived device). Completions land
-// in the owning QP's table keyed by token; tokens encode their queue pair,
-// so Poll()/Wait() work from any thread on any token (cross-QP reaping is
-// fine).
+// slot. What happens to a popped request depends on IoQueueConfig::exec_lanes:
 //
-// Ordering: requests on the SAME queue pair execute in submission order
-// (per-QP FIFO, like a real NVMe SQ); ordering across queue pairs is up to
-// the arbiter. Because one dispatcher executes everything, concurrent
-// submitters still get a device that behaves like a single
-// serially-consistent SSD — which is what lets every ShardedCache shard
-// share ONE simulated FDP device on its own queue pair and genuinely
-// interleave placement streams on the same NAND geometry.
+//   exec_lanes == 0 (default): the dispatcher executes it inline against the
+//   blocking backend (ExecuteWrite/Read/Trim, supplied by the derived
+//   device) — strict per-QP FIFO, the single-executor pipeline of PR 3,
+//   bit-compatible with it.
+//
+//   exec_lanes > 0: the dispatcher hands it to an ExecLaneEngine
+//   (src/navy/exec_lanes.h) — N lane worker threads, die-affine routing by
+//   offset stripe, an ordering-aware conflict tracker chaining overlapping
+//   same-QP requests — so independent byte ranges execute concurrently while
+//   overlapping same-QP requests still retire in submission order.
+//
+// Completions land in the owning QP's table keyed by token; tokens encode
+// their queue pair, so Poll()/Wait() work from any thread on any token
+// (cross-QP reaping is fine).
+//
+// Ordering: overlapping requests on the SAME queue pair retire in submission
+// order (full per-QP FIFO when exec_lanes == 0); ordering across queue pairs
+// is up to the arbiter. Concurrent submitters therefore still get a device
+// that behaves like one NVMe SSD — which is what lets every ShardedCache
+// shard share ONE simulated FDP device on its own queue pair and genuinely
+// interleave placement streams on the same NAND geometry, now with the
+// backend parallelism of the NAND dies those streams land on.
 #ifndef SRC_NAVY_QUEUED_DEVICE_H_
 #define SRC_NAVY_QUEUED_DEVICE_H_
 
@@ -34,6 +45,7 @@
 #include <vector>
 
 #include "src/navy/device.h"
+#include "src/navy/exec_lanes.h"
 
 namespace fdpcache {
 
@@ -62,6 +74,17 @@ struct IoQueueConfig {
   // (in-flight LOC regions and pending SOC buckets are served from host
   // buffers) — and leaves write/trim relative order untouched.
   bool read_priority = false;
+  // Parallel execution lanes behind the arbiter (see ExecLaneEngine,
+  // src/navy/exec_lanes.h). 0 = the dispatcher executes every popped request
+  // inline (the PR 3 single-executor pipeline, bit-compatible); N > 0 routes
+  // each popped request to one of N lane worker threads by offset stripe,
+  // with overlapping same-QP requests chained to retire in submission order.
+  uint32_t exec_lanes = 0;
+  // Die-affine stripe size for lane routing: lane = (offset /
+  // lane_stripe_bytes) % exec_lanes. Pick the device's natural write unit
+  // (region/RU size) so consecutive regions fan out across lanes the way
+  // they fan out across dies. 0 falls back to the 256 KiB default.
+  uint64_t lane_stripe_bytes = 256 * 1024;
 };
 
 class QueuedDevice : public Device {
@@ -96,6 +119,9 @@ class QueuedDevice : public Device {
     return static_cast<uint32_t>(qps_.size());
   }
   std::vector<QueuePairStats> PerQueuePairStats() const override;
+  // Per-lane dispatch/busy/queue-depth stats; empty on the inline dispatcher
+  // path (exec_lanes == 0).
+  std::vector<LaneStats> PerLaneStats() const override;
   void ResetStats() override;
 
   const IoQueueConfig& queue_config() const { return queue_config_; }
@@ -149,6 +175,11 @@ class QueuedDevice : public Device {
   bool PopNext(Pending* out, uint32_t* out_qp);
   void RecordQpCompletion(IoQueuePair& qp, const IoRequest& request, const IoResult& result);
   IoResult Execute(const IoRequest& request);
+  // Publishes one executed request: aggregate + per-QP stats, CQ insert,
+  // waiter wakeups, and the global active_ decrement. Called from lane
+  // worker threads (lane path) and the dispatcher (inline path) — the one
+  // completion routine both paths share.
+  void CompleteLaneTask(const LaneTask& task, const IoResult& result);
   void DispatcherLoop();
 
   const IoQueueConfig queue_config_;
@@ -172,6 +203,11 @@ class QueuedDevice : public Device {
   // Arbitration cursor; touched only by the dispatcher thread.
   uint32_t arb_qp_ = 0;
   uint32_t arb_credit_ = 0;
+
+  // Parallel execution lanes (null when exec_lanes == 0: the dispatcher
+  // executes inline). Stopped by StopQueue() after the dispatcher joins, so
+  // lane workers never call into a partially-destroyed derived class.
+  std::unique_ptr<ExecLaneEngine> lanes_;
 
   std::thread dispatcher_;
 };

@@ -7,8 +7,11 @@
 // I/O flows through the QueuedDevice multi-queue-pair pipeline, so any
 // number of threads (ShardedCache shards in particular) can submit against
 // one device — each on its own SQ/CQ pair — while the dispatcher arbitrates
-// across the queues and serializes execution against the SimulatedSsd in
-// per-queue-pair submission order.
+// across the queues and executes inline (exec_lanes = 0, per-QP submission
+// order) or fans popped requests out to die-affine execution lanes
+// (exec_lanes > 0; the SimulatedSsd serializes FTL work internally but
+// overlaps payload copies, and the conflict tracker keeps overlapping
+// same-QP requests in submission order).
 #ifndef SRC_NAVY_SIM_SSD_DEVICE_H_
 #define SRC_NAVY_SIM_SSD_DEVICE_H_
 

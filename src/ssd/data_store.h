@@ -6,6 +6,15 @@
 // the FTL copies pages, and the simulator charges that in time, energy, and
 // WAF counters, but the payload is reachable from the logical address either
 // way, so the copy itself is elided for speed.
+//
+// Two-phase access for parallel executors: frames are shared-ownership
+// buffers, so a command path can resolve WriteFrame()/ReadFrame() pointers
+// under the device lock (cheap: allocation + refcount) and do the actual
+// memcpy outside it. A TRIM racing such a copy detaches the frame but never
+// frees it under the copier (the shared_ptr keeps it alive); two commands
+// copying the SAME page concurrently are the submitter's race — exactly the
+// per-LBA ordering a real NVMe device refuses to define across queues — and
+// the execution-lane conflict tracker orders them within a queue pair.
 #ifndef SRC_SSD_DATA_STORE_H_
 #define SRC_SSD_DATA_STORE_H_
 
@@ -18,6 +27,9 @@ namespace fdpcache {
 
 class DataStore {
  public:
+  // A page buffer whose lifetime is decoupled from the frame table.
+  using Frame = std::shared_ptr<uint8_t[]>;
+
   DataStore(uint64_t num_pages, uint64_t page_size, bool enabled)
       : page_size_(page_size), enabled_(enabled) {
     if (enabled_) {
@@ -29,20 +41,37 @@ class DataStore {
     if (!enabled_ || data == nullptr) {
       return;
     }
-    if (!frames_[lpn]) {
-      frames_[lpn] = std::make_unique<uint8_t[]>(page_size_);
-    }
-    std::memcpy(frames_[lpn].get(), data, page_size_);
+    std::memcpy(WriteFrame(lpn).get(), data, page_size_);
   }
 
   // Fills `out` with the page contents, or zeroes when never written/trimmed.
   void Read(uint64_t lpn, void* out) const {
-    if (enabled_ && frames_[lpn]) {
-      std::memcpy(out, frames_[lpn].get(), page_size_);
+    const Frame frame = ReadFrame(lpn);
+    if (frame) {
+      std::memcpy(out, frame.get(), page_size_);
     } else {
       std::memset(out, 0, page_size_);
     }
   }
+
+  // Returns the page's frame, allocating zero-filled on first touch (a
+  // concurrent reader of a just-installed frame must see the page's prior
+  // contents — zeroes — never uninitialized heap). Null only when the store
+  // is disabled. Call under the device lock; the returned pointer stays
+  // valid afterwards.
+  Frame WriteFrame(uint64_t lpn) {
+    if (!enabled_) {
+      return nullptr;
+    }
+    if (!frames_[lpn]) {
+      frames_[lpn] = Frame(new uint8_t[page_size_]());
+    }
+    return frames_[lpn];
+  }
+
+  // Returns the page's current frame, or null when unmapped/disabled (read
+  // back as zeroes). Never allocates.
+  Frame ReadFrame(uint64_t lpn) const { return enabled_ ? frames_[lpn] : nullptr; }
 
   void Trim(uint64_t lpn) {
     if (enabled_) {
@@ -67,7 +96,7 @@ class DataStore {
  private:
   uint64_t page_size_;
   bool enabled_;
-  std::vector<std::unique_ptr<uint8_t[]>> frames_;
+  std::vector<Frame> frames_;
 };
 
 }  // namespace fdpcache

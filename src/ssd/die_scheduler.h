@@ -31,6 +31,13 @@ class DieScheduler {
 
   TimeNs busy_until(uint32_t die) const { return busy_until_[die]; }
 
+  // Accumulated active time of one die (the per-die view of TotalBusyNs),
+  // for lane-vs-die utilization cross-checks in telemetry.
+  TimeNs busy_ns(uint32_t die) const { return busy_ns_[die]; }
+  const std::vector<TimeNs>& per_die_busy_ns() const { return busy_ns_; }
+
+  uint32_t num_dies() const { return static_cast<uint32_t>(busy_ns_.size()); }
+
   // The furthest-out completion across all dies; used for backpressure.
   TimeNs MaxBusyUntil() const { return *std::max_element(busy_until_.begin(), busy_until_.end()); }
   TimeNs MinBusyUntil() const { return *std::min_element(busy_until_.begin(), busy_until_.end()); }

@@ -1,6 +1,7 @@
 #include "src/ssd/ssd.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace fdpcache {
 
@@ -78,57 +79,91 @@ std::optional<uint64_t> SimulatedSsd::Translate(uint32_t nsid, uint64_t slba,
 NvmeCompletion SimulatedSsd::Write(uint32_t nsid, uint64_t slba, uint32_t nlb,
                                    const void* data, DirectiveType dtype, uint16_t dspec,
                                    TimeNs now) {
-  std::lock_guard<std::mutex> lock(mu_);
   NvmeCompletion completion;
   completion.submitted_at = now;
   completion.completed_at = now;
-  const std::optional<uint64_t> base = Translate(nsid, slba, nlb);
-  if (!base.has_value()) {
-    completion.status = nsid == 0 || nsid > namespaces_.size() ? NvmeStatus::kInvalidNamespace
-                                                               : NvmeStatus::kLbaOutOfRange;
-    return completion;
-  }
-  op_now_ = now;
-  host_op_completion_ = now;
   const uint64_t page_size = config_.geometry.page_size_bytes;
   const auto* bytes = static_cast<const uint8_t*>(data);
-  for (uint32_t i = 0; i < nlb; ++i) {
-    const uint64_t lpn = *base + i;
-    const FtlStatus st = ftl_->WritePage(lpn, dtype, dspec);
-    if (st != FtlStatus::kOk) {
-      completion.status = ToNvmeStatus(st);
+  // Phase 1 (under the lock): translation, FTL mapping, die timing, and
+  // frame resolution. Phase 2 (outside): the payload memcpys, so concurrent
+  // executors overlap data movement instead of convoying on mu_. On a
+  // partial failure the successfully mapped prefix still gets its bytes,
+  // matching the historical in-lock behaviour.
+  std::vector<DataStore::Frame> frames;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::optional<uint64_t> base = Translate(nsid, slba, nlb);
+    if (!base.has_value()) {
+      completion.status = nsid == 0 || nsid > namespaces_.size() ? NvmeStatus::kInvalidNamespace
+                                                                 : NvmeStatus::kLbaOutOfRange;
       return completion;
     }
-    data_.Write(lpn, bytes == nullptr ? nullptr : bytes + i * page_size);
+    op_now_ = now;
+    host_op_completion_ = now;
+    if (bytes != nullptr && data_.enabled()) {
+      frames.reserve(nlb);
+    }
+    for (uint32_t i = 0; i < nlb; ++i) {
+      const uint64_t lpn = *base + i;
+      const FtlStatus st = ftl_->WritePage(lpn, dtype, dspec);
+      if (st != FtlStatus::kOk) {
+        completion.status = ToNvmeStatus(st);
+        break;
+      }
+      if (bytes != nullptr && data_.enabled()) {
+        frames.push_back(data_.WriteFrame(lpn));
+      }
+    }
+    if (completion.ok()) {
+      completion.completed_at = host_op_completion_ + config_.timing.transfer_page_ns * nlb;
+    }
   }
-  completion.completed_at = host_op_completion_ + config_.timing.transfer_page_ns * nlb;
+  for (size_t i = 0; i < frames.size(); ++i) {
+    std::memcpy(frames[i].get(), bytes + i * page_size, page_size);
+  }
   return completion;
 }
 
 NvmeCompletion SimulatedSsd::Read(uint32_t nsid, uint64_t slba, uint32_t nlb, void* out,
                                   TimeNs now) {
-  std::lock_guard<std::mutex> lock(mu_);
   NvmeCompletion completion;
   completion.submitted_at = now;
   completion.completed_at = now;
-  const std::optional<uint64_t> base = Translate(nsid, slba, nlb);
-  if (!base.has_value()) {
-    completion.status = nsid == 0 || nsid > namespaces_.size() ? NvmeStatus::kInvalidNamespace
-                                                               : NvmeStatus::kLbaOutOfRange;
-    return completion;
-  }
-  op_now_ = now;
-  host_op_completion_ = now;
   const uint64_t page_size = config_.geometry.page_size_bytes;
   auto* bytes = static_cast<uint8_t*>(out);
-  for (uint32_t i = 0; i < nlb; ++i) {
-    const uint64_t lpn = *base + i;
-    ftl_->ReadPage(lpn);  // Unmapped pages read back as zeroes below.
+  // Same two-phase split as Write: frame pointers are resolved under the
+  // lock (a TRIM racing us detaches the frame but the shared_ptr keeps the
+  // bytes alive), the copies run outside it.
+  std::vector<DataStore::Frame> frames;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::optional<uint64_t> base = Translate(nsid, slba, nlb);
+    if (!base.has_value()) {
+      completion.status = nsid == 0 || nsid > namespaces_.size() ? NvmeStatus::kInvalidNamespace
+                                                                 : NvmeStatus::kLbaOutOfRange;
+      return completion;
+    }
+    op_now_ = now;
+    host_op_completion_ = now;
     if (bytes != nullptr) {
-      data_.Read(lpn, bytes + i * page_size);
+      frames.reserve(nlb);
+    }
+    for (uint32_t i = 0; i < nlb; ++i) {
+      const uint64_t lpn = *base + i;
+      ftl_->ReadPage(lpn);  // Unmapped pages read back as zeroes below.
+      if (bytes != nullptr) {
+        frames.push_back(data_.ReadFrame(lpn));
+      }
+    }
+    completion.completed_at = host_op_completion_ + config_.timing.transfer_page_ns * nlb;
+  }
+  for (size_t i = 0; i < frames.size(); ++i) {
+    if (frames[i]) {
+      std::memcpy(bytes + i * page_size, frames[i].get(), page_size);
+    } else {
+      std::memset(bytes + i * page_size, 0, page_size);
     }
   }
-  completion.completed_at = host_op_completion_ + config_.timing.transfer_page_ns * nlb;
   return completion;
 }
 
@@ -202,6 +237,7 @@ SsdTelemetry SimulatedSsd::Telemetry(TimeNs elapsed) const {
   t.total_energy_uj =
       t.op_energy_uj + config_.energy.idle_power_w * (static_cast<double>(elapsed) / 1e3);
   t.die_busy_ns = dies_.TotalBusyNs();
+  t.per_die_busy_ns = dies_.per_die_busy_ns();
   t.max_pe_cycles = ftl_->media().max_erase_count();
   t.mean_pe_cycles = ftl_->media().mean_erase_count();
   t.dlwa = ftl_->stats().Dlwa();

@@ -8,9 +8,16 @@
 //
 // The command paths (Write/Read/Deallocate, admin, telemetry) are guarded by
 // an internal mutex, so multiple device queues (or submitter threads) can
-// drive one SimulatedSsd concurrently; commands execute atomically in lock
-// order. Raw subsystem accessors (ftl(), namespaces()) bypass the lock and
-// are for construction-time setup and quiescent inspection only.
+// drive one SimulatedSsd concurrently. Control-plane work (translation, FTL
+// mapping, die timing) executes atomically in lock order; the payload
+// memcpys of Write/Read run OUTSIDE the lock against shared-ownership
+// DataStore frames, so parallel executors (the device's execution lanes)
+// genuinely overlap data movement. Commands touching the same page
+// concurrently therefore race on the payload alone — the per-LBA ordering a
+// real NVMe device also refuses to define across queues; within a queue
+// pair the host-side conflict tracker orders overlapping requests. Raw
+// subsystem accessors (ftl(), namespaces()) bypass the lock and are for
+// construction-time setup and quiescent inspection only.
 #ifndef SRC_SSD_SSD_H_
 #define SRC_SSD_SSD_H_
 
@@ -58,6 +65,10 @@ struct SsdTelemetry {
   double op_energy_uj = 0.0;         // NAND operation energy.
   double total_energy_uj = 0.0;      // Including idle power over elapsed time.
   TimeNs die_busy_ns = 0;
+  // Per-die accumulated busy time (sums to die_busy_ns); lets reports
+  // cross-check execution-lane utilization against the dies the lanes are
+  // meant to mirror.
+  std::vector<TimeNs> per_die_busy_ns;
   uint32_t max_pe_cycles = 0;
   double mean_pe_cycles = 0.0;
   double dlwa = 1.0;

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "src/harness/report.h"
 
 namespace fdpcache {
@@ -140,6 +142,69 @@ TEST(HarnessTest, QueueDepthKnobKeepsResultsHealthyAndSurfacesQueuePairs) {
   // Sync mode reports a single idle-free queue pair.
   ASSERT_EQ(sync_report.device_queue_pairs.size(), 1u);
   EXPECT_GT(sync_report.device_queue_pairs[0].writes, 0u);
+}
+
+TEST(HarnessTest, ExecLanesKnobKeepsResultsHealthyAndSurfacesLaneAndDieStats) {
+  ExperimentConfig config = SmallExperiment(true);
+  config.num_superblocks = 64;
+  config.total_ops = 40'000;
+  config.warmup_cache_writes = 0.5;
+  config.queue_depth = 8;
+  config.queue_pairs = 2;
+  config.exec_lanes = 2;
+
+  const MetricsReport report = ExperimentRunner(config).Run();
+  EXPECT_EQ(report.ops_executed, config.total_ops);
+  EXPECT_LT(report.final_dlwa, 1.25);
+  EXPECT_EQ(report.verify_failures, 0u);
+
+  // Both lanes carried work and accumulated DieScheduler busy time; every
+  // arbitrated request went through exactly one lane.
+  ASSERT_EQ(report.device_lanes.size(), 2u);
+  uint64_t lane_dispatches = 0;
+  for (const LaneStats& lane : report.device_lanes) {
+    EXPECT_GT(lane.dispatches, 0u);
+    EXPECT_GT(lane.busy_ns, 0u);
+    lane_dispatches += lane.dispatches;
+  }
+  uint64_t qp_dispatches = 0;
+  for (const QueuePairStats& qp : report.device_queue_pairs) {
+    qp_dispatches += qp.dispatched;
+  }
+  EXPECT_EQ(lane_dispatches, qp_dispatches);
+
+  // Per-die busy telemetry rode along for the lane-vs-die cross-check.
+  ASSERT_EQ(report.per_die_busy_ns.size(), config.num_dies);
+  uint64_t die_busy = 0;
+  for (const uint64_t busy : report.per_die_busy_ns) {
+    die_busy += busy;
+  }
+  EXPECT_GT(die_busy, 0u);
+
+  // The inline path (exec_lanes = 0) reports no lanes.
+  ExperimentConfig inline_config = config;
+  inline_config.exec_lanes = 0;
+  EXPECT_TRUE(ExperimentRunner(inline_config).Run().device_lanes.empty());
+}
+
+// Regression: an undersized multi-tenant deployment must fail with a clear
+// provisioning error, not crash. fdpbench --tenants=2 --superblocks=64
+// (utilization 1.0) used to segfault dereferencing the second tenant's
+// failed namespace allocation.
+TEST(HarnessTest, UndersizedMultiTenantDeploymentThrowsInsteadOfCrashing) {
+  ExperimentConfig config = SmallExperiment(true);
+  config.num_superblocks = 64;
+  config.num_tenants = 2;
+  config.utilization = 1.0;
+  EXPECT_THROW({ ExperimentRunner runner(config); }, std::runtime_error);
+
+  // The same deployment with headroom provisions fine.
+  config.utilization = 0.9;
+  ExperimentConfig ok_config = config;
+  ok_config.total_ops = 1'000;
+  ok_config.warmup_cache_writes = 0.0;
+  const MetricsReport report = ExperimentRunner(ok_config).Run();
+  EXPECT_EQ(report.ops_executed, ok_config.total_ops);
 }
 
 TEST(ReportTest, TextTableAlignsColumns) {

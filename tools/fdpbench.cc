@@ -7,6 +7,7 @@
 //   fdpbench --workload=twitter --tenants=2 --ops=500000 --csv
 //   fdpbench --workload=wokv --soc=0.16 --op=0.07 --superblocks=512
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "src/harness/experiment.h"
@@ -34,6 +35,12 @@ void PrintUsage() {
       "                                    queue pairs with a flush barrier at collection)\n"
       "  --qps=1                           queue pairs per tenant device (tenant t's SOC\n"
       "                                    rides QP 2t %% qps, its LOC QP (2t+1) %% qps)\n"
+      "  --lanes=0                         parallel execution lanes behind the device\n"
+      "                                    arbiter (0 = inline dispatcher execution;\n"
+      "                                    N routes disjoint requests to N die-affine\n"
+      "                                    lane workers)\n"
+      "  --stripe=bytes                    lane-routing stripe size (default: the LOC\n"
+      "                                    region size, so regions fan out across lanes)\n"
       "  --seed=42                         workload seed\n"
       "  --verify                          verify every hit's payload\n"
       "  --wear-leveling                   enable static wear leveling\n"
@@ -70,13 +77,24 @@ int Run(int argc, char** argv) {
   config.total_ops = static_cast<uint64_t>(flags.GetInt("ops", 400'000));
   config.queue_depth = static_cast<uint32_t>(flags.GetInt("qd", 1));
   config.queue_pairs = static_cast<uint32_t>(flags.GetInt("qps", 1));
+  config.exec_lanes = static_cast<uint32_t>(flags.GetInt("lanes", 0));
+  config.lane_stripe_bytes = static_cast<uint64_t>(flags.GetInt("stripe", 0));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   config.verify_values = flags.GetBool("verify", false);
   config.workload.seed = config.seed;
   config.static_wear_leveling = flags.GetBool("wear-leveling", false);
 
-  ExperimentRunner runner(config);
-  const MetricsReport r = runner.Run();
+  // Provisioning failures (e.g. tenants that do not fit the device) throw;
+  // report them as a usage error rather than crashing.
+  std::unique_ptr<ExperimentRunner> runner;
+  MetricsReport r;
+  try {
+    runner = std::make_unique<ExperimentRunner>(config);
+    r = runner->Run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fdpbench: %s\n", e.what());
+    return 2;
+  }
 
   if (flags.GetBool("csv", false)) {
     std::printf("workload,utilization,fdp,tenants,dlwa,alwa,hit,nvm_hit,kops,"
@@ -101,6 +119,15 @@ int Run(int argc, char** argv) {
   if (config.queue_depth > 1 || config.queue_pairs > 1) {
     std::printf("device queue pairs (qd=%u, qps=%u):\n%s", config.queue_depth,
                 config.queue_pairs, FormatQueuePairStats("  ", r.device_queue_pairs).c_str());
+  }
+  if (!r.device_lanes.empty()) {
+    std::printf("execution lanes (lanes=%u, stripe=%s):\n%s", config.exec_lanes,
+                FormatBytes(config.lane_stripe_bytes != 0 ? config.lane_stripe_bytes
+                                                          : config.loc_region_size)
+                    .c_str(),
+                FormatLaneStats("  ", r.device_lanes).c_str());
+    std::printf("die busy (for lane-vs-die cross-check):\n%s",
+                FormatDieBusy("  ", r.per_die_busy_ns).c_str());
   }
   std::printf("interval DLWA:\n%s", FormatDlwaSeries("  ", r.interval_dlwa).c_str());
   std::printf("device: gc_events=%llu relocated_pages=%llu clean_erases=%llu energy=%.1f J\n",
