@@ -72,7 +72,21 @@ int main() {
               report.set_latency_ns.Percentile(50.0) / 1000.0,
               report.set_latency_ns.Percentile(99.0) / 1000.0);
 
-  // 4. Hash routing spreads the keyspace across shards; imbalance is
+  // 4. The same replay through the asynchronous cache API: each worker keeps
+  //    8 cache ops outstanding, flash lookups park on device tokens with the
+  //    shard lock released, and callbacks fire from the completion poller.
+  ConcurrentReplayConfig async_replay = replay;
+  async_replay.total_ops = 100'000;
+  async_replay.async_cache_queue_depth = 8;
+  const ConcurrentReplayReport async_report =
+      ConcurrentReplayDriver(&cache, async_replay).Run();
+  std::printf("\nasync replay (cache-qd=%u): %.1f kops/s, hit ratio %.1f%%, "
+              "get p99=%.1fus (submit-to-callback)\n",
+              async_replay.async_cache_queue_depth, async_report.throughput_ops_per_sec / 1000.0,
+              async_report.cache.HitRatio() * 100.0,
+              async_report.get_latency_ns.Percentile(99.0) / 1000.0);
+
+  // 5. Hash routing spreads the keyspace across shards; imbalance is
   //    max-shard ops over the mean (1.0 = perfect).
   std::printf("\nshard balance (imbalance=%.2f):\n", report.shard_imbalance);
   for (uint32_t s = 0; s < cache.num_shards(); ++s) {
@@ -82,7 +96,7 @@ int main() {
                 cache.shard(s).navy().soc_handle(), cache.shard(s).navy().loc_handle());
   }
 
-  // 5. Quiesce (seal + drain every queue pair), then read the shared
+  // 6. Quiesce (seal + drain every queue pair), then read the shared
   //    device's FDP telemetry: with every stream on its own RUH, GC never
   //    mixes shards and device-level write amplification stays near 1.
   cache.Flush();
@@ -93,7 +107,7 @@ int main() {
               static_cast<unsigned long long>(dev.reads),
               static_cast<unsigned long long>(dev.trims), telemetry.dlwa);
 
-  // 6. Each shard rode its own device queue pair (one SQ/CQ per shard, the
+  // 7. Each shard rode its own device queue pair (one SQ/CQ per shard, the
   //    arbiter round-robins across them); the per-QP view shows how the
   //    device saw the four shards' streams. Snapshot taken AFTER the flush
   //    barrier, so the per-QP writes sum to the aggregate count above.
@@ -101,7 +115,7 @@ int main() {
               backend.device(0).num_queue_pairs(),
               FormatQueuePairStats("  ", cache.Stats().device_queue_pairs).c_str());
 
-  // 7. Behind the arbiter, two die-affine execution lanes ran the device
+  // 8. Behind the arbiter, two die-affine execution lanes ran the device
   //    work in parallel; their busy time can be cross-checked against the
   //    per-die busy telemetry the simulated SSD collects.
   std::printf("execution lanes (%u, stripe %s):\n%s", config.exec_lanes,

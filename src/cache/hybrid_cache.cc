@@ -10,6 +10,8 @@ HybridCache::HybridCache(Device* device, const HybridCacheConfig& config,
       [this](const std::string& key, const std::string& value) { OnRamEviction(key, value); });
 }
 
+HybridCache::~HybridCache() { DrainAsync(); }
+
 void HybridCache::Set(std::string_view key, std::string_view value) {
   ++stats_.sets;
   // The freshest copy now lives in RAM; any flash copy is stale until the
@@ -23,11 +25,23 @@ void HybridCache::Set(std::string_view key, std::string_view value) {
       nvm_stale_.erase(std::string(key));
     }
   }
+  DrainRunnable();
 }
 
 void HybridCache::OnRamEviction(const std::string& key, const std::string& value) {
   // DRAM eviction spills to flash (subject to admission). On success the
-  // flash copy is current again.
+  // flash copy is current again. Inside an async operation the spill rides
+  // the async machinery — the flash read-modify-write parks instead of
+  // blocking, and the pending-key claim makes a racing lookup of the evicted
+  // key wait for the spill rather than miss.
+  if (in_async_context_) {
+    QueuedOp op;
+    op.kind = QueuedOp::Kind::kSpill;
+    op.key = key;
+    op.value = value;
+    EnqueueOp(std::move(op));
+    return;
+  }
   if (navy_->Insert(key, value)) {
     nvm_stale_.erase(key);
   }
@@ -37,6 +51,7 @@ bool HybridCache::Get(std::string_view key, std::string* value) {
   ++stats_.gets;
   if (ram_.Get(key, value)) {
     ++stats_.ram_hits;
+    DrainRunnable();
     return true;
   }
   ++stats_.nvm_lookups;
@@ -49,13 +64,24 @@ bool HybridCache::Get(std::string_view key, std::string* value) {
         *value = *flash_value;
       }
       // Promote to DRAM, like CacheLib's NVM-hit insertion. The promoted
-      // copy matches flash, so the flash copy stays current.
-      ram_.Put(key, *flash_value);
-      nvm_stale_.erase(key_str);
+      // copy matches flash, so the flash copy stays current. Skipped while
+      // an async op holds this key's claim: promoting the pre-op flash
+      // state would e.g. resurrect a key an in-flight RemoveAsync is about
+      // to delete (returning the value is still fine — this Get overlaps
+      // the async op). Free for purely blocking users (claims stay empty).
+      if (key_claims_.find(key_str) == key_claims_.end()) {
+        ram_.Put(key, *flash_value);
+        nvm_stale_.erase(key_str);
+      }
+      // The flash lookup may have settled parked async ops (SettleBucketFor
+      // on the spill path), unblocking same-key waiters; run them now like
+      // every other blocking entry point does.
+      DrainRunnable();
       return true;
     }
   }
   ++stats_.misses;
+  DrainRunnable();
   return false;
 }
 
@@ -63,6 +89,226 @@ void HybridCache::Remove(std::string_view key) {
   ram_.Remove(key);
   navy_->Remove(key);
   nvm_stale_.erase(std::string(key));
+  DrainRunnable();
+}
+
+// --- Asynchronous path --------------------------------------------------------
+
+void HybridCache::LookupAsync(std::string_view key, AsyncCallback cb) {
+  QueuedOp op;
+  op.kind = QueuedOp::Kind::kLookup;
+  op.key = std::string(key);
+  op.cb = std::move(cb);
+  EnqueueOp(std::move(op));
+  DrainRunnable();
+}
+
+void HybridCache::InsertAsync(std::string_view key, std::string_view value, AsyncCallback cb) {
+  QueuedOp op;
+  op.kind = QueuedOp::Kind::kInsert;
+  op.key = std::string(key);
+  op.value = std::string(value);
+  op.cb = std::move(cb);
+  EnqueueOp(std::move(op));
+  DrainRunnable();
+}
+
+void HybridCache::RemoveAsync(std::string_view key, AsyncCallback cb) {
+  QueuedOp op;
+  op.kind = QueuedOp::Kind::kRemove;
+  op.key = std::string(key);
+  op.cb = std::move(cb);
+  EnqueueOp(std::move(op));
+  DrainRunnable();
+}
+
+void HybridCache::EnqueueOp(QueuedOp op) {
+  ++pending_async_;
+  const auto it = key_claims_.find(op.key);
+  if (it != key_claims_.end()) {
+    // An op on this key is in flight; run after it (same-key FIFO).
+    it->second.push_back(std::move(op));
+    return;
+  }
+  key_claims_.emplace(op.key, std::deque<QueuedOp>{});
+  RunOp(std::move(op));
+}
+
+void HybridCache::RunOp(QueuedOp op) {
+  switch (op.kind) {
+    case QueuedOp::Kind::kLookup:
+      RunLookup(std::move(op));
+      return;
+    case QueuedOp::Kind::kInsert:
+      RunInsert(std::move(op));
+      return;
+    case QueuedOp::Kind::kRemove:
+      RunRemove(std::move(op));
+      return;
+    case QueuedOp::Kind::kSpill: {
+      AsyncScope scope(this);
+      std::string key = op.key;
+      navy_->InsertAsync(key, op.value, [this, key](AsyncResult r) {
+        AsyncScope inner(this);
+        // Same finish-time revalidation as the lookup path: if a blocking
+        // Set re-populated RAM while this spill was parked, the flash copy
+        // just written is already stale again — keep the marker.
+        if (r.ok() && !ram_.Contains(key)) {
+          nvm_stale_.erase(key);
+        }
+        FinishOp(key, nullptr, std::move(r));
+      });
+      return;
+    }
+  }
+}
+
+void HybridCache::RunLookup(QueuedOp op) {
+  AsyncScope scope(this);
+  ++stats_.gets;
+  std::string ram_value;
+  if (ram_.Get(op.key, &ram_value)) {
+    ++stats_.ram_hits;
+    AsyncResult r;
+    r.status = AsyncStatus::kHit;
+    r.value = std::move(ram_value);
+    FinishOp(op.key, std::move(op.cb), std::move(r));
+    return;
+  }
+  ++stats_.nvm_lookups;
+  if (nvm_stale_.count(op.key) > 0) {
+    ++stats_.misses;
+    FinishOp(op.key, std::move(op.cb), AsyncResult{});
+    return;
+  }
+  std::string key = op.key;
+  navy_->LookupAsync(key, [this, key, cb = std::move(op.cb)](AsyncResult r) mutable {
+    AsyncScope inner(this);
+    if (r.hit()) {
+      ++stats_.nvm_hits;
+      // Finish-time revalidation: a blocking Set of this key may have
+      // completed while the flash read was parked (the blocking API bypasses
+      // the pending-key table), leaving a NEWER value in RAM and the flash
+      // copy marked stale. Promoting then would clobber the newer value and
+      // clearing the marker would un-stale a stale flash copy; returning the
+      // older value itself stays linearizable (the write overlapped this
+      // lookup). Only promote into an untouched slot.
+      if (!ram_.Contains(key) && nvm_stale_.count(key) == 0) {
+        // Promote to DRAM; evictions this causes spill asynchronously.
+        ram_.Put(key, r.value);
+      }
+    } else {
+      ++stats_.misses;
+    }
+    FinishOp(key, std::move(cb), std::move(r));
+  });
+}
+
+void HybridCache::RunInsert(QueuedOp op) {
+  AsyncScope scope(this);
+  ++stats_.sets;
+  nvm_stale_.insert(op.key);
+  if (ram_.Put(op.key, op.value)) {
+    AsyncResult r;
+    r.status = AsyncStatus::kOk;
+    FinishOp(op.key, std::move(op.cb), std::move(r));
+    return;
+  }
+  // Oversized for the DRAM budget: straight to flash, like the blocking path.
+  ram_.Remove(op.key);
+  std::string key = op.key;
+  navy_->InsertAsync(key, op.value, [this, key, cb = std::move(op.cb)](AsyncResult r) mutable {
+    AsyncScope inner(this);
+    // Keep the staleness marker if a blocking Set re-populated RAM with a
+    // newer value while this flash insert was parked.
+    if (r.ok() && !ram_.Contains(key)) {
+      nvm_stale_.erase(key);
+    }
+    FinishOp(key, std::move(cb), std::move(r));
+  });
+}
+
+void HybridCache::RunRemove(QueuedOp op) {
+  AsyncScope scope(this);
+  // A RAM-resident item counts as removed even when flash holds no copy
+  // (items that never spilled), so the DRAM tier's verdict folds into the
+  // final status below.
+  const bool ram_removed = ram_.Remove(op.key);
+  std::string key = op.key;
+  navy_->RemoveAsync(key, [this, key, ram_removed,
+                           cb = std::move(op.cb)](AsyncResult r) mutable {
+    AsyncScope inner(this);
+    // If a blocking Set re-created the key while the remove's flash RMW was
+    // parked, its RAM copy is the freshest state and its flash copy is
+    // stale — the marker the Set planted must survive this remove.
+    if (!ram_.Contains(key)) {
+      nvm_stale_.erase(key);
+    }
+    if (ram_removed && r.status == AsyncStatus::kMiss) {
+      r.status = AsyncStatus::kOk;
+    }
+    FinishOp(key, std::move(cb), std::move(r));
+  });
+}
+
+void HybridCache::FinishOp(const std::string& key, AsyncCallback cb, AsyncResult result) {
+  const auto it = key_claims_.find(key);
+  if (it != key_claims_.end()) {
+    if (it->second.empty()) {
+      key_claims_.erase(it);
+    } else {
+      // Hand the claim to the next same-key op; it runs from DrainRunnable.
+      runnable_.push_back(std::move(it->second.front()));
+      it->second.pop_front();
+    }
+  }
+  --pending_async_;
+  if (cb) {
+    cb(std::move(result));
+  }
+}
+
+void HybridCache::DrainRunnable() {
+  if (draining_runnable_) {
+    return;  // The outermost frame owns the loop.
+  }
+  draining_runnable_ = true;
+  while (!runnable_.empty()) {
+    QueuedOp op = std::move(runnable_.front());
+    runnable_.pop_front();
+    RunOp(std::move(op));
+  }
+  draining_runnable_ = false;
+}
+
+size_t HybridCache::PumpAsync(bool blocking) {
+  if (blocking) {
+    navy_->PumpAsyncBlocking();
+  } else {
+    navy_->PumpAsync();
+  }
+  DrainRunnable();
+  return pending_async_;
+}
+
+void HybridCache::DrainAsync() {
+  for (;;) {
+    DrainRunnable();
+    if (pending_async_ == 0) {
+      return;
+    }
+    if (navy_->pending_async_ops() > 0) {
+      navy_->PumpAsyncBlocking();
+      continue;
+    }
+    if (!runnable_.empty()) {
+      continue;
+    }
+    // No parked flash work and nothing runnable: every remaining "pending"
+    // op would have to be queued behind a claim that no active op holds —
+    // impossible by construction; bail out rather than spin.
+    return;
+  }
 }
 
 }  // namespace fdpcache

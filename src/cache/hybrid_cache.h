@@ -5,13 +5,37 @@
 // public API is CacheLib-shaped: Set / Get / Remove on string keys/values,
 // with the flash layer, placement handles, and FDP entirely hidden — the
 // paper's "non-invasive" design requirement.
+//
+// Two call styles share one engine:
+//
+//   Blocking Set/Get/Remove — the legacy API. Flash I/O executes inline on
+//   the calling thread (the device's SyncIo fast path), so behaviour and
+//   performance match the pre-async cache exactly.
+//
+//   LookupAsync/InsertAsync/RemoveAsync — callback-based. The DRAM tier,
+//   staleness table, and flash-side RAM state are consulted immediately;
+//   operations that need a flash read park on a device CompletionToken and
+//   their callback fires from a later PumpAsync()/DrainAsync(). A per-key
+//   pending table serializes async operations on the same key in submission
+//   order (an InsertAsync followed by a LookupAsync of the same key always
+//   observes the insert), while operations on distinct keys overlap their
+//   flash I/O freely. DRAM evictions triggered inside an async operation
+//   spill to flash asynchronously too — they ride the same pending table as
+//   first-class operations, so a lookup racing a spill waits for it instead
+//   of missing.
+//
+// The class itself stays externally synchronized (one shard of ShardedCache,
+// or a single-threaded driver): calls, pumps, and callbacks all run under
+// whatever lock the owner supplies.
 #ifndef SRC_CACHE_HYBRID_CACHE_H_
 #define SRC_CACHE_HYBRID_CACHE_H_
 
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "src/cache/ram_cache.h"
@@ -52,6 +76,8 @@ class HybridCache {
   HybridCache(Device* device, const HybridCacheConfig& config,
               PlacementHandleAllocator* allocator = nullptr,
               AdmissionPolicy* admission = nullptr);
+  // Drains any still-pending async operations (callbacks fire).
+  ~HybridCache();
 
   // Inserts or updates an item.
   void Set(std::string_view key, std::string_view value);
@@ -61,6 +87,27 @@ class HybridCache {
 
   // Removes from both tiers.
   void Remove(std::string_view key);
+
+  // --- Asynchronous API -------------------------------------------------------
+  // Callback-based counterparts of Set/Get/Remove; see the class comment for
+  // the execution model. Callbacks fire inline when no flash read is needed,
+  // otherwise from PumpAsync()/DrainAsync(). Statuses: Lookup → kHit/kMiss;
+  // Insert → kOk/kRejected/kError; Remove → kOk (removed) / kMiss (absent).
+  void LookupAsync(std::string_view key, AsyncCallback cb);
+  void InsertAsync(std::string_view key, std::string_view value, AsyncCallback cb);
+  void RemoveAsync(std::string_view key, AsyncCallback cb);
+
+  // Steps parked flash reads that have completed and runs any same-key
+  // operations they unblocked; their callbacks fire from inside the call.
+  // `blocking` waits for at least one parked read to retire first (no-op
+  // when nothing is parked). Returns the number of operations still pending.
+  size_t PumpAsync(bool blocking = false);
+  // Pumps until no operation is pending — the per-shard completion barrier.
+  // Operations submitted by callbacks during the drain are drained too.
+  void DrainAsync();
+  // Async operations accepted but not yet completed (active, parked, queued
+  // behind a same-key claim, and pending eviction spills).
+  size_t pending_async_ops() const { return pending_async_; }
 
   // --- Warm restart ---------------------------------------------------------
   // Persists flash-tier recovery state (LOC index + metadata) into `state`;
@@ -79,8 +126,46 @@ class HybridCache {
   const NavyCache& navy() const { return *navy_; }
 
  private:
-  // Spill path for DRAM evictions.
+  struct QueuedOp {
+    enum class Kind : uint8_t { kLookup, kInsert, kRemove, kSpill };
+    Kind kind = Kind::kLookup;
+    std::string key;
+    std::string value;  // kInsert / kSpill payload.
+    AsyncCallback cb;   // Null for kSpill.
+  };
+
+  // Sets in_async_context_ for its scope, so DRAM evictions spill through
+  // the async path instead of blocking.
+  class AsyncScope {
+   public:
+    explicit AsyncScope(HybridCache* cache) : cache_(cache) {
+      prev_ = cache_->in_async_context_;
+      cache_->in_async_context_ = true;
+    }
+    ~AsyncScope() { cache_->in_async_context_ = prev_; }
+
+   private:
+    HybridCache* cache_;
+    bool prev_;
+  };
+
+  // Spill path for DRAM evictions (blocking, or async when the eviction
+  // happened inside an async operation).
   void OnRamEviction(const std::string& key, const std::string& value);
+
+  // Admits an op into the pending-key table: runs it now if the key is
+  // unclaimed, queues it behind the claim otherwise.
+  void EnqueueOp(QueuedOp op);
+  void RunOp(QueuedOp op);
+  void RunLookup(QueuedOp op);
+  void RunInsert(QueuedOp op);
+  void RunRemove(QueuedOp op);
+  // Completes an op: releases its key claim (promoting the next same-key
+  // waiter to runnable), settles the pending count, and fires the callback.
+  void FinishOp(const std::string& key, AsyncCallback cb, AsyncResult result);
+  // Runs ops whose key claim was released. Reentrancy-safe: nested calls
+  // return immediately and the outermost loop drains everything.
+  void DrainRunnable();
 
   RamCache ram_;
   std::unique_ptr<NavyCache> navy_;
@@ -89,6 +174,15 @@ class HybridCache {
   // thing with in-memory NVM invalidation state; no device I/O involved.
   std::unordered_set<std::string> nvm_stale_;
   HybridCacheStats stats_;
+
+  // Pending-key table: a key is present while an async op on it is active;
+  // the deque holds same-key ops queued behind it (FIFO). Released claims
+  // promote their first waiter onto runnable_.
+  std::unordered_map<std::string, std::deque<QueuedOp>> key_claims_;
+  std::deque<QueuedOp> runnable_;
+  size_t pending_async_ = 0;
+  bool in_async_context_ = false;
+  bool draining_runnable_ = false;
 };
 
 }  // namespace fdpcache

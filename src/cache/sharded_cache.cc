@@ -1,5 +1,7 @@
 #include "src/cache/sharded_cache.h"
 
+#include <chrono>
+
 #include "src/common/hash.h"
 
 namespace fdpcache {
@@ -8,6 +10,10 @@ namespace {
 // Mixed into the key hash before shard selection so that shard routing and
 // SOC bucket placement (both derived from HashString) stay independent.
 constexpr uint64_t kShardSeed = 0x5ca1ab1e0ddba11ull;
+
+// Poller fallback period: parked ops still make progress at this cadence
+// even when no attached device fires completion hooks.
+constexpr std::chrono::milliseconds kPollFallback{10};
 
 }  // namespace
 
@@ -35,6 +41,43 @@ ShardedCache::ShardedCache(uint32_t num_shards, const ShardFactory& factory) {
     shard->cache = factory(i);
     shards_.push_back(std::move(shard));
   }
+  poller_ = std::thread([this] { PollerLoop(); });
+}
+
+ShardedCache::~ShardedCache() {
+  // Detach the completion hooks first so no NEW device completion can load
+  // one; draining below never depends on the hook (it uses blocking Waits).
+  for (Device* device : devices_) {
+    device->SetCompletionHook(nullptr);
+  }
+  // Complete (and fire callbacks for) every outstanding async op while the
+  // devices beneath the shards are still alive. Callbacks may legally
+  // submit new ops mid-drain, so loop until every shard reads quiescent (a
+  // callback chain that resubmits forever is a caller bug and would hang
+  // any barrier).
+  for (bool pending = true; pending;) {
+    Drain();
+    pending = false;
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      pending = pending || shard->cache->pending_async_ops() > 0;
+    }
+  }
+  // An engine write still executing may have loaded the hook before the
+  // detach; Drain() returns only once every completion — hook invocation
+  // included — has finished (the device fires the hook before releasing its
+  // active slot), so after this no thread can touch the poller state.
+  for (Device* device : devices_) {
+    device->Drain();
+  }
+  {
+    std::lock_guard<std::mutex> lock(poll_mu_);
+    poller_stop_ = true;
+  }
+  poll_cv_.notify_all();
+  if (poller_.joinable()) {
+    poller_.join();
+  }
 }
 
 uint32_t ShardedCache::ShardIndexFor(std::string_view key, uint32_t num_shards) {
@@ -50,55 +93,244 @@ void ShardedCache::PublishStats(Shard& shard) {
   shard.m_nvm_lookups.store(s.nvm_lookups, std::memory_order_relaxed);
   shard.m_nvm_hits.store(s.nvm_hits, std::memory_order_relaxed);
   shard.m_misses.store(s.misses, std::memory_order_relaxed);
+  shard.m_pending_ops.store(shard.cache->pending_async_ops(), std::memory_order_relaxed);
+}
+
+void ShardedCache::TakeFired(Shard& shard, FiredList* out) {
+  if (!shard.fired.empty()) {
+    out->insert(out->end(), std::make_move_iterator(shard.fired.begin()),
+                std::make_move_iterator(shard.fired.end()));
+    shard.fired.clear();
+    ++shard.firing;
+  }
+}
+
+void ShardedCache::FireTaken(Shard& shard, FiredList* fired) {
+  if (fired->empty()) {
+    return;
+  }
+  for (auto& [cb, result] : *fired) {
+    if (cb) {
+      cb(std::move(result));
+    }
+  }
+  fired->clear();
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    --shard.firing;
+  }
+  shard.fire_cv.notify_all();
+}
+
+AsyncCallback ShardedCache::StageInto(Shard& shard, AsyncCallback cb) {
+  // Runs under the shard lock (HybridCache resolves ops under the caller's
+  // lock); defer the user callback to whoever flushes shard.fired next.
+  return [&shard, cb = std::move(cb)](AsyncResult result) mutable {
+    shard.fired.emplace_back(std::move(cb), std::move(result));
+  };
 }
 
 void ShardedCache::Set(std::string_view key, std::string_view value) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  // Any DRAM eviction this triggers spills to flash from inside the call,
-  // still under this shard's lock — safe, because the spill path only touches
-  // this shard's own tiers (see RamCache::EvictOne).
-  shard.cache->Set(key, value);
-  PublishStats(shard);
+  FiredList fired;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // Any DRAM eviction this triggers spills to flash from inside the call,
+    // still under this shard's lock — safe, because the spill path only
+    // touches this shard's own tiers (see RamCache::EvictOne).
+    shard.cache->Set(key, value);
+    PublishStats(shard);
+    TakeFired(shard, &fired);
+  }
+  FireTaken(shard, &fired);
 }
 
 bool ShardedCache::Get(std::string_view key, std::string* value) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  const bool hit = shard.cache->Get(key, value);
-  PublishStats(shard);
+  FiredList fired;
+  bool hit;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    hit = shard.cache->Get(key, value);
+    PublishStats(shard);
+    TakeFired(shard, &fired);
+  }
+  FireTaken(shard, &fired);
   return hit;
 }
 
 void ShardedCache::Remove(std::string_view key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  shard.cache->Remove(key);
-  ++shard.removes;
-  PublishStats(shard);
+  FiredList fired;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.cache->Remove(key);
+    ++shard.removes;
+    PublishStats(shard);
+    TakeFired(shard, &fired);
+  }
+  FireTaken(shard, &fired);
+}
+
+void ShardedCache::LookupAsync(std::string_view key, AsyncCallback cb) {
+  Shard& shard = ShardFor(key);
+  FiredList fired;
+  bool parked;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.cache->LookupAsync(key, StageInto(shard, std::move(cb)));
+    PublishStats(shard);
+    parked = shard.cache->pending_async_ops() > 0;
+    TakeFired(shard, &fired);
+  }
+  if (parked) {
+    NotifyPoller();
+  }
+  FireTaken(shard, &fired);
+}
+
+void ShardedCache::InsertAsync(std::string_view key, std::string_view value,
+                               AsyncCallback cb) {
+  Shard& shard = ShardFor(key);
+  FiredList fired;
+  bool parked;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.cache->InsertAsync(key, value, StageInto(shard, std::move(cb)));
+    PublishStats(shard);
+    parked = shard.cache->pending_async_ops() > 0;
+    TakeFired(shard, &fired);
+  }
+  if (parked) {
+    NotifyPoller();
+  }
+  FireTaken(shard, &fired);
+}
+
+void ShardedCache::RemoveAsync(std::string_view key, AsyncCallback cb) {
+  Shard& shard = ShardFor(key);
+  FiredList fired;
+  bool parked;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.cache->RemoveAsync(key, StageInto(shard, std::move(cb)));
+    ++shard.removes;
+    PublishStats(shard);
+    parked = shard.cache->pending_async_ops() > 0;
+    TakeFired(shard, &fired);
+  }
+  if (parked) {
+    NotifyPoller();
+  }
+  FireTaken(shard, &fired);
+}
+
+bool ShardedCache::DrainShard(Shard& shard, bool flush_navy) {
+  FiredList fired;
+  bool ok = true;
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    // Complete parked async ops first (their callbacks fire below), then —
+    // for Flush() — seal + retire the shard's write pipeline.
+    shard.cache->DrainAsync();
+    if (flush_navy) {
+      ok = shard.cache->navy().Flush();
+    }
+    PublishStats(shard);
+    TakeFired(shard, &fired);
+    // The barrier covers callback DELIVERY too: another thread (usually
+    // the poller) may have taken a batch out of shard.fired and still be
+    // invoking it. Wait until only our own batch (if any) is in flight.
+    const uint32_t own = fired.empty() ? 0u : 1u;
+    shard.fire_cv.wait(lock, [&] { return shard.firing == own; });
+  }
+  FireTaken(shard, &fired);
+  return ok;
+}
+
+void ShardedCache::Drain() {
+  // One pass suffices for the barrier: DrainAsync completes everything the
+  // shard had accepted when we took its lock, and ops submitted after the
+  // barrier began are explicitly not covered.
+  for (auto& shard : shards_) {
+    DrainShard(*shard, /*flush_navy=*/false);
+  }
 }
 
 void ShardedCache::AttachDevice(Device* device) {
   if (device != nullptr) {
     devices_.push_back(device);
+    device->SetCompletionHook([this] { NotifyPoller(); });
   }
 }
 
-void ShardedCache::Flush() {
+bool ShardedCache::Flush() {
+  bool ok = true;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    shard->cache->navy().Flush();
+    ok = DrainShard(*shard, /*flush_navy=*/true) && ok;
   }
   // Cross-QP barrier: each shard only reaped its own tokens above; draining
   // the devices guarantees no queue pair still holds unexecuted work.
   for (Device* device : devices_) {
     device->Drain();
   }
+  return ok;
+}
+
+void ShardedCache::NotifyPoller() {
+  {
+    std::lock_guard<std::mutex> lock(poll_mu_);
+    ++poll_signal_;
+  }
+  poll_cv_.notify_one();
+}
+
+bool ShardedCache::PumpShards() {
+  bool any_pending = false;
+  for (auto& shard : shards_) {
+    if (shard->m_pending_ops.load(std::memory_order_relaxed) == 0) {
+      continue;
+    }
+    FiredList fired;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->cache->PumpAsync();
+      PublishStats(*shard);
+      any_pending = any_pending || shard->cache->pending_async_ops() > 0;
+      TakeFired(*shard, &fired);
+    }
+    FireTaken(*shard, &fired);
+  }
+  return any_pending;
+}
+
+void ShardedCache::PollerLoop() {
+  std::unique_lock<std::mutex> lock(poll_mu_);
+  uint64_t seen = 0;
+  bool pending = false;
+  for (;;) {
+    if (pending) {
+      // Work is parked: wait for a completion signal, but re-scan on a
+      // timer as a fallback for devices without completion hooks.
+      poll_cv_.wait_for(lock, kPollFallback,
+                        [&] { return poller_stop_ || poll_signal_ != seen; });
+    } else {
+      poll_cv_.wait(lock, [&] { return poller_stop_ || poll_signal_ != seen; });
+    }
+    if (poller_stop_) {
+      return;
+    }
+    seen = poll_signal_;
+    lock.unlock();
+    pending = PumpShards();
+    lock.lock();
+  }
 }
 
 ShardedCacheStats ShardedCache::Stats() const {
   ShardedCacheStats out;
   out.shard_ops.reserve(shards_.size());
+  out.pending_ops.reserve(shards_.size());
   for (const auto& shard : shards_) {
     const uint64_t gets = shard->m_gets.load(std::memory_order_relaxed);
     const uint64_t sets = shard->m_sets.load(std::memory_order_relaxed);
@@ -111,6 +343,7 @@ ShardedCacheStats ShardedCache::Stats() const {
     out.nvm_hits += shard->m_nvm_hits.load(std::memory_order_relaxed);
     out.misses += shard->m_misses.load(std::memory_order_relaxed);
     out.shard_ops.push_back(gets + sets + removes);
+    out.pending_ops.push_back(shard->m_pending_ops.load(std::memory_order_relaxed));
   }
   for (Device* device : devices_) {
     out.device_queue_pairs = MergeQueuePairStats(std::move(out.device_queue_pairs),

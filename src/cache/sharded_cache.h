@@ -1,27 +1,43 @@
 // ShardedCache: a thread-safe front-end over N independent HybridCache shards.
 //
 // Keys are routed to shards by hash (stable across calls and processes); each
-// shard is guarded by its own mutex, so Get/Set/Remove on different shards
-// proceed in parallel — the multi-threaded deployment shape production
-// CacheLib assumes, and the first step from single-threaded simulator toward
-// a servable engine. Per-shard statistics are mirrored into atomics after
+// shard is guarded by its own mutex, so operations on different shards
+// proceed in parallel. Per-shard statistics are mirrored into atomics after
 // every operation, so aggregate stats snapshots never take a shard lock.
 //
-// The shards themselves (and the devices beneath them) stay single-threaded:
-// all cross-thread state lives in this class. Callers provide a factory that
-// builds one HybridCache per shard, each over its own device stack (see
-// ShardedSimBackend in src/harness/concurrent_replay.h for the simulated
-// version).
+// Two call styles:
+//
+//   Blocking Set/Get/Remove — hold the shard lock for the whole operation,
+//   flash I/O included (the pre-async behaviour, bit-compatible with it).
+//
+//   LookupAsync/InsertAsync/RemoveAsync — callback-based. The shard lock is
+//   held only while the DRAM tier, staleness table, and flash-side RAM
+//   buffers are consulted; an operation that needs a flash read Submit()s it,
+//   parks on the device CompletionToken, and RELEASES the shard lock — other
+//   operations on the same shard (RAM hits included) proceed while the
+//   device works. A completion poller thread, woken by the attached devices'
+//   completion hooks, re-acquires the lock only to finish bookkeeping, then
+//   fires the callback with no lock held (callbacks may re-enter the cache).
+//   Per-shard pending-key tables keep same-key async operations in
+//   submission order (see HybridCache).
+//
+// The shards themselves (and the devices beneath them) stay externally
+// synchronized by this class. Callers provide a factory that builds one
+// HybridCache per shard (see ShardedSimBackend in
+// src/harness/concurrent_replay.h for the simulated version).
 #ifndef SRC_CACHE_SHARDED_CACHE_H_
 #define SRC_CACHE_SHARDED_CACHE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/cache/hybrid_cache.h"
@@ -42,6 +58,12 @@ struct ShardedCacheStats {
   // Total operations (Get + Set + Remove) routed to each shard.
   std::vector<uint64_t> shard_ops;
 
+  // In-flight async cache operations per shard (accepted, callback not yet
+  // fired: active, parked on a flash read, queued behind a same-key claim,
+  // or a pending eviction spill). A gauge, not a counter — it reads back as
+  // 0 on a quiescent cache.
+  std::vector<uint64_t> pending_ops;
+
   // Per-queue-pair device stats (queue-depth histograms, per-QP latencies,
   // arbitration dispatch counts), merged across every device attached with
   // AttachDevice(). Cumulative since device construction/reset — not a
@@ -61,6 +83,13 @@ struct ShardedCacheStats {
     return nvm_lookups == 0 ? 0.0
                             : static_cast<double>(nvm_hits) / static_cast<double>(nvm_lookups);
   }
+  uint64_t TotalPendingOps() const {
+    uint64_t total = 0;
+    for (const uint64_t p : pending_ops) {
+      total += p;
+    }
+    return total;
+  }
   // Hottest shard's op count over the per-shard mean; 1.0 = perfectly
   // balanced. Meaningless (returns 1.0) before any operation.
   double ShardImbalance() const;
@@ -74,6 +103,9 @@ class ShardedCache {
   using ShardFactory = std::function<std::unique_ptr<HybridCache>(uint32_t shard_index)>;
 
   ShardedCache(uint32_t num_shards, const ShardFactory& factory);
+  // Drains outstanding async operations (their callbacks fire), then stops
+  // the completion poller. Attached devices must still be alive.
+  ~ShardedCache();
 
   // Stable hash routing: a pure function of (key, num_shards), num_shards
   // must be nonzero. Re-mixes the key hash with a shard seed so routing
@@ -85,23 +117,46 @@ class ShardedCache {
     return ShardIndexFor(key, static_cast<uint32_t>(shards_.size()));
   }
 
-  // Thread-safe. Each call locks exactly one shard.
+  // Thread-safe. Each call locks exactly one shard for its full duration
+  // (flash I/O included).
   void Set(std::string_view key, std::string_view value);
   bool Get(std::string_view key, std::string* value);
   void Remove(std::string_view key);
 
+  // Thread-safe asynchronous API. Each call locks exactly one shard for the
+  // DRAM-side work only; flash reads ride the device queues with the lock
+  // released. The callback fires exactly once — inline (before the call
+  // returns, lock already released) when no flash read was needed, otherwise
+  // from the completion poller — and always with no shard lock held, so it
+  // may call back into this cache. Same-key async operations complete in
+  // submission order.
+  void LookupAsync(std::string_view key, AsyncCallback cb);
+  void InsertAsync(std::string_view key, std::string_view value, AsyncCallback cb);
+  void RemoveAsync(std::string_view key, AsyncCallback cb);
+
+  // Blocks until every async operation accepted before the call has
+  // completed AND its callback has been delivered (a completion barrier).
+  // Operations submitted concurrently with the drain may or may not be
+  // covered. Does NOT flush engine write pipelines — that is Flush().
+  // Must not be called from inside an async callback (it would wait for its
+  // own delivery); the same holds for Flush() and the destructor.
+  void Drain();
+
   // Registers a device whose per-queue-pair stats should ride along in
-  // Stats(), and which Flush() drains as its final barrier. The device is
-  // not owned and must outlive the cache. Typically called once per backing
-  // device by the backend that wires shards to devices.
+  // Stats(), whose completion hook should wake the async poller, and which
+  // Flush() drains as its final barrier. The device is not owned and must
+  // outlive the cache. Typically called once per backing device by the
+  // backend that wires shards to devices.
   void AttachDevice(Device* device);
 
-  // Locks each shard in turn and flushes its flash tier: seals open LOC
-  // regions and retires every in-flight async device write (each shard
-  // waits out its own queue pair's tokens), then Drain()s every attached
-  // device so no queue pair holds unexecuted work. The barrier to run
+  // Completion barrier + write-pipeline flush: drains async cache ops, then
+  // locks each shard in turn and flushes its flash tier (seals open LOC
+  // regions, retires every in-flight async device write), then Drain()s
+  // every attached device so no queue pair holds unexecuted work. Returns
+  // false if any shard's flush reported a failed seal or write (state stays
+  // consistent; the affected items degrade to misses). The barrier to run
   // before inspecting the device beneath a live cache (or shutting down).
-  void Flush();
+  bool Flush();
 
   // Aggregate snapshot. The cache counters are read lock-free from the
   // per-shard atomic mirrors (no shard mutex is ever taken); the mirrors are
@@ -124,10 +179,27 @@ class ShardedCache {
   const HybridCache& shard(uint32_t index) const { return *shards_[index]->cache; }
 
  private:
+  using FiredCallback = std::pair<AsyncCallback, AsyncResult>;
+  using FiredList = std::vector<FiredCallback>;
+
   // Padded to a cache line so one shard's lock/counter traffic does not
   // false-share with its neighbours'.
   struct alignas(64) Shard {
     std::mutex mu;
+
+    // Callbacks resolved under the shard lock, staged here and fired by the
+    // resolving thread after it unlocks (so no callback ever runs under a
+    // shard lock). Only touched with `mu` held. Declared BEFORE `cache` so
+    // it outlives it: ~HybridCache drains stragglers, and their staged
+    // callbacks must land in a live vector.
+    FiredList fired;
+    // Batches taken out of `fired` that some thread is currently delivering
+    // outside the lock; Drain()/Flush() wait for this to reach zero so the
+    // barrier covers callback DELIVERY, not just op completion. Guarded by
+    // `mu`; waiters use fire_cv.
+    uint32_t firing = 0;
+    std::condition_variable fire_cv;
+
     std::unique_ptr<HybridCache> cache;
     uint64_t removes = 0;  // HybridCacheStats has no remove counter.
 
@@ -140,6 +212,7 @@ class ShardedCache {
     std::atomic<uint64_t> m_nvm_lookups{0};
     std::atomic<uint64_t> m_nvm_hits{0};
     std::atomic<uint64_t> m_misses{0};
+    std::atomic<uint64_t> m_pending_ops{0};
   };
 
   Shard& ShardFor(std::string_view key) { return *shards_[ShardIndexOf(key)]; }
@@ -148,10 +221,42 @@ class ShardedCache {
   // hold the shard lock.
   static void PublishStats(Shard& shard);
 
+  // Wraps a user callback so it stages into shard.fired instead of running
+  // under the shard lock.
+  AsyncCallback StageInto(Shard& shard, AsyncCallback cb);
+  // Moves staged callbacks out and marks the shard as delivering a batch
+  // (caller holds the shard lock) ...
+  static void TakeFired(Shard& shard, FiredList* out);
+  // ... and fires them outside the lock, then re-acquires it briefly to
+  // mark the batch delivered (wakes barrier waiters). No-op when empty.
+  static void FireTaken(Shard& shard, FiredList* fired);
+
+  // The per-shard completion barrier shared by Drain() and Flush(): drains
+  // the shard's async ops, optionally flushes its flash tier, waits out
+  // callback batches other threads are still delivering, and fires the
+  // final batch. Returns the flash flush's result (true when not flushing).
+  bool DrainShard(Shard& shard, bool flush_navy);
+
+  // Wakes the completion poller (a device completed I/O or an op parked).
+  void NotifyPoller();
+  void PollerLoop();
+  // One poller round: pumps every shard with pending ops; returns whether
+  // any shard still has pending ops.
+  bool PumpShards();
+
   std::vector<std::unique_ptr<Shard>> shards_;
   // Devices registered via AttachDevice (not owned). Only appended to during
   // construction/wiring, before concurrent use begins.
   std::vector<Device*> devices_;
+
+  // Completion poller: steps parked async ops when a device completion hook
+  // (or a parking submitter) signals. The fallback timed wait covers devices
+  // without hook support.
+  std::mutex poll_mu_;
+  std::condition_variable poll_cv_;
+  uint64_t poll_signal_ = 0;  // Guarded by poll_mu_.
+  bool poller_stop_ = false;  // Guarded by poll_mu_.
+  std::thread poller_;
 };
 
 }  // namespace fdpcache

@@ -1,8 +1,10 @@
 #include "src/harness/concurrent_replay.h"
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <thread>
 
 #include "src/common/hash.h"
@@ -33,9 +35,11 @@ ShardedCacheStats DiffStats(const ShardedCacheStats& after, const ShardedCacheSt
   }
   // Per-QP and per-lane device stats carry the cumulative view (histograms
   // cannot be diffed); they describe the device since construction/reset,
-  // not just this run — documented on ShardedCacheStats.
+  // not just this run — documented on ShardedCacheStats. pending_ops is a
+  // gauge, so the end-of-run snapshot is the meaningful value.
   d.device_queue_pairs = after.device_queue_pairs;
   d.device_lanes = after.device_lanes;
+  d.pending_ops = after.pending_ops;
   return d;
 }
 
@@ -54,6 +58,11 @@ void ConcurrentReplayDriver::WorkerBody(uint32_t thread_index, uint64_t num_ops,
   KvWorkloadConfig workload = config_.workload;
   workload.seed = HashU64(config_.seed) ^ Mix64(workload.seed) ^ HashU64(thread_index);
   KvTraceGenerator generator(workload);
+
+  if (config_.async_cache_queue_depth >= 1) {
+    AsyncWorkerBody(generator, num_ops, result);
+    return;
+  }
 
   std::string value;
   for (uint64_t i = 0; i < num_ops; ++i) {
@@ -86,6 +95,74 @@ void ConcurrentReplayDriver::WorkerBody(uint32_t thread_index, uint64_t num_ops,
   }
 }
 
+void ConcurrentReplayDriver::AsyncWorkerBody(KvTraceGenerator& generator, uint64_t num_ops,
+                                             WorkerResult* result) {
+  // Sliding window of async_cache_queue_depth outstanding ops. Completions
+  // fire on the cache's poller thread (or inline for RAM hits), so the
+  // window counter and the latency histograms are guarded by one mutex.
+  struct Window {
+    std::mutex mu;
+    std::condition_variable cv;
+    uint32_t outstanding = 0;
+  };
+  Window window;
+  const uint32_t depth = config_.async_cache_queue_depth;
+
+  const auto acquire_slot = [&window, depth] {
+    std::unique_lock<std::mutex> lock(window.mu);
+    window.cv.wait(lock, [&window, depth] { return window.outstanding < depth; });
+    ++window.outstanding;
+  };
+  const auto release_slot = [&window](Histogram* latency, uint64_t start) {
+    const uint64_t end = NowNs();
+    std::lock_guard<std::mutex> lock(window.mu);
+    if (latency != nullptr) {
+      latency->Record(end - start);
+    }
+    --window.outstanding;
+    window.cv.notify_all();
+  };
+
+  for (uint64_t i = 0; i < num_ops; ++i) {
+    const auto op = generator.Next();
+    if (!op.has_value()) {
+      break;
+    }
+    const std::string key = KeyString(op->key_id);
+    switch (op->type) {
+      case OpType::kGet: {
+        acquire_slot();
+        const uint64_t start = NowNs();
+        cache_->LookupAsync(key, [&release_slot, result, start](AsyncResult) {
+          release_slot(&result->get_latency_ns, start);
+        });
+        break;
+      }
+      case OpType::kSet: {
+        const std::string payload = ValuePayload(op->key_id, 0, op->value_size);
+        acquire_slot();
+        const uint64_t start = NowNs();
+        cache_->InsertAsync(key, payload, [&release_slot, result, start](AsyncResult) {
+          release_slot(&result->set_latency_ns, start);
+        });
+        break;
+      }
+      case OpType::kDelete: {
+        acquire_slot();
+        cache_->RemoveAsync(key, [&release_slot](AsyncResult) {
+          release_slot(nullptr, 0);
+        });
+        break;
+      }
+    }
+    ++result->ops;
+  }
+  // Wait out the tail of the window before the stack-allocated state goes
+  // out of scope; every callback has fired once this returns.
+  std::unique_lock<std::mutex> lock(window.mu);
+  window.cv.wait(lock, [&window] { return window.outstanding == 0; });
+}
+
 ConcurrentReplayReport ConcurrentReplayDriver::Run() {
   const uint32_t num_threads = config_.num_threads == 0 ? 1 : config_.num_threads;
   const uint64_t per_thread = config_.total_ops / num_threads;
@@ -102,6 +179,12 @@ ConcurrentReplayReport ConcurrentReplayDriver::Run() {
   }
   for (auto& worker : workers) {
     worker.join();
+  }
+  if (config_.async_cache_queue_depth >= 1) {
+    // Eviction spills enqueued by the tail of the async window may still be
+    // riding the device; the completion barrier makes the post-run stats
+    // cover them (mirrors the sync path, where spills complete inline).
+    cache_->Drain();
   }
   const uint64_t wall_end = NowNs();
 

@@ -32,6 +32,17 @@ struct ConcurrentReplayConfig {
   uint64_t total_ops = 1'000'000;
   KvWorkloadConfig workload = KvWorkloadConfig::MetaKvCache();
   uint64_t seed = 42;
+  // Async-API window. 0 (default) = the blocking Set/Get/Remove API (the
+  // legacy replay). N >= 1 = the async API: each worker keeps up to N cache
+  // operations outstanding (issued with LookupAsync/InsertAsync/RemoveAsync,
+  // completions counted when the callback fires), so the replay exercises
+  // QD > 1 from the cache tier down. Latencies then measure submit-to-
+  // callback time. N == 1 pays the async round-trip at depth one — the
+  // baseline for cache-QD scaling studies, NOT a sync-path equivalent
+  // (which is why this knob is named differently from
+  // ExperimentConfig::cache_queue_depth, where <= 1 selects the blocking
+  // path).
+  uint32_t async_cache_queue_depth = 0;
 };
 
 struct ConcurrentReplayReport {
@@ -70,6 +81,9 @@ class ConcurrentReplayDriver {
   };
 
   void WorkerBody(uint32_t thread_index, uint64_t num_ops, WorkerResult* result);
+  // The async_cache_queue_depth >= 1 replay loop: async API with a sliding
+  // window of outstanding operations per worker.
+  void AsyncWorkerBody(KvTraceGenerator& generator, uint64_t num_ops, WorkerResult* result);
 
   ShardedCache* cache_;
   ConcurrentReplayConfig config_;

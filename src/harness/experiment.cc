@@ -104,12 +104,15 @@ ExperimentRunner::ExperimentRunner(const ExperimentConfig& config) : config_(con
     // so even a single-tenant run exercises multiple SQs at --qps >= 2.
     cache_config.navy.queue_pair = (2 * t) % queue_pairs;
     cache_config.navy.loc_queue_pair = (2 * t + 1) % queue_pairs;
-    if (queue_depth > 1) {
-      // Async path: batch up to `queue_depth` region seals / bucket rewrites
-      // in flight; the engines reap completions opportunistically and Run()
-      // adds flush barriers before statistics are read.
-      cache_config.navy.loc_inflight_regions = queue_depth;
-      cache_config.navy.soc_inflight_writes = queue_depth;
+    if (queue_depth > 1 || config_.cache_queue_depth > 1) {
+      // Async path: batch region seals / bucket rewrites in flight; the
+      // engines reap completions opportunistically and Run() adds flush
+      // barriers before statistics are read. Cache-tier queue depth implies
+      // at least that much write pipelining, so async inserts submit their
+      // rewrites instead of blocking under the op window.
+      const uint32_t depth = std::max(queue_depth, config_.cache_queue_depth);
+      cache_config.navy.loc_inflight_regions = depth;
+      cache_config.navy.soc_inflight_writes = depth;
     }
     tenant->cache =
         std::make_unique<HybridCache>(tenant->device.get(), cache_config, allocator_.get());
@@ -123,6 +126,25 @@ ExperimentRunner::ExperimentRunner(const ExperimentConfig& config) : config_(con
 
 ExperimentRunner::~ExperimentRunner() = default;
 
+bool ExperimentRunner::Barrier() {
+  bool ok = true;
+  if (config_.cache_queue_depth > 1) {
+    // Complete parked async cache ops first; their callbacks (including
+    // miss-path fills) may enqueue more flash writes, which the reap below
+    // then retires.
+    for (auto& tenant : tenants_) {
+      tenant->cache->DrainAsync();
+    }
+  }
+  if (config_.queue_depth > 1 || config_.cache_queue_depth > 1) {
+    for (auto& tenant : tenants_) {
+      ok = tenant->cache->navy().ReapPending() && ok;
+      tenant->device->Drain();
+    }
+  }
+  return ok;
+}
+
 void ExperimentRunner::MaybeBackpressure() {
   const TimeNs horizon = ssd_->MaxDieBusyUntil();
   if (horizon > clock_.now() + config_.device_backlog_window_ns) {
@@ -130,7 +152,74 @@ void ExperimentRunner::MaybeBackpressure() {
   }
 }
 
+void ExperimentRunner::ExecuteOpAsync(Tenant& tenant, const Op& op) {
+  clock_.Advance(config_.host_cpu_ns_per_op);
+  const std::string key = KeyString(op.key_id);
+  HybridCache* cache = tenant.cache.get();
+  switch (op.type) {
+    case OpType::kSet: {
+      const uint32_t version = ++tenant.versions[op.key_id];
+      cache->InsertAsync(key, ValuePayload(op.key_id, version, op.value_size),
+                         AsyncCallback{});
+      break;
+    }
+    case OpType::kGet: {
+      // Capture the expected version at issue time: the pending-key table
+      // linearizes this lookup before any Set of the same key issued later,
+      // so the value it returns matches the version the map held now.
+      uint32_t expected = 1;
+      if (config_.verify_values) {
+        const auto it = tenant.versions.find(op.key_id);
+        expected = it == tenant.versions.end() ? 1 : it->second;
+      }
+      Tenant* tenant_ptr = &tenant;
+      const Op issued = op;
+      cache->LookupAsync(key, [this, tenant_ptr, issued, expected](AsyncResult r) {
+        if (r.hit()) {
+          if (config_.verify_values &&
+              r.value != ValuePayload(issued.key_id, expected, issued.value_size)) {
+            ++tenant_ptr->verify_failures;
+          }
+          return;
+        }
+        // Cache miss: fetch from the backend and fill (CacheBench get path).
+        // The fill uses the version map as of NOW, so it linearizes
+        // consistently after any Set that raced this lookup.
+        clock_.Advance(config_.backend_fetch_ns);
+        uint32_t& version = tenant_ptr->versions[issued.key_id];
+        if (version == 0) {
+          version = 1;
+        }
+        tenant_ptr->cache->InsertAsync(
+            KeyString(issued.key_id), ValuePayload(issued.key_id, version, issued.value_size),
+            AsyncCallback{});
+      });
+      break;
+    }
+    case OpType::kDelete: {
+      cache->RemoveAsync(key, AsyncCallback{});
+      tenant.versions.erase(op.key_id);
+      break;
+    }
+  }
+  // Sliding window: pump completions until the tenant is back under the
+  // cache-tier queue-depth budget (blocking pumps park on the device, so
+  // this is where the op loop genuinely waits for flash).
+  while (tenant.cache->pending_async_ops() >= config_.cache_queue_depth) {
+    const size_t before = tenant.cache->pending_async_ops();
+    tenant.cache->PumpAsync(/*blocking=*/true);
+    if (tenant.cache->pending_async_ops() >= before) {
+      break;  // Nothing parked to wait on; never spin.
+    }
+  }
+  MaybeBackpressure();
+}
+
 void ExperimentRunner::ExecuteOp(Tenant& tenant, const Op& op) {
+  if (config_.cache_queue_depth > 1) {
+    ExecuteOpAsync(tenant, op);
+    return;
+  }
   clock_.Advance(config_.host_cpu_ns_per_op);
   const std::string key = KeyString(op.key_id);
   switch (op.type) {
@@ -189,11 +278,9 @@ MetricsReport ExperimentRunner::Run() {
   // so the async run enters measurement from the same cache state a
   // synchronous run would — only the pending device writes land. At
   // queue_depth == 1 nothing is in flight and this is skipped entirely.
-  if (config_.queue_depth > 1) {
-    for (auto& tenant : tenants_) {
-      tenant->cache->navy().ReapPending();
-      tenant->device->Drain();
-    }
+  uint64_t flush_failures = 0;
+  if (!Barrier()) {
+    ++flush_failures;
   }
   ssd_->ftl().ResetStats();
   for (auto& tenant : tenants_) {
@@ -224,17 +311,20 @@ MetricsReport ExperimentRunner::Run() {
     }
   }
 
+  // Sample the sustained cache-tier queue depth before the barrier drains it.
+  for (auto& tenant : tenants_) {
+    report.pending_cache_ops.push_back(tenant->cache->pending_async_ops());
+  }
+
   // Reap the async pipeline before reading any statistic, so host/device
   // byte counts, latency histograms, and FTL state cover every submitted
   // write. Drain-only (no seal): the open region's unwritten tail stays
   // unwritten, exactly as it would in a synchronous run, keeping qd>1 byte
   // accounting comparable to the qd=1 baseline. No-op in synchronous mode.
-  if (config_.queue_depth > 1) {
-    for (auto& tenant : tenants_) {
-      tenant->cache->navy().ReapPending();
-      tenant->device->Drain();
-    }
+  if (!Barrier()) {
+    ++flush_failures;
   }
+  report.flush_failures = flush_failures;
 
   // --- Collect ----------------------------------------------------------------
   const TimeNs elapsed = clock_.now() - measure_start;

@@ -81,6 +81,16 @@ struct ExperimentConfig {
   // Die-affine routing stripe (fdpbench --stripe). 0 = the loc_region_size
   // is used, so consecutive LOC regions fan out across lanes.
   uint64_t lane_stripe_bytes = 0;
+  // Cache-tier queue depth (fdpbench --cache-qd). 1 (default) issues every
+  // operation through the blocking Set/Get/Remove API — bit-identical to the
+  // pre-async harness. >1 issues through LookupAsync/InsertAsync/RemoveAsync
+  // with up to this many cache operations outstanding per tenant (flash
+  // lookups ride the device queues instead of blocking the op loop), with
+  // completion barriers at the warm-up boundary and before collection.
+  // Same-key ordering is preserved by the cache's pending-key table, so
+  // --verify remains meaningful. Wall-clock interleaving with the device
+  // dispatcher makes >1 runs nondeterministic run-to-run, like --qd > 1.
+  uint32_t cache_queue_depth = 1;
 
   // --- Run --------------------------------------------------------------------
   uint64_t total_ops = 2'000'000;
@@ -141,6 +151,16 @@ struct MetricsReport {
   // cross-checking lane utilization against the dies it mirrors.
   std::vector<uint64_t> per_die_busy_ns;
 
+  // In-flight async cache ops per tenant, sampled at the end of the measured
+  // phase BEFORE the collection barrier drains them — shows the cache-tier
+  // queue depth the run actually sustained. All zeros at cache_queue_depth 1.
+  std::vector<uint64_t> pending_cache_ops;
+
+  // Flush/reap barriers that reported failure (a failed LOC seal or SOC
+  // rewrite surfaced at a warm-up or collection barrier). The affected items
+  // degraded to misses; nonzero values mean the run hit device write errors.
+  uint64_t flush_failures = 0;
+
   // Run bookkeeping.
   uint64_t elapsed_virtual_ns = 0;
   uint64_t ops_executed = 0;
@@ -173,6 +193,13 @@ class ExperimentRunner {
   };
 
   void ExecuteOp(Tenant& tenant, const Op& op);
+  // The cache_queue_depth > 1 issue path: async ops with a per-tenant window.
+  void ExecuteOpAsync(Tenant& tenant, const Op& op);
+  // Drains tenant write pipelines (and, at cache_queue_depth > 1, the async
+  // cache ops first) without sealing the open LOC region, so qd>1 byte
+  // accounting stays comparable to the qd=1 baseline; returns false if any
+  // reap reported a failed flash write.
+  bool Barrier();
   void MaybeBackpressure();
 
   ExperimentConfig config_;

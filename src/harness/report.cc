@@ -155,6 +155,24 @@ std::string FormatDieBusy(const std::string& indent,
   return out.str();
 }
 
+std::string FormatPendingOps(const std::string& indent,
+                             const std::vector<uint64_t>& pending_ops) {
+  if (pending_ops.empty()) {
+    return "";
+  }
+  uint64_t total = 0;
+  for (const uint64_t p : pending_ops) {
+    total += p;
+  }
+  std::ostringstream out;
+  out << indent << "total=" << total << " [";
+  for (size_t i = 0; i < pending_ops.size(); ++i) {
+    out << (i == 0 ? "" : " ") << "shard" << i << "=" << pending_ops[i];
+  }
+  out << "]\n";
+  return out.str();
+}
+
 double BenchScale() {
   const char* env = std::getenv("FDPBENCH_SCALE");
   if (env == nullptr) {

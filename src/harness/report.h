@@ -61,6 +61,13 @@ std::string FormatLaneStats(const std::string& indent, const std::vector<LaneSta
 std::string FormatDieBusy(const std::string& indent,
                           const std::vector<uint64_t>& per_die_busy_ns);
 
+// Compact one-line in-flight async-cache-op summary per shard/tenant
+// ("total=12 [shard0=3 shard1=4 ...]"), for the cache-tier queue-depth
+// gauge (ShardedCacheStats::pending_ops / MetricsReport::pending_cache_ops).
+// Empty string for an empty vector.
+std::string FormatPendingOps(const std::string& indent,
+                             const std::vector<uint64_t>& pending_ops);
+
 // Reads FDPBENCH_SCALE from the environment (0.1 .. 10, default 1.0):
 // benches multiply op counts by it so users can trade speed for fidelity.
 double BenchScale();

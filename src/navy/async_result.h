@@ -1,0 +1,45 @@
+// Completion types for the asynchronous cache-tier API (paper §2.3: Navy's
+// callback-driven lookup/insert interface).
+//
+// Every async cache operation — NavyCache / HybridCache / ShardedCache
+// LookupAsync / InsertAsync / RemoveAsync — resolves to exactly one
+// AsyncResult delivered through an AsyncCallback. The callback fires inline
+// (from inside the Async call) when the operation resolves without flash
+// I/O, or later from the owner's completion pump once the parked device
+// read has retired; either way it fires exactly once per operation.
+#ifndef SRC_NAVY_ASYNC_RESULT_H_
+#define SRC_NAVY_ASYNC_RESULT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace fdpcache {
+
+enum class AsyncStatus : uint8_t {
+  kHit,       // Lookup: found; `value` holds the payload.
+  kMiss,      // Lookup: not found. Remove: no such key.
+  kOk,        // Insert: stored. Remove: removed.
+  kRejected,  // Insert: not admitted (admission policy or item too large).
+  kError,     // Insert: device or format error; the item was not stored.
+};
+
+struct AsyncResult {
+  AsyncStatus status = AsyncStatus::kMiss;
+  std::string value;  // kHit only.
+
+  bool hit() const { return status == AsyncStatus::kHit; }
+  bool ok() const { return status == AsyncStatus::kHit || status == AsyncStatus::kOk; }
+};
+
+// Completion callback. Invoked exactly once, on the thread that resolved the
+// operation (the submitting thread for inline resolutions, the completion
+// pump otherwise). ShardedCache guarantees callbacks run with no shard lock
+// held, so a callback may re-enter the cache API freely; the lower layers
+// (NavyCache, HybridCache) invoke callbacks under whatever synchronization
+// the caller supplied.
+using AsyncCallback = std::function<void(AsyncResult)>;
+
+}  // namespace fdpcache
+
+#endif  // SRC_NAVY_ASYNC_RESULT_H_

@@ -31,6 +31,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -275,6 +277,20 @@ class Device {
   // lanes, including queued devices running the inline dispatcher path).
   virtual std::vector<LaneStats> PerLaneStats() const { return {}; }
 
+  // Registers a hook invoked after every asynchronously submitted request's
+  // completion has been published (i.e. once the token is reapable). The
+  // cache tier's completion poller uses it to wake its pump instead of
+  // busy-polling tokens. The hook runs on the device's completion thread
+  // (dispatcher or lane worker) and must be cheap and non-blocking — in
+  // particular it must not Submit() or Wait() on this device. The inline
+  // SyncIo fast path never fires it (there is no parked token to pump).
+  // Thread-safe; pass an empty function to clear. Last setter wins.
+  void SetCompletionHook(std::function<void()> hook) {
+    auto next = hook ? std::make_shared<const std::function<void()>>(std::move(hook))
+                     : std::shared_ptr<const std::function<void()>>();
+    std::atomic_store(&completion_hook_, std::move(next));
+  }
+
   // Lock-free counter snapshot plus mutex-guarded latency histograms; safe to
   // call concurrently with in-flight I/O.
   DeviceStats stats() const {
@@ -307,6 +323,15 @@ class Device {
   }
 
  protected:
+  // Fires the registered completion hook, if any. Implementations call this
+  // after publishing an async completion (never from the SyncIo fast path).
+  void FireCompletionHook() const {
+    const auto hook = std::atomic_load(&completion_hook_);
+    if (hook != nullptr) {
+      (*hook)();
+    }
+  }
+
   // Folds one executed request into the stats. Called by implementations as
   // each completion retires (from the queue worker, possibly concurrent with
   // snapshot readers).
@@ -348,6 +373,7 @@ class Device {
   mutable std::mutex latency_mu_;
   Histogram read_latency_ns_;
   Histogram write_latency_ns_;
+  std::shared_ptr<const std::function<void()>> completion_hook_;
 };
 
 }  // namespace fdpcache

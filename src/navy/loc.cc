@@ -278,15 +278,22 @@ void LargeObjectCache::EvictRegion(uint32_t region) {
   ++stats_.regions_evicted;
 }
 
-std::optional<std::string> LargeObjectCache::Lookup(std::string_view key) {
-  ++stats_.lookups;
+LargeObjectCache::ReadPlan LargeObjectCache::LookupStart(std::string_view key,
+                                                         bool count_lookup) {
+  ReadPlan plan;
+  if (count_lookup) {
+    ++stats_.lookups;
+  }
   const auto it = index_.find(std::string(key));
   if (it == index_.end()) {
-    return std::nullopt;
+    return plan;
   }
   const ItemLoc loc = it->second;
   regions_[loc.region].last_access_seq = ++access_seq_;
-  std::string value;
+  plan.region = loc.region;
+  plan.item_offset = loc.offset;
+  plan.item_length = loc.length;
+  plan.region_seal_seq = regions_[loc.region].seal_seq;
   const InFlightRegion* inflight =
       loc.region == open_region_ ? nullptr : FindInFlight(loc.region);
   if (loc.region == open_region_ || inflight != nullptr) {
@@ -296,38 +303,90 @@ std::optional<std::string> LargeObjectCache::Lookup(std::string_view key) {
         (inflight != nullptr ? inflight->buffer.data() : open_buffer_.data()) + loc.offset;
     const uint16_t key_size = GetU16(p + 4);
     const uint32_t value_size = GetU32(p + 6);
-    value.assign(reinterpret_cast<const char*>(p + kItemHeaderBytes + key_size), value_size);
+    plan.value.assign(reinterpret_cast<const char*>(p + kItemHeaderBytes + key_size),
+                      value_size);
     if (inflight != nullptr) {
       ++stats_.inflight_buffer_hits;
     }
-  } else {
-    // Page-aligned read spanning the item.
-    const uint64_t page = device_->page_size();
-    const uint64_t item_start = RegionBase(loc.region) + loc.offset;
-    const uint64_t aligned_start = item_start / page * page;
-    const uint64_t aligned_end = (item_start + loc.length + page - 1) / page * page;
-    std::vector<uint8_t> buf(aligned_end - aligned_start);
-    if (!device_->Read(aligned_start, buf.data(), buf.size(), config_.queue_pair)) {
-      return std::nullopt;
-    }
-    const uint8_t* p = buf.data() + (item_start - aligned_start);
-    if (GetU32(p) != kItemMagic) {
-      ++stats_.corrupt_items;
-      index_.erase(it);
-      return std::nullopt;
-    }
-    const uint16_t key_size = GetU16(p + 4);
-    const uint32_t value_size = GetU32(p + 6);
-    if (key_size != key.size() ||
-        std::memcmp(p + kItemHeaderBytes, key.data(), key.size()) != 0) {
-      ++stats_.corrupt_items;
-      index_.erase(it);
-      return std::nullopt;
-    }
-    value.assign(reinterpret_cast<const char*>(p + kItemHeaderBytes + key_size), value_size);
+    ++stats_.hits;
+    plan.kind = ReadPlan::Kind::kReady;
+    return plan;
   }
+  // Page-aligned read spanning the item.
+  const uint64_t page = device_->page_size();
+  const uint64_t item_start = RegionBase(loc.region) + loc.offset;
+  const uint64_t aligned_start = item_start / page * page;
+  const uint64_t aligned_end = (item_start + loc.length + page - 1) / page * page;
+  plan.kind = ReadPlan::Kind::kNeedsRead;
+  plan.offset = aligned_start;
+  plan.size = aligned_end - aligned_start;
+  plan.buffer_skip = item_start - aligned_start;
+  return plan;
+}
+
+LargeObjectCache::FinishStatus LargeObjectCache::LookupFinish(std::string_view key,
+                                                              const ReadPlan& plan,
+                                                              const uint8_t* buffer,
+                                                              bool io_ok, std::string* value) {
+  // Revalidate before parsing: while the read was parked the entry may have
+  // been evicted with its region (gone → miss) or its region recycled and
+  // resealed (seal_seq moved → the buffer describes stale flash; retry from
+  // fresh state). Impossible on the blocking path, where nothing interleaves.
+  const auto it = index_.find(std::string(key));
+  if (it == index_.end()) {
+    return FinishStatus::kMiss;
+  }
+  const ItemLoc loc = it->second;
+  if (loc.region != plan.region || loc.offset != plan.item_offset ||
+      loc.length != plan.item_length ||
+      regions_[loc.region].seal_seq != plan.region_seal_seq) {
+    return FinishStatus::kRetry;
+  }
+  if (!io_ok) {
+    return FinishStatus::kMiss;
+  }
+  const uint8_t* p = buffer + plan.buffer_skip;
+  if (GetU32(p) != kItemMagic) {
+    ++stats_.corrupt_items;
+    index_.erase(it);
+    return FinishStatus::kMiss;
+  }
+  const uint16_t key_size = GetU16(p + 4);
+  const uint32_t value_size = GetU32(p + 6);
+  if (key_size != key.size() ||
+      std::memcmp(p + kItemHeaderBytes, key.data(), key.size()) != 0) {
+    ++stats_.corrupt_items;
+    index_.erase(it);
+    return FinishStatus::kMiss;
+  }
+  value->assign(reinterpret_cast<const char*>(p + kItemHeaderBytes + key_size), value_size);
   ++stats_.hits;
-  return value;
+  return FinishStatus::kHit;
+}
+
+std::optional<std::string> LargeObjectCache::Lookup(std::string_view key) {
+  bool first_attempt = true;
+  for (;;) {
+    ReadPlan plan = LookupStart(key, first_attempt);
+    first_attempt = false;
+    if (plan.kind == ReadPlan::Kind::kMiss) {
+      return std::nullopt;
+    }
+    if (plan.kind == ReadPlan::Kind::kReady) {
+      return std::move(plan.value);
+    }
+    std::vector<uint8_t> buf(plan.size);
+    const bool io_ok = device_->Read(plan.offset, buf.data(), buf.size(), config_.queue_pair);
+    std::string value;
+    switch (LookupFinish(key, plan, buf.data(), io_ok, &value)) {
+      case FinishStatus::kHit:
+        return value;
+      case FinishStatus::kMiss:
+        return std::nullopt;
+      case FinishStatus::kRetry:
+        break;  // Unreachable single-threaded; restart defensively.
+    }
+  }
 }
 
 bool LargeObjectCache::Remove(std::string_view key) {

@@ -85,6 +85,37 @@ class LargeObjectCache {
 
   std::optional<std::string> Lookup(std::string_view key);
 
+  // --- Split-step lookup (async cache tier) ----------------------------------
+  // LookupStart resolves everything that never touches the device: the index
+  // probe, and items served from RAM (the open region's buffer or a sealed
+  // region's in-flight write buffer). kNeedsRead hands back the page-aligned
+  // device read covering the item; the caller performs it (Submit + park, or
+  // a blocking Read) and calls LookupFinish with the buffer. Finish
+  // revalidates the index entry — the region may have been evicted, resealed,
+  // or the item reinserted elsewhere while the read was parked — and returns
+  // kRetry when the entry moved, in which case the caller restarts from
+  // LookupStart. The blocking Lookup drives exactly these steps.
+  struct ReadPlan {
+    enum class Kind : uint8_t { kMiss, kReady, kNeedsRead };
+    Kind kind = Kind::kMiss;
+    std::string value;        // kReady.
+    uint64_t offset = 0;      // kNeedsRead: aligned device offset.
+    uint64_t size = 0;        // kNeedsRead: aligned read size.
+    uint64_t buffer_skip = 0; // kNeedsRead: item start within the buffer.
+    // Entry identity captured at Start, revalidated at Finish.
+    uint32_t region = 0;
+    uint32_t item_offset = 0;
+    uint32_t item_length = 0;
+    uint64_t region_seal_seq = 0;
+  };
+  enum class FinishStatus : uint8_t { kHit, kMiss, kRetry };
+
+  // `count_lookup` is false on a kRetry restart so one logical lookup is
+  // counted once in the stats.
+  ReadPlan LookupStart(std::string_view key, bool count_lookup = true);
+  FinishStatus LookupFinish(std::string_view key, const ReadPlan& plan, const uint8_t* buffer,
+                            bool io_ok, std::string* value);
+
   // Drops the index entry; the flash copy becomes dead space in its region.
   bool Remove(std::string_view key);
 

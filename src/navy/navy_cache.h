@@ -8,12 +8,16 @@
 #ifndef SRC_NAVY_NAVY_CACHE_H_
 #define SRC_NAVY_NAVY_CACHE_H_
 
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "src/navy/admission.h"
+#include "src/navy/async_result.h"
 #include "src/navy/device.h"
 #include "src/navy/loc.h"
 #include "src/navy/placement.h"
@@ -74,10 +78,44 @@ class NavyCache {
   NavyCache(Device* device, const NavyConfig& config,
             PlacementHandleAllocator* allocator = nullptr,
             AdmissionPolicy* admission = nullptr);
+  // Completes any still-parked async operations (callbacks fire).
+  ~NavyCache();
 
   bool Insert(std::string_view key, std::string_view value);
   std::optional<std::string> Lookup(std::string_view key);
   bool Remove(std::string_view key);
+
+  // --- Asynchronous API -------------------------------------------------------
+  // The callback-driven counterpart of Insert/Lookup/Remove: the DRAM-side
+  // state (index, bloom filters, in-flight write buffers) is consulted
+  // immediately; when the answer needs a flash read the request is
+  // Submit()ted, the operation parks on its CompletionToken, and the call
+  // returns — the callback fires from a later PumpAsync()/DrainAsync() once
+  // the read retires. Operations that resolve without device I/O fire their
+  // callback inline, before the call returns.
+  //
+  // Synchronization is the caller's, exactly like the blocking API: all
+  // calls (including the pumps) must be externally serialized against each
+  // other. Same-key ordering across async ops is NOT provided here — that is
+  // the cache tier's pending-key table (HybridCache) — but overlapping
+  // read-modify-write cycles of one SOC bucket are serialized internally, so
+  // concurrent inserts/removes into one bucket never lose updates.
+  void LookupAsync(std::string_view key, AsyncCallback cb);
+  void InsertAsync(std::string_view key, std::string_view value, AsyncCallback cb);
+  void RemoveAsync(std::string_view key, AsyncCallback cb);
+
+  // Steps every parked operation whose flash read has completed (their
+  // callbacks fire from inside the call). Returns the number completed.
+  size_t PumpAsync();
+  // Blocks until the oldest parked operation's read retires, steps it, then
+  // sweeps any other completions. No-op when nothing is parked.
+  void PumpAsyncBlocking();
+  // Runs the pump to quiescence: returns once no operation is parked or
+  // queued (including ones enqueued by callbacks during the drain).
+  void DrainAsync();
+  // Parked + queued async operations (each counted from submission until its
+  // callback has fired).
+  size_t pending_async_ops() const { return pending_async_; }
 
   // Seals the open LOC region and retires every in-flight flash write from
   // both engines — the barrier before shutdown or direct device inspection.
@@ -114,6 +152,49 @@ class NavyCache {
   uint64_t loc_size_bytes() const { return loc_size_; }
 
  private:
+  // One in-flight async operation: the stage names which flash read it is
+  // parked on; `buffer` backs the submitted IoRequest.
+  struct AsyncOp {
+    enum class Stage : uint8_t {
+      kSocLookupRead,  // SOC bucket read for a lookup.
+      kLocLookupRead,  // LOC region read for a lookup.
+      kSocInsertRead,  // SOC bucket read for an insert's read-modify-write.
+      kSocRemoveRead,  // SOC bucket read for a remove's read-modify-write.
+    };
+    Stage stage = Stage::kSocLookupRead;
+    std::string key;
+    std::string value;  // Insert payload.
+    AsyncCallback cb;
+    CompletionToken token = kInvalidToken;
+    std::vector<uint8_t> buffer;
+    uint64_t bucket_id = 0;                 // SOC stages.
+    SmallObjectCache::ReadPlan soc_plan;    // kSocLookupRead.
+    LargeObjectCache::ReadPlan loc_plan;    // kLocLookupRead.
+    bool loc_removed = false;               // kSocRemoveRead: LOC half's result.
+  };
+
+  void FinishOp(std::unique_ptr<AsyncOp> op, AsyncResult result);
+  void ParkOp(std::unique_ptr<AsyncOp> op, uint64_t offset, uint64_t size, uint32_t qp);
+  // Runs/continues the SOC stage of a lookup (park, inline hit, or fall
+  // through to the LOC stage); re-entered on kRetry.
+  void StartSocLookup(std::unique_ptr<AsyncOp> op);
+  // Runs/continues the LOC half of a lookup (may park the op or finish it).
+  void StartLocLookup(std::unique_ptr<AsyncOp> op);
+  // Starts a SOC read-modify-write op: claims the bucket and parks on the
+  // bucket read, resolves inline from a pending write buffer, or queues
+  // behind the bucket's current claimant.
+  void StartSocRmw(std::unique_ptr<AsyncOp> op);
+  // Steps one parked op whose device read completed.
+  void StepOp(std::unique_ptr<AsyncOp> op, const IoResult& io);
+  // Releases a SOC bucket claim and starts queued waiters.
+  void ReleaseBucket(uint64_t bucket_id);
+  // Blocks until no async RMW op holds `key`'s bucket (drives parked ops);
+  // the blocking Insert/Remove path's guard against in-flight async RMWs.
+  // Free when no bucket is claimed — i.e. always, for purely blocking users.
+  void SettleBucketFor(std::string_view key);
+  // Fires a callback and settles the pending-op count.
+  void Complete(AsyncCallback cb, AsyncResult result);
+
   Device* device_;
   NavyConfig config_;
   AdmissionPolicy* admission_;  // May be null (always admit).
@@ -124,6 +205,16 @@ class NavyCache {
   std::unique_ptr<SmallObjectCache> soc_;
   std::unique_ptr<LargeObjectCache> loc_;
   uint64_t admission_rejects_ = 0;
+  uint32_t soc_qp_ = 0;
+  uint32_t loc_qp_ = 0;
+
+  // Async engine state. parked_ holds ops waiting on a device token;
+  // bucket_waiters_ holds RMW ops queued behind the bucket's claimant
+  // (busy_buckets_); pending_async_ counts both until callbacks fire.
+  std::deque<std::unique_ptr<AsyncOp>> parked_;
+  std::unordered_map<uint64_t, std::deque<std::unique_ptr<AsyncOp>>> bucket_waiters_;
+  std::unordered_set<uint64_t> busy_buckets_;
+  size_t pending_async_ = 0;
 };
 
 }  // namespace fdpcache

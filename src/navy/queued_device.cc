@@ -325,6 +325,12 @@ void QueuedDevice::CompleteLaneTask(const LaneTask& task, const IoResult& result
     qp.outstanding.erase(task.token);
     qp.complete_cv.notify_all();
   }
+  // The completion is reapable: wake any cache-tier poller parked on this
+  // device's tokens. Fired BEFORE the active_ slot is released so that once
+  // Drain() observes an idle pipeline no hook invocation is still in flight
+  // — an owner detaches its hook, Drain()s, and can then safely tear down
+  // whatever state the hook touches.
+  FireCompletionHook();
   {
     std::lock_guard<std::mutex> lock(mu_);
     --active_;

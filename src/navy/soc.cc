@@ -8,6 +8,7 @@ SmallObjectCache::SmallObjectCache(Device* device, const SocConfig& config)
     : device_(device),
       config_(config),
       num_buckets_(config.size_bytes / config.bucket_size),
+      bucket_gens_(config.size_bytes / config.bucket_size, 0),
       scratch_(config.bucket_size) {
   if (config_.use_bloom_filters && num_buckets_ > 0) {
     blooms_.emplace(num_buckets_, config_.bloom_bits_per_bucket);
@@ -90,26 +91,8 @@ bool SmallObjectCache::Flush() {
   return stats_.write_failures == failures_before;
 }
 
-Bucket SmallObjectCache::LoadBucket(uint64_t bucket_id, bool* io_ok) {
-  if (const PendingWrite* pending = FindPending(bucket_id)) {
-    // Write-back hit: the freshest content is the buffer awaiting the
-    // device, not whatever the device would return today.
-    *io_ok = true;
-    ++stats_.pending_buffer_hits;
-    auto bucket = Bucket::Deserialize(pending->buffer.data(), config_.bucket_size);
-    if (!bucket.has_value()) {
-      ++stats_.corrupt_buckets;
-      return Bucket(config_.bucket_size);
-    }
-    return std::move(*bucket);
-  }
-  const uint64_t offset = config_.base_offset + bucket_id * config_.bucket_size;
-  if (!device_->Read(offset, scratch_.data(), config_.bucket_size, config_.queue_pair)) {
-    *io_ok = false;
-    return Bucket(config_.bucket_size);
-  }
-  *io_ok = true;
-  auto bucket = Bucket::Deserialize(scratch_.data(), config_.bucket_size);
+Bucket SmallObjectCache::ParseBucket(const uint8_t* data) {
+  auto bucket = Bucket::Deserialize(data, config_.bucket_size);
   if (!bucket.has_value()) {
     ++stats_.corrupt_buckets;
     return Bucket(config_.bucket_size);
@@ -117,7 +100,25 @@ Bucket SmallObjectCache::LoadBucket(uint64_t bucket_id, bool* io_ok) {
   return std::move(*bucket);
 }
 
+Bucket SmallObjectCache::LoadBucket(uint64_t bucket_id, bool* io_ok) {
+  if (const PendingWrite* pending = FindPending(bucket_id)) {
+    // Write-back hit: the freshest content is the buffer awaiting the
+    // device, not whatever the device would return today.
+    *io_ok = true;
+    ++stats_.pending_buffer_hits;
+    return ParseBucket(pending->buffer.data());
+  }
+  const uint64_t offset = config_.base_offset + bucket_id * config_.bucket_size;
+  if (!device_->Read(offset, scratch_.data(), config_.bucket_size, config_.queue_pair)) {
+    *io_ok = false;
+    return Bucket(config_.bucket_size);
+  }
+  *io_ok = true;
+  return ParseBucket(scratch_.data());
+}
+
 bool SmallObjectCache::StoreBucket(uint64_t bucket_id, const Bucket& bucket) {
+  ++bucket_gens_[bucket_id];
   const uint64_t offset = config_.base_offset + bucket_id * config_.bucket_size;
   if (config_.inflight_writes == 0) {
     // Synchronous rewrite: device errors surface to the caller immediately.
@@ -150,24 +151,14 @@ bool SmallObjectCache::StoreBucket(uint64_t bucket_id, const Bucket& bucket) {
   return true;
 }
 
-bool SmallObjectCache::Insert(std::string_view key, std::string_view value) {
-  if (num_buckets_ == 0) {
-    ++stats_.insert_failures;
-    return false;
-  }
-  const uint64_t bucket_id = BucketOf(key);
-  bool io_ok = true;
-  Bucket bucket = LoadBucket(bucket_id, &io_ok);
-  if (!io_ok) {
-    ++stats_.insert_failures;
-    return false;
-  }
+bool SmallObjectCache::CommitInsert(std::string_view key, std::string_view value,
+                                    uint64_t bucket_id, Bucket* bucket) {
   uint64_t evicted = 0;
-  if (!bucket.Insert(key, value, &evicted)) {
+  if (!bucket->Insert(key, value, &evicted)) {
     ++stats_.insert_failures;
     return false;
   }
-  if (!StoreBucket(bucket_id, bucket)) {
+  if (!StoreBucket(bucket_id, *bucket)) {
     ++stats_.insert_failures;
     return false;
   }
@@ -177,27 +168,129 @@ bool SmallObjectCache::Insert(std::string_view key, std::string_view value) {
   return true;
 }
 
-std::optional<std::string> SmallObjectCache::Lookup(std::string_view key) {
-  ++stats_.lookups;
+SmallObjectCache::ReadPlan SmallObjectCache::InsertStart(std::string_view key,
+                                                         std::string_view value) {
+  ReadPlan plan;
   if (num_buckets_ == 0) {
-    return std::nullopt;
+    ++stats_.insert_failures;
+    return plan;
   }
-  const uint64_t bucket_id = BucketOf(key);
-  if (blooms_.has_value() && !blooms_->MayContain(bucket_id, HashString(key))) {
+  plan.bucket_id = BucketOf(key);
+  plan.offset = config_.base_offset + plan.bucket_id * config_.bucket_size;
+  if (const PendingWrite* pending = FindPending(plan.bucket_id)) {
+    ++stats_.pending_buffer_hits;
+    Bucket bucket = ParseBucket(pending->buffer.data());
+    plan.ok = CommitInsert(key, value, plan.bucket_id, &bucket);
+    return plan;
+  }
+  plan.needs_read = true;
+  return plan;
+}
+
+bool SmallObjectCache::InsertFinish(std::string_view key, std::string_view value,
+                                    uint64_t bucket_id, const uint8_t* buffer, bool io_ok) {
+  Bucket bucket(config_.bucket_size);
+  if (const PendingWrite* pending = FindPending(bucket_id)) {
+    // A newer rewrite of this bucket was submitted while the read was in
+    // flight; its buffer (not the device image we read) is the freshest.
+    ++stats_.pending_buffer_hits;
+    bucket = ParseBucket(pending->buffer.data());
+  } else if (!io_ok) {
+    ++stats_.insert_failures;
+    return false;
+  } else {
+    bucket = ParseBucket(buffer);
+  }
+  return CommitInsert(key, value, bucket_id, &bucket);
+}
+
+bool SmallObjectCache::Insert(std::string_view key, std::string_view value) {
+  const ReadPlan plan = InsertStart(key, value);
+  if (!plan.needs_read) {
+    return plan.ok;
+  }
+  const bool io_ok =
+      device_->Read(plan.offset, scratch_.data(), config_.bucket_size, config_.queue_pair);
+  return InsertFinish(key, value, plan.bucket_id, scratch_.data(), io_ok);
+}
+
+SmallObjectCache::ReadPlan SmallObjectCache::LookupStart(std::string_view key,
+                                                         bool count_lookup) {
+  ReadPlan plan;
+  if (count_lookup) {
+    ++stats_.lookups;
+  }
+  if (num_buckets_ == 0) {
+    return plan;
+  }
+  plan.bucket_id = BucketOf(key);
+  plan.offset = config_.base_offset + plan.bucket_id * config_.bucket_size;
+  plan.bucket_gen = bucket_gens_[plan.bucket_id];
+  if (blooms_.has_value() && !blooms_->MayContain(plan.bucket_id, HashString(key))) {
     ++stats_.bloom_rejects;
-    return std::nullopt;
+    return plan;
   }
-  bool io_ok = true;
-  Bucket bucket = LoadBucket(bucket_id, &io_ok);
-  if (!io_ok) {
-    return std::nullopt;
+  if (const PendingWrite* pending = FindPending(plan.bucket_id)) {
+    ++stats_.pending_buffer_hits;
+    Bucket bucket = ParseBucket(pending->buffer.data());
+    const BucketEntry* entry = bucket.Find(key);
+    if (entry != nullptr) {
+      ++stats_.hits;
+      plan.value = entry->value;
+    }
+    return plan;
+  }
+  plan.needs_read = true;
+  return plan;
+}
+
+SmallObjectCache::FinishStatus SmallObjectCache::LookupFinish(std::string_view key,
+                                                              const ReadPlan& plan,
+                                                              const uint8_t* buffer,
+                                                              bool io_ok, std::string* value) {
+  Bucket bucket(config_.bucket_size);
+  if (const PendingWrite* pending = FindPending(plan.bucket_id)) {
+    ++stats_.pending_buffer_hits;
+    bucket = ParseBucket(pending->buffer.data());
+  } else if (bucket_gens_[plan.bucket_id] != plan.bucket_gen) {
+    // A rewrite of this bucket was submitted AND retired while the read was
+    // parked: the image we read is pre-rewrite flash (e.g. it may still
+    // show a key a completed Remove deleted). Restart from fresh state.
+    return FinishStatus::kRetry;
+  } else if (!io_ok) {
+    return FinishStatus::kMiss;
+  } else {
+    bucket = ParseBucket(buffer);
   }
   const BucketEntry* entry = bucket.Find(key);
   if (entry == nullptr) {
-    return std::nullopt;
+    return FinishStatus::kMiss;
   }
   ++stats_.hits;
-  return entry->value;
+  *value = entry->value;
+  return FinishStatus::kHit;
+}
+
+std::optional<std::string> SmallObjectCache::Lookup(std::string_view key) {
+  bool first_attempt = true;
+  for (;;) {
+    const ReadPlan plan = LookupStart(key, first_attempt);
+    first_attempt = false;
+    if (!plan.needs_read) {
+      return plan.value;
+    }
+    const bool io_ok =
+        device_->Read(plan.offset, scratch_.data(), config_.bucket_size, config_.queue_pair);
+    std::string value;
+    switch (LookupFinish(key, plan, scratch_.data(), io_ok, &value)) {
+      case FinishStatus::kHit:
+        return value;
+      case FinishStatus::kMiss:
+        return std::nullopt;
+      case FinishStatus::kRetry:
+        break;  // Unreachable single-threaded; restart defensively.
+    }
+  }
 }
 
 uint64_t SmallObjectCache::RecoverBloomFilters() {
@@ -231,22 +324,64 @@ bool SmallObjectCache::MayContain(std::string_view key) const {
   return blooms_->MayContain(BucketOf(key), HashString(key));
 }
 
-bool SmallObjectCache::Remove(std::string_view key) {
-  if (num_buckets_ == 0) {
+bool SmallObjectCache::CommitRemove(std::string_view key, uint64_t bucket_id, Bucket* bucket) {
+  if (bucket->Find(key) == nullptr) {
     return false;
   }
-  const uint64_t bucket_id = BucketOf(key);
-  bool io_ok = true;
-  Bucket bucket = LoadBucket(bucket_id, &io_ok);
-  if (!io_ok || bucket.Find(key) == nullptr) {
-    return false;
-  }
-  bucket.Remove(key);
-  if (!StoreBucket(bucket_id, bucket)) {
+  bucket->Remove(key);
+  if (!StoreBucket(bucket_id, *bucket)) {
     return false;
   }
   ++stats_.removes;
   return true;
+}
+
+SmallObjectCache::ReadPlan SmallObjectCache::RemoveStart(std::string_view key) {
+  ReadPlan plan;
+  if (num_buckets_ == 0) {
+    return plan;
+  }
+  plan.bucket_id = BucketOf(key);
+  plan.offset = config_.base_offset + plan.bucket_id * config_.bucket_size;
+  // Definite absence needs no read-modify-write at all — this keeps async
+  // removes of never-inserted keys (a first-class replay op) from claiming
+  // the bucket and parking a full bucket read.
+  if (blooms_.has_value() && !blooms_->MayContain(plan.bucket_id, HashString(key))) {
+    ++stats_.bloom_rejects;
+    return plan;
+  }
+  if (const PendingWrite* pending = FindPending(plan.bucket_id)) {
+    ++stats_.pending_buffer_hits;
+    Bucket bucket = ParseBucket(pending->buffer.data());
+    plan.ok = CommitRemove(key, plan.bucket_id, &bucket);
+    return plan;
+  }
+  plan.needs_read = true;
+  return plan;
+}
+
+bool SmallObjectCache::RemoveFinish(std::string_view key, uint64_t bucket_id,
+                                    const uint8_t* buffer, bool io_ok) {
+  Bucket bucket(config_.bucket_size);
+  if (const PendingWrite* pending = FindPending(bucket_id)) {
+    ++stats_.pending_buffer_hits;
+    bucket = ParseBucket(pending->buffer.data());
+  } else if (!io_ok) {
+    return false;
+  } else {
+    bucket = ParseBucket(buffer);
+  }
+  return CommitRemove(key, bucket_id, &bucket);
+}
+
+bool SmallObjectCache::Remove(std::string_view key) {
+  const ReadPlan plan = RemoveStart(key);
+  if (!plan.needs_read) {
+    return plan.ok;
+  }
+  const bool io_ok =
+      device_->Read(plan.offset, scratch_.data(), config_.bucket_size, config_.queue_pair);
+  return RemoveFinish(key, plan.bucket_id, scratch_.data(), io_ok);
 }
 
 }  // namespace fdpcache

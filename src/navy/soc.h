@@ -85,6 +85,50 @@ class SmallObjectCache {
   // Removes the item if present (rewrites the bucket). Returns presence.
   bool Remove(std::string_view key);
 
+  // --- Split-step API (async cache tier) -------------------------------------
+  // Each operation splits into a Start step (bloom filters, pending-buffer
+  // consult, read planning — everything resolvable without touching the
+  // device) and a Finish step (parse + bucket logic). When Start returns
+  // needs_read, the caller reads `bucket_size` bytes at `offset` however it
+  // likes — Submit() and park for the async path, a blocking Read for the
+  // sync one — and then calls the matching Finish with the buffer. The
+  // blocking Insert/Lookup/Remove above drive exactly these steps, so both
+  // paths share one implementation (and one set of stat counters).
+  struct ReadPlan {
+    bool needs_read = false;
+    uint64_t bucket_id = 0;
+    uint64_t offset = 0;               // Device offset of the bucket.
+    // Bucket rewrite generation at Start, revalidated at LookupFinish (the
+    // SOC counterpart of the LOC's seal_seq check).
+    uint64_t bucket_gen = 0;
+    // Resolved result when needs_read is false:
+    std::optional<std::string> value;  // Lookup only.
+    bool ok = false;                   // Insert/Remove only.
+  };
+  enum class FinishStatus : uint8_t { kHit, kMiss, kRetry };
+
+  // `count_lookup` is false on a kRetry restart so one logical lookup is
+  // counted once in the stats.
+  ReadPlan LookupStart(std::string_view key, bool count_lookup = true);
+  // `io_ok` is the device read's success. If a pending rewrite of the bucket
+  // appeared while the read was in flight, its buffer supersedes `buffer`
+  // (newest wins, same as the blocking path); if a rewrite was submitted AND
+  // retired meanwhile (the pending list no longer shows it), the buffer may
+  // describe pre-rewrite flash with nothing left to prove it stale — the
+  // per-bucket generation counter catches exactly that case and returns
+  // kRetry, telling the caller to restart from LookupStart. Impossible on
+  // the blocking path, where nothing interleaves.
+  FinishStatus LookupFinish(std::string_view key, const ReadPlan& plan,
+                            const uint8_t* buffer, bool io_ok, std::string* value);
+
+  ReadPlan InsertStart(std::string_view key, std::string_view value);
+  bool InsertFinish(std::string_view key, std::string_view value, uint64_t bucket_id,
+                    const uint8_t* buffer, bool io_ok);
+
+  ReadPlan RemoveStart(std::string_view key);
+  bool RemoveFinish(std::string_view key, uint64_t bucket_id, const uint8_t* buffer,
+                    bool io_ok);
+
   // Cheap bloom-filter check; false means the key is definitely absent.
   bool MayContain(std::string_view key) const;
 
@@ -120,6 +164,15 @@ class SmallObjectCache {
   Bucket LoadBucket(uint64_t bucket_id, bool* io_ok);
   bool StoreBucket(uint64_t bucket_id, const Bucket& bucket);
 
+  // Deserializes a raw bucket image; corrupted contents count and become
+  // empty (the shared tail of LoadBucket and the Finish steps).
+  Bucket ParseBucket(const uint8_t* data);
+  // Insert/remove into an already-loaded bucket + store; the shared tail of
+  // the blocking ops and the Finish steps.
+  bool CommitInsert(std::string_view key, std::string_view value, uint64_t bucket_id,
+                    Bucket* bucket);
+  bool CommitRemove(std::string_view key, uint64_t bucket_id, Bucket* bucket);
+
   // Newest pending write for `bucket_id`, or nullptr.
   const PendingWrite* FindPending(uint64_t bucket_id) const;
   // Reaps the oldest pending write (waiting for it when `blocking`).
@@ -131,6 +184,11 @@ class SmallObjectCache {
   Device* device_;
   SocConfig config_;
   uint64_t num_buckets_;
+  // Rewrite generation per bucket, bumped at every StoreBucket: lets a
+  // parked async lookup detect that its device read is stale because a
+  // rewrite retired while it was in flight (8 bytes/bucket, the same order
+  // of DRAM as the bloom filters).
+  std::vector<uint64_t> bucket_gens_;
   std::optional<BucketBloomFilters> blooms_;
   std::vector<uint8_t> scratch_;  // One bucket of I/O scratch space.
   std::deque<PendingWrite> pending_;

@@ -144,6 +144,38 @@ TEST(HarnessTest, QueueDepthKnobKeepsResultsHealthyAndSurfacesQueuePairs) {
   EXPECT_GT(sync_report.device_queue_pairs[0].writes, 0u);
 }
 
+TEST(HarnessTest, CacheQueueDepthKnobKeepsResultsHealthyAndVerifiesPayloads) {
+  ExperimentConfig sync_config = SmallExperiment(true);
+  sync_config.num_superblocks = 64;
+  sync_config.total_ops = 40'000;
+  sync_config.warmup_cache_writes = 0.5;
+  sync_config.verify_values = true;
+  ExperimentConfig async_config = sync_config;
+  async_config.cache_queue_depth = 8;
+  async_config.queue_pairs = 2;
+
+  const MetricsReport sync_report = ExperimentRunner(sync_config).Run();
+  const MetricsReport async_report = ExperimentRunner(async_config).Run();
+
+  // The async-cache run executes the same workload to completion with
+  // near-identical cache behaviour, and — the strong check — every hit's
+  // payload matched the expected version despite up to 8 cache ops in
+  // flight: the pending-key table preserved same-key ordering.
+  EXPECT_EQ(async_report.ops_executed, async_config.total_ops);
+  EXPECT_EQ(async_report.verify_failures, 0u);
+  EXPECT_EQ(sync_report.verify_failures, 0u);
+  EXPECT_NEAR(async_report.hit_ratio, sync_report.hit_ratio, 0.02);
+  EXPECT_LT(async_report.final_dlwa, 1.25);
+  EXPECT_EQ(async_report.flush_failures, 0u);
+
+  // The collection-time gauge is sized per tenant and was sampled before
+  // the barrier drained it (it may legitimately read 0 if the window
+  // happened to be empty, but the vector itself must surface).
+  ASSERT_EQ(async_report.pending_cache_ops.size(), 1u);
+  ASSERT_EQ(sync_report.pending_cache_ops.size(), 1u);
+  EXPECT_EQ(sync_report.pending_cache_ops[0], 0u);
+}
+
 TEST(HarnessTest, ExecLanesKnobKeepsResultsHealthyAndSurfacesLaneAndDieStats) {
   ExperimentConfig config = SmallExperiment(true);
   config.num_superblocks = 64;

@@ -39,6 +39,10 @@ void PrintUsage() {
       "                                    arbiter (0 = inline dispatcher execution;\n"
       "                                    N routes disjoint requests to N die-affine\n"
       "                                    lane workers)\n"
+      "  --cache-qd=1                      cache-tier queue depth (1 = blocking\n"
+      "                                    Set/Get/Remove; >1 issues async cache ops —\n"
+      "                                    flash lookups ride the device queues with up\n"
+      "                                    to this many ops outstanding per tenant)\n"
       "  --stripe=bytes                    lane-routing stripe size (default: the LOC\n"
       "                                    region size, so regions fan out across lanes)\n"
       "  --seed=42                         workload seed\n"
@@ -79,6 +83,7 @@ int Run(int argc, char** argv) {
   config.queue_pairs = static_cast<uint32_t>(flags.GetInt("qps", 1));
   config.exec_lanes = static_cast<uint32_t>(flags.GetInt("lanes", 0));
   config.lane_stripe_bytes = static_cast<uint64_t>(flags.GetInt("stripe", 0));
+  config.cache_queue_depth = static_cast<uint32_t>(flags.GetInt("cache-qd", 1));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   config.verify_values = flags.GetBool("verify", false);
   config.workload.seed = config.seed;
@@ -119,6 +124,15 @@ int Run(int argc, char** argv) {
   if (config.queue_depth > 1 || config.queue_pairs > 1) {
     std::printf("device queue pairs (qd=%u, qps=%u):\n%s", config.queue_depth,
                 config.queue_pairs, FormatQueuePairStats("  ", r.device_queue_pairs).c_str());
+  }
+  if (config.cache_queue_depth > 1) {
+    std::printf("cache-tier async ops at collection (cache-qd=%u):\n%s",
+                config.cache_queue_depth, FormatPendingOps("  ", r.pending_cache_ops).c_str());
+  }
+  if (r.flush_failures != 0) {
+    std::printf("WARNING: %llu flush barrier(s) reported failed flash writes "
+                "(affected items degraded to misses)\n",
+                static_cast<unsigned long long>(r.flush_failures));
   }
   if (!r.device_lanes.empty()) {
     std::printf("execution lanes (lanes=%u, stripe=%s):\n%s", config.exec_lanes,
