@@ -17,6 +17,10 @@
 //                      lanes behind the arbiter (L=1: one lane worker, the
 //                      serial-execution baseline with the handoff cost paid;
 //                      L=4: die-affine parallel execution);
+//   shared-overlap/4t — four submitters on ONE queue pair writing the SAME
+//                      full-device byte range through 4 lanes: colliding
+//                      same-QP requests force the conflict tracker to chain
+//                      them, so its cost is measured instead of idle;
 //   per-shard/4t     — four submitters, each with a private SSD stack (the
 //                      PR 1 deployment shape, no cross-shard interference).
 // Reported as MiB/s per (topology, qps, lanes, QD) combo plus per-QP and
@@ -32,7 +36,12 @@
 //      one-ring contention, and must never cost throughput;
 //   3. (>= 4 cores) shared/4t/4qp at QD 16: 4 lanes must be >= 1.2x the
 //      single lane — parallel payload copies across lanes beat one
-//      executor, the whole point of the lane engine.
+//      executor, the whole point of the lane engine;
+//   4. QD 64 must hold >= 0.95x QD 16 (1t and 4t/4qp): the per-QP
+//      congestion window caps outstanding bytes so deep queues cannot
+//      convoy the backend (the historical ~2x QD-64 collapse);
+//   5. (any core count) shared-overlap at QD 16 must record > 0 conflict
+//      waits — the tracker's chaining cost is measured, not just absent.
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -176,7 +185,7 @@ std::vector<LaneRow> CollectPerLane(Device& device) {
 }
 
 ComboResult RunShared(uint32_t submitters, uint32_t qps, uint32_t lanes, uint32_t qd,
-                      uint64_t total_writes) {
+                      uint64_t total_writes, bool overlap = false) {
   SimulatedSsd ssd(SweepSsdConfig(64));
   const uint32_t nsid = *ssd.CreateNamespace(ssd.logical_capacity_bytes());
   VirtualClock clock;
@@ -188,14 +197,19 @@ ComboResult RunShared(uint32_t submitters, uint32_t qps, uint32_t lanes, uint32_
   SimSsdDevice device(&ssd, nsid, &clock, queue);
 
   const uint64_t per_thread = total_writes / submitters;
+  // Disjoint mode partitions the device across submitters; overlap mode
+  // points every submitter at the SAME full-device range, so concurrent
+  // same-QP writes collide and the lane engine's conflict tracker must
+  // chain them — measuring the tracker's cost, not just its absence.
   const uint64_t span = device.size_bytes() / submitters / kWriteBytes * kWriteBytes;
+  const uint64_t full_span = device.size_bytes() / kWriteBytes * kWriteBytes;
   std::vector<SubmitterStats> stats(submitters);
   std::vector<std::thread> threads;
   const uint64_t start = NowNs();
   for (uint32_t t = 0; t < submitters; ++t) {
-    threads.emplace_back([&device, &stats, t, span, qps, qd, per_thread] {
-      Submitter(&device, t * span, span, /*handle=*/t + 1, /*qp=*/t % qps, qd, per_thread,
-                &stats[t]);
+    threads.emplace_back([&device, &stats, t, span, full_span, overlap, qps, qd, per_thread] {
+      Submitter(&device, overlap ? 0 : t * span, overlap ? full_span : span,
+                /*handle=*/t + 1, /*qp=*/t % qps, qd, per_thread, &stats[t]);
     });
   }
   for (auto& thread : threads) {
@@ -205,7 +219,7 @@ ComboResult RunShared(uint32_t submitters, uint32_t qps, uint32_t lanes, uint32_
   const double elapsed = static_cast<double>(NowNs() - start) * 1e-9;
 
   ComboResult result;
-  result.topology = "shared";
+  result.topology = overlap ? "shared-overlap" : "shared";
   result.submitters = submitters;
   result.qps = qps;
   result.lanes = lanes;
@@ -417,6 +431,7 @@ int main() {
     uint32_t submitters;
     uint32_t qps;
     uint32_t lanes;
+    bool overlap = false;
   };
   std::vector<Combo> combos;
   combos.push_back({true, 1, 1, 0});
@@ -427,6 +442,9 @@ int main() {
   // execution with the handoff paid) vs four die-affine lanes.
   combos.push_back({true, kMaxThreads, 4, 1});
   combos.push_back({true, kMaxThreads, 4, 4});
+  // Deliberately overlapping writes (all submitters on one QP over the SAME
+  // byte range) so the lane conflict tracker's chaining cost is measured.
+  combos.push_back({true, kMaxThreads, 1, 4, true});
   combos.push_back({false, kMaxThreads, 1, 0});
 
   std::vector<ComboResult> results;
@@ -434,19 +452,24 @@ int main() {
                    "writes", "failures"});
   double shared_qd1 = 0.0;
   double shared_qd16 = 0.0;
+  double shared_qd64 = 0.0;
   double shared_4t_qp1_qd16 = 0.0;
   double shared_4t_qp4_qd16 = 0.0;
+  double shared_4t_qp4_qd64 = 0.0;
   double shared_lane1_qd16 = 0.0;
   double shared_lane4_qd16 = 0.0;
+  uint64_t overlap_conflict_waits = 0;
   for (const Combo& combo : combos) {
     for (const uint32_t qd : depths) {
       // Best of two runs per combo: one scheduler hiccup in a 0.2s window
       // otherwise dominates the row.
       ComboResult r = combo.shared
-                          ? RunShared(combo.submitters, combo.qps, combo.lanes, qd, total_writes)
+                          ? RunShared(combo.submitters, combo.qps, combo.lanes, qd, total_writes,
+                                      combo.overlap)
                           : RunPerShard(combo.submitters, qd, total_writes);
       const ComboResult again =
-          combo.shared ? RunShared(combo.submitters, combo.qps, combo.lanes, qd, total_writes)
+          combo.shared ? RunShared(combo.submitters, combo.qps, combo.lanes, qd, total_writes,
+                                   combo.overlap)
                        : RunPerShard(combo.submitters, qd, total_writes);
       if (again.failures == 0 && again.mib_per_sec > r.mib_per_sec) {
         r = again;
@@ -457,11 +480,29 @@ int main() {
       if (combo.shared && combo.submitters == 1 && qd == 16) {
         shared_qd16 = r.mib_per_sec;
       }
+      if (combo.shared && combo.submitters == 1 && qd == 64) {
+        shared_qd64 = r.mib_per_sec;
+      }
       if (combo.shared && combo.submitters == kMaxThreads && qd == 16 && combo.lanes == 0) {
         if (combo.qps == 1) {
           shared_4t_qp1_qd16 = r.mib_per_sec;
         } else if (combo.qps == 4) {
           shared_4t_qp4_qd16 = r.mib_per_sec;
+        }
+      }
+      if (combo.shared && combo.submitters == kMaxThreads && qd == 64 && combo.lanes == 0 &&
+          combo.qps == 4 && !combo.overlap) {
+        shared_4t_qp4_qd64 = r.mib_per_sec;
+      }
+      if (combo.overlap && qd == 16) {
+        // Conflict waits accumulate in BOTH runs of the best-of-two pair;
+        // sum the pair so a lucky low-contention winner cannot zero the
+        // check.
+        for (const LaneRow& lane : r.per_lane) {
+          overlap_conflict_waits += lane.conflict_waits;
+        }
+        for (const LaneRow& lane : again.per_lane) {
+          overlap_conflict_waits += lane.conflict_waits;
         }
       }
       if (combo.shared && combo.submitters == kMaxThreads && combo.qps == 4 && qd == 16) {
@@ -508,6 +549,13 @@ int main() {
       return 1;
     }
   }
+  // Overlapping same-QP writes must exercise the conflict tracker: queue
+  // depth alone guarantees colliding requests are in flight together, so
+  // this holds on any core count (no hardware gate).
+  const bool conflicts_ok = overlap_conflict_waits > 0;
+  PrintShapeCheck(conflicts_ok, "overlapping writes hit the conflict tracker, got " +
+                                    std::to_string(overlap_conflict_waits) +
+                                    " conflict waits at shared-overlap/QD16");
   const double ratio = shared_qd1 > 0.0 ? shared_qd16 / shared_qd1 : 0.0;
   const double qp_ratio =
       shared_4t_qp1_qd16 > 0.0 ? shared_4t_qp4_qd16 / shared_4t_qp1_qd16 : 0.0;
@@ -516,6 +564,18 @@ int main() {
   if (hw_threads >= 2) {
     const bool qd_ok = shared_qd16 > shared_qd1;
     PrintShapeCheck(qd_ok, "shared device QD16 > QD1, got " + FormatDouble(ratio, 2) + "x");
+    // The congestion window must hold QD 64 at (or above) the QD 16 plateau
+    // instead of the historical ~2x collapse; 0.95 floor absorbs noise.
+    const bool qd64_ok = shared_qd64 >= shared_qd16 * 0.95 &&
+                         shared_4t_qp4_qd64 >= shared_4t_qp4_qd16 * 0.95;
+    PrintShapeCheck(qd64_ok,
+                    "QD64 >= 0.95x QD16 under the congestion window (1t " +
+                        FormatDouble(shared_qd16 > 0 ? shared_qd64 / shared_qd16 : 0.0, 2) +
+                        "x, 4t/4qp " +
+                        FormatDouble(
+                            shared_4t_qp4_qd16 > 0 ? shared_4t_qp4_qd64 / shared_4t_qp4_qd16 : 0.0,
+                            2) +
+                        "x)");
     // Multi-QP must never cost throughput against the single shared ring.
     // Execution is serialized by the one arbiter either way, so the expected
     // win is submission-lock contention only; allow a 10% noise floor.
@@ -549,11 +609,11 @@ int main() {
                   "QD8/QD1 %sx)\n\n",
                   hw_threads, FormatDouble(cache_ratio, 2).c_str());
     }
-    return qd_ok && qp_ok && lanes_ok && cache_qd_ok ? 0 : 1;
+    return conflicts_ok && qd_ok && qd64_ok && qp_ok && lanes_ok && cache_qd_ok ? 0 : 1;
   }
   std::printf("SHAPE CHECK: SKIP (only %u hardware thread(s); overlap needs >=2 cores; "
               "measured QD16/QD1 %sx, 4QP/1QP %sx, 4lane/1lane %sx)\n\n",
               hw_threads, FormatDouble(ratio, 2).c_str(), FormatDouble(qp_ratio, 2).c_str(),
               FormatDouble(lane_ratio, 2).c_str());
-  return 0;
+  return conflicts_ok ? 0 : 1;
 }

@@ -17,7 +17,8 @@ Ftl::Ftl(const FtlConfig& config, FtlEventListener* listener)
       rus_(config.geometry.num_superblocks),
       host_open_ru_(config.fdp.num_ruhs(), -1),
       gc_open_ru_(1 + config.fdp.num_ruhs(), -1),
-      origin_(config.geometry.TotalPages(), -1) {
+      origin_(config.geometry.TotalPages(), -1),
+      ruh_stats_(config.fdp.num_ruhs()) {
   // At least one free RU must always be reserved for GC destinations.
   if (config_.gc_free_ru_watermark == 0) {
     config_.gc_free_ru_watermark = 1;
@@ -69,6 +70,8 @@ FtlStatus Ftl::WritePage(uint64_t lpn, DirectiveType dtype, uint16_t dspec) {
   const uint64_t page_bytes = config_.geometry.page_size_bytes;
   stats_.host_bytes_written += page_bytes;
   stats_.media_bytes_written += page_bytes;
+  ruh_stats_[ruh].host_bytes_written += page_bytes;
+  ruh_stats_[ruh].media_bytes_written += page_bytes;
   ++counters_.host_pages_written;
   return FtlStatus::kOk;
 }
@@ -129,6 +132,10 @@ std::optional<uint32_t> Ftl::OpenRu(int32_t owner, bool gc_destination) {
   info.owner = owner;
   info.is_gc_destination = gc_destination;
   info.open_seq = ++open_seq_;
+  info.die_phase =
+      listener_ == nullptr
+          ? 0
+          : listener_->OnRuOpen(ru, gc_destination) % config_.geometry.num_dies;
   return ru;
 }
 
@@ -237,13 +244,21 @@ std::optional<uint32_t> Ftl::PickGcVictim() const {
   return best;
 }
 
-bool Ftl::ReclaimRu(uint32_t victim) {
+uint32_t Ftl::MigrateVictimPages(uint32_t victim, uint32_t* offset, uint32_t max_pages,
+                                 bool* out_of_space) {
   ReclaimUnitInfo& info = rus_[victim];
   const int32_t victim_owner = info.owner;
-  uint64_t relocated = 0;
-  for (uint32_t offset = 0; offset < info.write_ptr; ++offset) {
-    const uint64_t ppn = config_.geometry.PpnOf(victim, offset);
+  // Relocations must be able to dip into the free reserve for their
+  // destination and must not re-trigger GC; foreground callers already hold
+  // in_gc_, background callers (the GcUnit) get it here.
+  const bool was_in_gc = in_gc_;
+  in_gc_ = true;
+  *out_of_space = false;
+  uint32_t moved = 0;
+  while (*offset < info.write_ptr && moved < max_pages) {
+    const uint64_t ppn = config_.geometry.PpnOf(victim, *offset);
     if (media_.page_state(ppn) != PageState::kValid) {
+      ++*offset;
       continue;
     }
     const uint64_t lpn = media_.page_lpn(ppn);
@@ -255,13 +270,33 @@ bool Ftl::ReclaimRu(uint32_t victim) {
     const std::optional<uint64_t> new_ppn = AppendToGcStream(victim_owner, lpn);
     relocating_origin_ = -1;
     if (!new_ppn.has_value()) {
-      return false;  // Out of space mid-relocation: configuration error.
+      *out_of_space = true;  // Out of space mid-relocation: configuration error.
+      break;
     }
     media_.InvalidatePage(ppn);
     --info.valid_pages;
     map_[lpn] = *new_ppn;
     stats_.media_bytes_written += config_.geometry.page_size_bytes;
-    ++relocated;
+    // Relocation bandwidth is charged to the moved data's ORIGIN handle, so
+    // per-RUH DLWA shows which streams cause background rewriting.
+    const int16_t moved_origin = origin_[*new_ppn];
+    if (moved_origin >= 0 && static_cast<size_t>(moved_origin) < ruh_stats_.size()) {
+      ruh_stats_[static_cast<size_t>(moved_origin)].media_bytes_written +=
+          config_.geometry.page_size_bytes;
+    } else {
+      unattributed_media_bytes_ += config_.geometry.page_size_bytes;
+    }
+    ++moved;
+    ++*offset;
+  }
+  in_gc_ = was_in_gc;
+  return moved;
+}
+
+bool Ftl::FinishVictimReclaim(uint32_t victim, uint64_t relocated) {
+  ReclaimUnitInfo& info = rus_[victim];
+  if (info.state != RuState::kClosed || info.valid_pages != 0) {
+    return false;
   }
   media_.EraseSuperblock(victim);
   std::fill_n(origin_.begin() + static_cast<int64_t>(config_.geometry.PpnOf(victim, 0)),
@@ -289,6 +324,19 @@ bool Ftl::ReclaimRu(uint32_t victim) {
                  config_.geometry.PagesPerSuperblock(), 0});
   }
   return true;
+}
+
+bool Ftl::ReclaimRu(uint32_t victim) {
+  // One full-budget migration step covers the whole RU (invalid pages cost
+  // no budget), preserving the historical atomic-reclaim behaviour.
+  uint32_t offset = 0;
+  bool out_of_space = false;
+  const uint32_t relocated = MigrateVictimPages(
+      victim, &offset, config_.geometry.PagesPerSuperblock(), &out_of_space);
+  if (out_of_space) {
+    return false;
+  }
+  return FinishVictimReclaim(victim, relocated);
 }
 
 void Ftl::MaybeRunGc() {
@@ -347,6 +395,8 @@ void Ftl::MaybeWearLevel() {
 void Ftl::ResetStats() {
   stats_ = FdpStatistics{};
   counters_ = FtlCounters{};
+  ruh_stats_.assign(ruh_stats_.size(), RuhIoStats{});
+  unattributed_media_bytes_ = 0;
   event_log_.Reset();
 }
 

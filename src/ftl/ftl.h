@@ -96,6 +96,26 @@ struct ReclaimUnitInfo {
   int32_t owner = kMixedGcOwner;
   bool is_gc_destination = false;
   uint64_t open_seq = 0;      // Monotonic sequence of when the RU was opened.
+  // Die rotation phase assigned at open (FtlEventListener::OnRuOpen): append
+  // offset o lands on die (DieOfOffset(o) + die_phase) % num_dies. 0 unless
+  // the device routes fresh RUs to cold dies.
+  uint32_t die_phase = 0;
+};
+
+// Per-RUH media traffic, attributed by page provenance: host writes land on
+// the RUH the directive named; GC relocations are charged to the ORIGIN RUH
+// of the moved data (origin survives relocation), so each handle's DLWA
+// reflects how much background rewriting its data causes under churn.
+struct RuhIoStats {
+  uint64_t host_bytes_written = 0;
+  uint64_t media_bytes_written = 0;  // Host writes + relocations of this RUH's data.
+
+  double Dlwa() const {
+    return host_bytes_written == 0
+               ? 1.0
+               : static_cast<double>(media_bytes_written) /
+                     static_cast<double>(host_bytes_written);
+  }
 };
 
 struct FtlCounters {
@@ -168,6 +188,47 @@ class Ftl {
   // Number of distinct host-RUH origins among programmed pages of an RU.
   uint32_t RuOriginMixCount(uint32_t ru) const;
 
+  // Die servicing `ppn`, including the owning RU's die rotation phase. The
+  // device layer charges die time through this instead of the raw geometric
+  // mapping so cold-die RU placement actually shifts load.
+  uint32_t PpnDie(uint64_t ppn) const {
+    return (config_.geometry.DieOfPpn(ppn) +
+            rus_[config_.geometry.SuperblockOfPpn(ppn)].die_phase) %
+           config_.geometry.num_dies;
+  }
+
+  // Per-RUH media traffic (index = RUH). Sums reconcile exactly with the FDP
+  // statistics log: sum(host_bytes_written) == stats().host_bytes_written and
+  // sum(media_bytes_written) + unattributed_media_bytes() ==
+  // stats().media_bytes_written (relocations of pre-provenance data — origin
+  // -1 — land in the unattributed bucket).
+  const std::vector<RuhIoStats>& ruh_io_stats() const { return ruh_stats_; }
+  uint64_t unattributed_media_bytes() const { return unattributed_media_bytes_; }
+
+  // --- Incremental reclaim (background GC support) --------------------------
+  // The GcUnit (src/ftl/gc_unit.h) drives victim reclaim in small steps so
+  // migration work interleaves with foreground traffic on the die timeline
+  // instead of happening atomically inside one host allocation.
+
+  // Picks the closed RU with the fewest valid pages (greedy victim; ties
+  // break toward the oldest open_seq). Returns nullopt if no RU would free
+  // space. Shared by foreground GC and the background GcUnit.
+  std::optional<uint32_t> PickGcVictim() const;
+
+  // Relocates up to `max_pages` VALID pages of closed RU `victim`, starting
+  // at append offset *offset and advancing it past every examined page
+  // (invalid pages cost no budget). Returns the number of pages moved; sets
+  // *out_of_space when a GC destination could not be allocated (the caller
+  // must stop). Offsets at or past write_ptr mean the scan is complete.
+  uint32_t MigrateVictimPages(uint32_t victim, uint32_t* offset, uint32_t max_pages,
+                              bool* out_of_space);
+
+  // Erases a fully migrated victim (valid_pages == 0) and returns it to the
+  // free pool, with the same counters and FDP events as an atomic reclaim;
+  // `relocated` is the total page count its migration moved. Returns false
+  // if the victim is not reclaimable in its current state.
+  bool FinishVictimReclaim(uint32_t victim, uint64_t relocated);
+
  private:
   static constexpr uint64_t kUnmapped = ~0ull;
 
@@ -186,11 +247,9 @@ class Ftl {
 
   void InvalidatePpn(uint64_t ppn);
   void MaybeRunGc();
-  // Picks the closed RU with the fewest valid pages. Returns nullopt if no
-  // reclaimable RU exists.
-  std::optional<uint32_t> PickGcVictim() const;
-  // Relocates the victim's valid pages and erases it. Returns false when the
-  // device ran out of space mid-relocation (configuration error).
+  // Atomic reclaim (foreground GC): migrates every valid page then erases.
+  // Returns false when the device ran out of space mid-relocation
+  // (configuration error). Built on the incremental primitives above.
   bool ReclaimRu(uint32_t victim);
   // Static wear leveling pass; runs opportunistically after GC.
   void MaybeWearLevel();
@@ -214,6 +273,9 @@ class Ftl {
   std::vector<int32_t> gc_open_ru_;
 
   std::vector<int16_t> origin_;        // Per-PPN host-RUH provenance.
+
+  std::vector<RuhIoStats> ruh_stats_;  // Index = RUH; see ruh_io_stats().
+  uint64_t unattributed_media_bytes_ = 0;
 
   uint64_t mapped_pages_ = 0;
   uint64_t open_seq_ = 0;

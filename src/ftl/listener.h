@@ -19,6 +19,17 @@ class FtlEventListener {
   virtual void OnPageProgram(uint64_t ppn, bool is_gc) = 0;
   // A whole-superblock erase (each die erases its blocks in parallel planes).
   virtual void OnSuperblockErase(uint32_t superblock) = 0;
+  // A reclaim unit is being opened for appends. The return value becomes the
+  // RU's die rotation phase: append offset o programs die
+  // (DieOfOffset(o) + phase) % num_dies, letting a feedback-driven device
+  // start each fresh RU's stripe on its coldest die. The default (0) keeps
+  // the geometric die mapping, bit-identical to devices without placement
+  // feedback.
+  virtual uint32_t OnRuOpen(uint32_t superblock, bool gc_destination) {
+    (void)superblock;
+    (void)gc_destination;
+    return 0;
+  }
 };
 
 }  // namespace fdpcache

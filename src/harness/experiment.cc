@@ -18,6 +18,7 @@ SsdConfig MakeSsdConfig(const ExperimentConfig& config) {
   ssd.op_fraction = config.device_op_fraction;
   ssd.fdp_enabled = config.fdp;
   ssd.static_wear_leveling = config.static_wear_leveling;
+  ssd.gc.mode = config.gc_mode;
   return ssd;
 }
 
@@ -283,6 +284,7 @@ MetricsReport ExperimentRunner::Run() {
     ++flush_failures;
   }
   ssd_->ftl().ResetStats();
+  ssd_->ResetGcStats();
   for (auto& tenant : tenants_) {
     tenant->cache->ResetStats();
     tenant->device->ResetStats();
@@ -292,21 +294,54 @@ MetricsReport ExperimentRunner::Run() {
 
   // --- Measured phase with interval DLWA sampling ---------------------------
   MetricsReport report;
-  const uint64_t sample_interval =
-      std::max<uint64_t>(1, config_.total_ops / std::max(1u, config_.dlwa_samples));
   FdpStatistics last_sample = ssd_->GetFdpStatisticsLog();
   uint64_t executed = 0;
-  while (executed < config_.total_ops) {
-    for (auto& tenant : tenants_) {
-      const auto op = tenant->generator->Next();
-      ExecuteOp(*tenant, *op);
-      ++executed;
+  if (config_.overwrite_passes > 0) {
+    // Steady-state churn: run until the host has overwritten the device's
+    // logical capacity `overwrite_passes` times (paper's DLWA regime — every
+    // RU rewritten, GC continuously active). Progress is polled from the FDP
+    // statistics log on a coarse stride; DLWA samples fall on equal
+    // host-byte intervals instead of op counts.
+    const uint64_t target_bytes =
+        static_cast<uint64_t>(config_.overwrite_passes *
+                              static_cast<double>(ssd_->logical_capacity_bytes()));
+    const uint64_t check_every = 512 * tenants_.size();
+    const uint64_t sample_stride =
+        std::max<uint64_t>(1, target_bytes / std::max(1u, config_.dlwa_samples));
+    uint64_t next_sample_bytes = sample_stride;
+    uint64_t written = 0;
+    while (written < target_bytes && executed < config_.max_steady_ops) {
+      for (auto& tenant : tenants_) {
+        const auto op = tenant->generator->Next();
+        ExecuteOp(*tenant, *op);
+        ++executed;
+      }
+      if (executed % check_every < tenants_.size()) {
+        const FdpStatistics now_stats = ssd_->GetFdpStatisticsLog();
+        written = now_stats.host_bytes_written;
+        if (written >= next_sample_bytes &&
+            now_stats.host_bytes_written > last_sample.host_bytes_written) {
+          report.interval_dlwa.push_back(FdpStatistics::IntervalDlwa(last_sample, now_stats));
+          last_sample = now_stats;
+          next_sample_bytes += sample_stride;
+        }
+      }
     }
-    if (executed % sample_interval < tenants_.size()) {
-      const FdpStatistics now_stats = ssd_->GetFdpStatisticsLog();
-      if (now_stats.host_bytes_written > last_sample.host_bytes_written) {
-        report.interval_dlwa.push_back(FdpStatistics::IntervalDlwa(last_sample, now_stats));
-        last_sample = now_stats;
+  } else {
+    const uint64_t sample_interval =
+        std::max<uint64_t>(1, config_.total_ops / std::max(1u, config_.dlwa_samples));
+    while (executed < config_.total_ops) {
+      for (auto& tenant : tenants_) {
+        const auto op = tenant->generator->Next();
+        ExecuteOp(*tenant, *op);
+        ++executed;
+      }
+      if (executed % sample_interval < tenants_.size()) {
+        const FdpStatistics now_stats = ssd_->GetFdpStatisticsLog();
+        if (now_stats.host_bytes_written > last_sample.host_bytes_written) {
+          report.interval_dlwa.push_back(FdpStatistics::IntervalDlwa(last_sample, now_stats));
+          last_sample = now_stats;
+        }
       }
     }
   }
@@ -386,6 +421,21 @@ MetricsReport ExperimentRunner::Run() {
   report.op_energy_uj = telemetry.op_energy_uj;
   report.total_energy_uj = telemetry.total_energy_uj;
   report.wear_max_pe = telemetry.max_pe_cycles;
+  report.gc_bg_ticks = telemetry.gc_unit.ticks;
+  report.gc_bg_migrated_pages = telemetry.gc_unit.migrated_pages;
+  report.gc_bg_erases = telemetry.gc_unit.erases;
+  report.gc_bg_deferred_ticks = telemetry.gc_unit.deferred_ticks;
+  report.gc_bg_abandoned = telemetry.gc_unit.victims_abandoned;
+  report.erase_suspensions = telemetry.erase_suspensions;
+  report.host_stall_ns = telemetry.host_stall_ns;
+  report.gc_die_ns = telemetry.gc_die_ns;
+  for (const RuhIoStats& ruh : telemetry.ruh_io) {
+    report.per_ruh_dlwa.push_back(ruh.Dlwa());
+  }
+  report.overwrite_passes_done =
+      static_cast<double>(report.host_bytes_written) /
+      static_cast<double>(ssd_->logical_capacity_bytes());
+  report.device_page_bytes = ssd_->page_size();
 
   report.cache_bytes = cache_bytes_per_tenant_;
   report.ram_bytes = ram_bytes_;

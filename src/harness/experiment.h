@@ -92,8 +92,23 @@ struct ExperimentConfig {
   // dispatcher makes >1 runs nondeterministic run-to-run, like --qd > 1.
   uint32_t cache_queue_depth = 1;
 
+  // --- Background GC ----------------------------------------------------------
+  // Device background GC engine (fdpbench --gc). kOff keeps the FTL's lazy
+  // foreground GC as the only collection path — bit-identical to earlier
+  // harness builds. kNaive runs fixed-rate background collection; kFeedback
+  // adds host-QD throttling, cold-die RU placement, and erase suspend.
+  GcMode gc_mode = GcMode::kOff;
+
   // --- Run --------------------------------------------------------------------
   uint64_t total_ops = 2'000'000;
+  // Steady-state churn mode (fdpbench --overwrite-passes): when > 0 the
+  // measured phase ignores total_ops and instead replays the trace until the
+  // host has written this many multiples of the device's LOGICAL capacity —
+  // ≥ 2 passes guarantees every RU has been rewritten and GC is in steady
+  // state, the paper's DLWA measurement regime. max_steady_ops caps the run
+  // if the workload cannot generate enough write traffic.
+  double overwrite_passes = 0.0;
+  uint64_t max_steady_ops = 60'000'000;
   // Warm-up runs until the host has written this many multiples of the flash
   // cache size, then statistics reset (steady-state measurement).
   double warmup_cache_writes = 1.0;
@@ -135,6 +150,23 @@ struct MetricsReport {
   double op_energy_uj = 0.0;
   double total_energy_uj = 0.0;
   double wear_max_pe = 0.0;
+
+  // Background GC engine (all zero when gc_mode == kOff).
+  uint64_t gc_bg_ticks = 0;
+  uint64_t gc_bg_migrated_pages = 0;
+  uint64_t gc_bg_erases = 0;
+  uint64_t gc_bg_deferred_ticks = 0;   // Ticks skipped by host-load feedback.
+  uint64_t gc_bg_abandoned = 0;        // Victims lost mid-migration.
+  uint64_t erase_suspensions = 0;      // Host reads that preempted an erase.
+  uint64_t host_stall_ns = 0;          // Host die-queueing delay (incl. behind GC).
+  uint64_t gc_die_ns = 0;              // Die time consumed by GC traffic.
+  // Per-RUH DLWA from the device's provenance accounting (index = RUH);
+  // empty when the device reports no per-RUH traffic.
+  std::vector<double> per_ruh_dlwa;
+  // Device-capacity overwrite multiples the measured phase achieved
+  // (meaningful in steady-state mode; ~0 in op-count mode).
+  double overwrite_passes_done = 0.0;
+  uint64_t device_page_bytes = 0;
 
   // Write-stream composition (SOC share of flash-cache device write bytes).
   double soc_write_share = 0.0;

@@ -155,6 +155,30 @@ std::string FormatDieBusy(const std::string& indent,
   return out.str();
 }
 
+std::string FormatGcStats(const std::string& indent, const MetricsReport& r) {
+  if (r.gc_bg_ticks == 0 && r.gc_bg_migrated_pages == 0 && r.gc_bg_erases == 0) {
+    return "";
+  }
+  const uint64_t page = r.device_page_bytes;
+  std::ostringstream out;
+  out << indent << "migrated=" << FormatBytes(r.gc_bg_migrated_pages * page)
+      << " (" << r.gc_bg_migrated_pages << " pages) erases=" << r.gc_bg_erases
+      << " abandoned=" << r.gc_bg_abandoned << "\n";
+  out << indent << "ticks=" << r.gc_bg_ticks << " deferred=" << r.gc_bg_deferred_ticks
+      << " erase_suspensions=" << r.erase_suspensions << "\n";
+  out << indent << "fg_stall=" << FormatDouble(static_cast<double>(r.host_stall_ns) / 1e6, 1)
+      << "ms gc_die_time="
+      << FormatDouble(static_cast<double>(r.gc_die_ns) / 1e6, 1) << "ms\n";
+  if (!r.per_ruh_dlwa.empty()) {
+    out << indent << "per-ruh dlwa: [";
+    for (size_t i = 0; i < r.per_ruh_dlwa.size(); ++i) {
+      out << (i == 0 ? "" : " ") << "ruh" << i << "=" << FormatDouble(r.per_ruh_dlwa[i], 3);
+    }
+    out << "]\n";
+  }
+  return out.str();
+}
+
 std::string FormatPendingOps(const std::string& indent,
                              const std::vector<uint64_t>& pending_ops) {
   if (pending_ops.empty()) {

@@ -61,6 +61,11 @@ std::string FormatLaneStats(const std::string& indent, const std::vector<LaneSta
 std::string FormatDieBusy(const std::string& indent,
                           const std::vector<uint64_t>& per_die_busy_ns);
 
+// Multi-line background-GC summary (migrated bytes, erases, tick activity,
+// foreground interference, per-RUH DLWA), prefixed with `indent`. Empty
+// string when the report shows no background-GC activity at all.
+std::string FormatGcStats(const std::string& indent, const MetricsReport& report);
+
 // Compact one-line in-flight async-cache-op summary per shard/tenant
 // ("total=12 [shard0=3 shard1=4 ...]"), for the cache-tier queue-depth
 // gauge (ShardedCacheStats::pending_ops / MetricsReport::pending_cache_ops).

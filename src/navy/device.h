@@ -138,6 +138,10 @@ struct QueuePairStats {
   // including ones that later fail; excludes the inline SyncIo fast path,
   // which never enters a ring).
   uint64_t dispatched = 0;
+  // Submissions that blocked on the congestion window (outstanding-bytes cap)
+  // or a full SQ ring before being admitted — the backpressure that prevents
+  // deep queues from convoying the backend (QD-64 collapse).
+  uint64_t admission_waits = 0;
   Histogram read_latency_ns;
   Histogram write_latency_ns;
   // SQ occupancy sampled at every Submit (after the push): the queue-depth
@@ -152,6 +156,7 @@ struct QueuePairStats {
     trims += other.trims;
     io_errors += other.io_errors;
     dispatched += other.dispatched;
+    admission_waits += other.admission_waits;
     read_latency_ns.Merge(other.read_latency_ns);
     write_latency_ns.Merge(other.write_latency_ns);
     queue_depth.Merge(other.queue_depth);

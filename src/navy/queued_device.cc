@@ -94,7 +94,23 @@ CompletionToken QueuedDevice::Submit(const IoRequest& request) {
   CompletionToken token;
   {
     std::unique_lock<std::mutex> lock(qp.mu);
-    qp.space_cv.wait(lock, [this, &qp] { return qp.sq.size() < queue_config_.sq_depth; });
+    // Admission control: ring space AND the congestion window. The window
+    // compares against the REQUEST's size so small requests can slip past a
+    // nearly-full window while a jumbo one waits; an empty QP always admits
+    // (a single request larger than the window must not deadlock).
+    const auto admissible = [this, &qp, &request] {
+      if (qp.sq.size() >= queue_config_.sq_depth) {
+        return false;
+      }
+      const uint64_t window = queue_config_.qp_window_bytes;
+      return window == 0 || qp.outstanding_bytes == 0 ||
+             qp.outstanding_bytes + request.size <= window;
+    };
+    if (!admissible()) {
+      ++qp.stats.admission_waits;
+      qp.space_cv.wait(lock, admissible);
+    }
+    qp.outstanding_bytes += request.size;
     token = (static_cast<CompletionToken>(qp_index) << kQpShift) | qp.next_seq++;
     Pending pending;
     pending.token = token;
@@ -255,7 +271,10 @@ bool QueuedDevice::PopNext(Pending* out, uint32_t* out_qp) {
         *out_qp = arb_qp_;
         ++qp.stats.dispatched;
         --arb_credit_;
-        qp.space_cv.notify_one();
+        // notify_all: waiters block on heterogeneous predicates (ring space
+        // vs window headroom for their own request size); waking just one
+        // could pick a still-blocked waiter and strand an admissible one.
+        qp.space_cv.notify_all();
         return true;
       }
       // Ring empty: forfeit the rest of this slot and advance below.
@@ -323,6 +342,10 @@ void QueuedDevice::CompleteLaneTask(const LaneTask& task, const IoResult& result
     RecordQpCompletion(qp, task.request, result);
     qp.cq[task.token] = result;
     qp.outstanding.erase(task.token);
+    // Completion returns window bytes; submitters may be parked on the
+    // window even though the ring has space, so wake them here too.
+    qp.outstanding_bytes -= task.request.size;
+    qp.space_cv.notify_all();
     qp.complete_cv.notify_all();
   }
   // The completion is reapable: wake any cache-tier poller parked on this

@@ -85,6 +85,15 @@ struct IoQueueConfig {
   // (region/RU size) so consecutive regions fan out across lanes the way
   // they fan out across dies. 0 falls back to the 256 KiB default.
   uint64_t lane_stripe_bytes = 256 * 1024;
+  // Congestion window: cap on the bytes a queue pair may have outstanding
+  // (queued or executing, counted from admission to completion). Submit()
+  // holds excess requests at the door instead of letting a deep SQ convoy
+  // the backend — the fix for the measured QD-64 throughput collapse, where
+  // 64 queued 256 KiB writes per submitter serialized into one giant backlog
+  // and p99 exploded without any throughput gain over QD 16. A request
+  // larger than the whole window is still admitted once the QP is empty
+  // (no starvation). 0 disables the window (ring depth alone gates).
+  uint64_t qp_window_bytes = 4 * 1024 * 1024;
 };
 
 class QueuedDevice : public Device {
@@ -158,6 +167,10 @@ class QueuedDevice : public Device {
     // Tokens submitted and not yet completed (queued or executing); lets
     // Wait() distinguish "still in flight" from "never existed / reaped".
     std::unordered_set<CompletionToken> outstanding;
+    // Bytes admitted and not yet completed — the congestion-window meter
+    // (see IoQueueConfig::qp_window_bytes). Charged in Submit, credited in
+    // CompleteLaneTask; the SyncIo fast path bypasses it.
+    uint64_t outstanding_bytes = 0;
     uint64_t next_seq = 1;  // Low bits of the next token.
     QueuePairStats stats;
   };

@@ -40,6 +40,7 @@ IoResult SimSsdDevice::ExecuteWrite(uint64_t offset, const void* data, uint64_t 
   DirectiveType dtype = DirectiveType::kNone;
   uint16_t dspec = 0;
   TranslateHandle(handle, &dtype, &dspec);
+  ssd_->SetHostLoadHint(InFlight());
   const NvmeCompletion c =
       ssd_->Write(nsid_, offset / page_size_, static_cast<uint32_t>(size / page_size_), data,
                   dtype, dspec, clock_->now());
@@ -53,6 +54,7 @@ IoResult SimSsdDevice::ExecuteRead(uint64_t offset, void* out, uint64_t size) {
   if (offset % page_size_ != 0 || size % page_size_ != 0 || size == 0) {
     return IoResult{};
   }
+  ssd_->SetHostLoadHint(InFlight());
   const NvmeCompletion c = ssd_->Read(nsid_, offset / page_size_,
                                       static_cast<uint32_t>(size / page_size_), out,
                                       clock_->now());
@@ -66,6 +68,7 @@ IoResult SimSsdDevice::ExecuteTrim(uint64_t offset, uint64_t size) {
   if (offset % page_size_ != 0 || size % page_size_ != 0) {
     return IoResult{};
   }
+  ssd_->SetHostLoadHint(InFlight());
   const NvmeCompletion c =
       ssd_->Deallocate(nsid_, offset / page_size_, size / page_size_, clock_->now());
   if (!c.ok()) {

@@ -42,7 +42,8 @@ SimulatedSsd::SimulatedSsd(const SsdConfig& config)
     : config_(config),
       ftl_(std::make_unique<Ftl>(MakeFtlConfig(config), this)),
       dies_(config.geometry.num_dies),
-      data_(ftl_->logical_pages(), config.geometry.page_size_bytes, config.store_data) {}
+      data_(ftl_->logical_pages(), config.geometry.page_size_bytes, config.store_data),
+      gc_unit_(std::make_unique<GcUnit>(ftl_.get(), config.gc)) {}
 
 std::optional<uint32_t> SimulatedSsd::CreateNamespace(uint64_t size_bytes) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -117,6 +118,7 @@ NvmeCompletion SimulatedSsd::Write(uint32_t nsid, uint64_t slba, uint32_t nlb,
     if (completion.ok()) {
       completion.completed_at = host_op_completion_ + config_.timing.transfer_page_ns * nlb;
     }
+    TickGcLocked();
   }
   for (size_t i = 0; i < frames.size(); ++i) {
     std::memcpy(frames[i].get(), bytes + i * page_size, page_size);
@@ -156,6 +158,7 @@ NvmeCompletion SimulatedSsd::Read(uint32_t nsid, uint64_t slba, uint32_t nlb, vo
       }
     }
     completion.completed_at = host_op_completion_ + config_.timing.transfer_page_ns * nlb;
+    TickGcLocked();
   }
   for (size_t i = 0; i < frames.size(); ++i) {
     if (frames[i]) {
@@ -181,11 +184,14 @@ NvmeCompletion SimulatedSsd::Deallocate(uint32_t nsid, uint64_t slba, uint64_t n
                                                                : NvmeStatus::kLbaOutOfRange;
     return completion;
   }
+  op_now_ = now;
+  host_op_completion_ = now;
   for (uint64_t i = 0; i < nlb; ++i) {
     const uint64_t lpn = *base + i;
     ftl_->TrimPage(lpn);
     data_.Trim(lpn);
   }
+  TickGcLocked();
   return completion;
 }
 
@@ -241,30 +247,85 @@ SsdTelemetry SimulatedSsd::Telemetry(TimeNs elapsed) const {
   t.max_pe_cycles = ftl_->media().max_erase_count();
   t.mean_pe_cycles = ftl_->media().mean_erase_count();
   t.dlwa = ftl_->stats().Dlwa();
+  t.gc_unit = gc_unit_->stats();
+  t.erase_suspensions = dies_.erase_suspensions();
+  t.host_stall_ns = host_stall_ns_;
+  t.gc_die_ns = gc_die_ns_;
+  t.ruh_io = ftl_->ruh_io_stats();
+  t.unattributed_media_bytes = ftl_->unattributed_media_bytes();
   return t;
 }
 
 void SimulatedSsd::OnPageRead(uint64_t ppn, bool is_gc) {
-  const uint32_t die = config_.geometry.DieOfPpn(ppn);
-  const TimeNs done = dies_.Schedule(die, op_now_, config_.timing.read_page_ns);
+  const uint32_t die = ftl_->PpnDie(ppn);
+  const TimeNs duration = config_.timing.read_page_ns;
+  TimeNs done;
+  if (!is_gc && gc_unit_->mode() == GcMode::kFeedback && config_.gc.erase_suspend) {
+    bool suspended = false;
+    done = dies_.ScheduleSuspendableRead(die, op_now_, duration, &suspended);
+  } else {
+    done = dies_.Schedule(die, op_now_, duration);
+  }
   if (!is_gc) {
     host_op_completion_ = std::max(host_op_completion_, done);
+    host_stall_ns_ += (done - duration) - op_now_;
+  } else {
+    gc_die_ns_ += duration;
   }
 }
 
 void SimulatedSsd::OnPageProgram(uint64_t ppn, bool is_gc) {
-  const uint32_t die = config_.geometry.DieOfPpn(ppn);
+  const uint32_t die = ftl_->PpnDie(ppn);
   const TimeNs done = dies_.Schedule(die, op_now_, config_.timing.program_page_ns);
   if (!is_gc) {
     host_op_completion_ = std::max(host_op_completion_, done);
+    host_stall_ns_ += (done - config_.timing.program_page_ns) - op_now_;
+  } else {
+    gc_die_ns_ += config_.timing.program_page_ns;
   }
 }
 
 void SimulatedSsd::OnSuperblockErase(uint32_t /*superblock*/) {
   // All planes of each die erase in parallel: one erase interval per die.
+  // Erases are suspendable — a foreground read arriving while one is in
+  // flight may preempt it (feedback GC mode only; see OnPageRead).
   for (uint32_t die = 0; die < config_.geometry.num_dies; ++die) {
-    dies_.Schedule(die, op_now_, config_.timing.erase_block_ns);
+    dies_.ScheduleErase(die, op_now_, config_.timing.erase_block_ns);
+    gc_die_ns_ += config_.timing.erase_block_ns;
   }
+}
+
+uint32_t SimulatedSsd::OnRuOpen(uint32_t /*superblock*/, bool /*gc_destination*/) {
+  // Feedback placement: phase each fresh RU's stripe onto the coldest die so
+  // appends drain toward idle dies instead of piling behind busy ones.
+  if (gc_unit_->mode() == GcMode::kFeedback && config_.gc.cold_die_placement) {
+    return dies_.ColdestDie();
+  }
+  return 0;
+}
+
+void SimulatedSsd::TickGcLocked() {
+  if (!gc_unit_->enabled()) {
+    return;
+  }
+  gc_unit_->Tick(host_load_hint_.load(std::memory_order_relaxed));
+}
+
+uint32_t SimulatedSsd::RunGcTick(TimeNs now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!gc_unit_->enabled()) {
+    return 0;
+  }
+  op_now_ = now;
+  host_op_completion_ = now;
+  return gc_unit_->Tick(host_load_hint_.load(std::memory_order_relaxed));
+}
+
+void SimulatedSsd::ResetGcStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  gc_unit_->ResetStats();
+  host_stall_ns_ = 0;
+  gc_die_ns_ = 0;
 }
 
 }  // namespace fdpcache

@@ -21,6 +21,7 @@
 #ifndef SRC_SSD_SSD_H_
 #define SRC_SSD_SSD_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -31,6 +32,7 @@
 #include "src/fdp/stats.h"
 #include "src/fdp/types.h"
 #include "src/ftl/ftl.h"
+#include "src/ftl/gc_unit.h"
 #include "src/nand/params.h"
 #include "src/nvme/types.h"
 #include "src/ssd/data_store.h"
@@ -52,6 +54,9 @@ struct SsdConfig {
   // When false, write payloads are discarded and reads return zeroes; useful
   // for placement-only studies that do not validate data.
   bool store_data = true;
+  // Background GC engine (off by default — the FTL's lazy foreground GC then
+  // remains the only collection path, bit-identical to earlier builds).
+  GcConfig gc;
 };
 
 // Point-in-time device telemetry for the harness and benches.
@@ -72,6 +77,14 @@ struct SsdTelemetry {
   uint32_t max_pe_cycles = 0;
   double mean_pe_cycles = 0.0;
   double dlwa = 1.0;
+  // Background GC engine state (zeroed when SsdConfig::gc.mode == kOff).
+  GcUnitStats gc_unit;
+  uint64_t erase_suspensions = 0;  // Host reads that preempted an erase.
+  TimeNs host_stall_ns = 0;        // Host die-queueing delay (start - arrival).
+  TimeNs gc_die_ns = 0;            // Die time consumed by GC reads/programs/erases.
+  // Per-RUH media accounting (index = RUH); see Ftl::ruh_io_stats().
+  std::vector<RuhIoStats> ruh_io;
+  uint64_t unattributed_media_bytes = 0;
 };
 
 class SimulatedSsd final : public FtlEventListener {
@@ -131,14 +144,39 @@ class SimulatedSsd final : public FtlEventListener {
   const Ftl& ftl() const { return *ftl_; }
   const SsdConfig& config() const { return config_; }
 
+  // --- Background GC ----------------------------------------------------------
+
+  // Host-load feedback for the GC throttle: the device layer publishes its
+  // current in-flight command count here (a plain atomic store; no lock).
+  void SetHostLoadHint(uint32_t in_flight) {
+    host_load_hint_.store(in_flight, std::memory_order_relaxed);
+  }
+
+  // Runs one explicit background GC step at virtual time `now`. The I/O path
+  // also ticks the engine after every command, so this is only needed to let
+  // GC make progress on an idle device (and by tests).
+  uint32_t RunGcTick(TimeNs now);
+
+  const GcUnit* gc_unit() const { return gc_unit_.get(); }
+
+  // Clears background-GC accounting (engine stats, stall/die-time meters)
+  // without touching media state; the harness calls this after warm-up.
+  void ResetGcStats();
+
   // --- FtlEventListener -------------------------------------------------------
   void OnPageRead(uint64_t ppn, bool is_gc) override;
   void OnPageProgram(uint64_t ppn, bool is_gc) override;
   void OnSuperblockErase(uint32_t superblock) override;
+  uint32_t OnRuOpen(uint32_t superblock, bool gc_destination) override;
 
  private:
   // Translates (nsid, slba) to a device LPN; nullopt on invalid input.
   std::optional<uint64_t> Translate(uint32_t nsid, uint64_t slba, uint64_t nlb) const;
+
+  // One background GC step with mu_ held and op_now_ established. The I/O
+  // path invokes this after each command so GC traffic lands on the die
+  // timeline right behind the foreground op that triggered it.
+  void TickGcLocked();
 
   // Serializes the command, admin, and telemetry paths across submitters.
   mutable std::mutex mu_;
@@ -147,8 +185,16 @@ class SimulatedSsd final : public FtlEventListener {
   std::unique_ptr<Ftl> ftl_;
   DieScheduler dies_;
   DataStore data_;
+  std::unique_ptr<GcUnit> gc_unit_;
   std::vector<NamespaceInfo> namespaces_;
   uint64_t allocated_pages_ = 0;
+
+  // Host-QD feedback published by the queue layer (read by the GC throttle).
+  std::atomic<uint32_t> host_load_hint_{0};
+
+  // Background-interference meters (guarded by mu_).
+  TimeNs host_stall_ns_ = 0;
+  TimeNs gc_die_ns_ = 0;
 
   // Per-command scratch used by the listener callbacks.
   TimeNs op_now_ = 0;

@@ -242,6 +242,50 @@ TEST(ExecLaneConflictTest, SameQpOverlapsChainButCrossQpOverlapsDoNot) {
   device.Drain();
 }
 
+// --- Congestion window (gated backend) ---------------------------------------
+
+// The per-QP outstanding-bytes window must stop Submit() from over-filling
+// the pipeline: with a 2-stripe window and stripe-sized writes, the third
+// submission parks in Submit (counted as an admission wait) until a
+// completion returns window bytes.
+TEST(ExecLaneConflictTest, CongestionWindowParksThirdSubmitUntilCompletion) {
+  IoQueueConfig config = LaneConfig(2);
+  config.qp_window_bytes = 2 * kStripe;
+  GatedLaneDevice device(config);
+  device.CloseGate();
+
+  std::vector<CompletionToken> tokens(3, kInvalidToken);
+  std::atomic<uint32_t> submitted{0};
+  std::thread submitter([&device, &tokens, &submitted] {
+    for (uint32_t i = 0; i < 3; ++i) {
+      tokens[i] = device.Submit(WriteAt(i * kStripe, kStripe));
+      submitted.fetch_add(1);
+    }
+  });
+
+  // Both admitted writes reach their lanes; the third submission must be
+  // parked on the window, not the ring (sq_depth is 64).
+  ASSERT_TRUE(device.WaitUntilParked(2));
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (device.PerQueuePairStats()[0].admission_waits == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(device.PerQueuePairStats()[0].admission_waits, 1u);
+  EXPECT_EQ(submitted.load(), 2u);
+  EXPECT_FALSE(device.HasStarted(2 * kStripe));
+
+  // Completions return window bytes and release the parked submitter.
+  device.OpenGate();
+  submitter.join();
+  EXPECT_EQ(submitted.load(), 3u);
+  for (const CompletionToken token : tokens) {
+    EXPECT_TRUE(device.Wait(token).ok);
+  }
+  device.Drain();
+  EXPECT_EQ(device.stats().writes, 3u);
+}
+
 // --- Data-level ordering over the simulated SSD ------------------------------
 
 class ExecLaneSimDeviceTest : public ::testing::Test {

@@ -45,6 +45,14 @@ void PrintUsage() {
       "                                    to this many ops outstanding per tenant)\n"
       "  --stripe=bytes                    lane-routing stripe size (default: the LOC\n"
       "                                    region size, so regions fan out across lanes)\n"
+      "  --gc=off|naive|feedback           device background GC engine (default off;\n"
+      "                                    naive = fixed-rate collection, feedback =\n"
+      "                                    host-QD throttle + cold-die RU placement +\n"
+      "                                    erase suspend)\n"
+      "  --overwrite-passes=N              steady-state mode: ignore --ops and churn\n"
+      "                                    until the host has written N x the device's\n"
+      "                                    logical capacity (N >= 2 = paper's steady\n"
+      "                                    state; 0 = classic op-count run)\n"
       "  --seed=42                         workload seed\n"
       "  --verify                          verify every hit's payload\n"
       "  --wear-leveling                   enable static wear leveling\n"
@@ -88,6 +96,18 @@ int Run(int argc, char** argv) {
   config.verify_values = flags.GetBool("verify", false);
   config.workload.seed = config.seed;
   config.static_wear_leveling = flags.GetBool("wear-leveling", false);
+  const std::string gc = flags.GetString("gc", "off");
+  if (gc == "off") {
+    config.gc_mode = GcMode::kOff;
+  } else if (gc == "naive") {
+    config.gc_mode = GcMode::kNaive;
+  } else if (gc == "feedback") {
+    config.gc_mode = GcMode::kFeedback;
+  } else {
+    std::fprintf(stderr, "unknown --gc=%s (off|naive|feedback)\n", gc.c_str());
+    return 2;
+  }
+  config.overwrite_passes = flags.GetDouble("overwrite-passes", 0.0);
 
   // Provisioning failures (e.g. tenants that do not fit the device) throw;
   // report them as a usage error rather than crashing.
@@ -142,6 +162,10 @@ int Run(int argc, char** argv) {
                 FormatLaneStats("  ", r.device_lanes).c_str());
     std::printf("die busy (for lane-vs-die cross-check):\n%s",
                 FormatDieBusy("  ", r.per_die_busy_ns).c_str());
+  }
+  if (config.gc_mode != GcMode::kOff) {
+    std::printf("background GC (--gc=%s, %.1f overwrite passes done):\n%s", gc.c_str(),
+                r.overwrite_passes_done, FormatGcStats("  ", r).c_str());
   }
   std::printf("interval DLWA:\n%s", FormatDlwaSeries("  ", r.interval_dlwa).c_str());
   std::printf("device: gc_events=%llu relocated_pages=%llu clean_erases=%llu energy=%.1f J\n",
