@@ -13,7 +13,7 @@ HybridCache::HybridCache(Device* device, const HybridCacheConfig& config,
 HybridCache::~HybridCache() { DrainAsync(); }
 
 void HybridCache::Set(std::string_view key, std::string_view value) {
-  ++stats_.sets;
+  stats_.sets.fetch_add(1, std::memory_order_relaxed);
   // The freshest copy now lives in RAM; any flash copy is stale until the
   // item is spilled again.
   nvm_stale_.insert(std::string(key));
@@ -48,18 +48,18 @@ void HybridCache::OnRamEviction(const std::string& key, const std::string& value
 }
 
 bool HybridCache::Get(std::string_view key, std::string* value) {
-  ++stats_.gets;
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
   if (ram_.Get(key, value)) {
-    ++stats_.ram_hits;
+    stats_.ram_hits.fetch_add(1, std::memory_order_relaxed);
     DrainRunnable();
     return true;
   }
-  ++stats_.nvm_lookups;
+  stats_.nvm_lookups.fetch_add(1, std::memory_order_relaxed);
   const std::string key_str(key);
   if (nvm_stale_.count(key_str) == 0) {
     auto flash_value = navy_->Lookup(key);
     if (flash_value.has_value()) {
-      ++stats_.nvm_hits;
+      stats_.nvm_hits.fetch_add(1, std::memory_order_relaxed);
       if (value != nullptr) {
         *value = *flash_value;
       }
@@ -80,9 +80,26 @@ bool HybridCache::Get(std::string_view key, std::string* value) {
       return true;
     }
   }
-  ++stats_.misses;
+  stats_.misses.fetch_add(1, std::memory_order_relaxed);
   DrainRunnable();
   return false;
+}
+
+bool HybridCache::TryRamGet(std::string_view key, std::string* value) {
+  // Gate: any pending async op disables the fast path (see header). A racing
+  // op that arrives after this load is concurrent with this lookup, so
+  // serving the RAM state stays linearizable.
+  if (pending_async_.load(std::memory_order_acquire) != 0) {
+    return false;
+  }
+  if (!ram_.Get(key, value)) {
+    // Counts nothing: the caller re-runs the full locked Get, which counts
+    // the get and classifies the miss against nvm_stale_/flash state.
+    return false;
+  }
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
+  stats_.ram_hits.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 void HybridCache::Remove(std::string_view key) {
@@ -123,7 +140,7 @@ void HybridCache::RemoveAsync(std::string_view key, AsyncCallback cb) {
 }
 
 void HybridCache::EnqueueOp(QueuedOp op) {
-  ++pending_async_;
+  pending_async_.fetch_add(1, std::memory_order_release);
   const auto it = key_claims_.find(op.key);
   if (it != key_claims_.end()) {
     // An op on this key is in flight; run after it (same-key FIFO).
@@ -165,19 +182,19 @@ void HybridCache::RunOp(QueuedOp op) {
 
 void HybridCache::RunLookup(QueuedOp op) {
   AsyncScope scope(this);
-  ++stats_.gets;
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
   std::string ram_value;
   if (ram_.Get(op.key, &ram_value)) {
-    ++stats_.ram_hits;
+    stats_.ram_hits.fetch_add(1, std::memory_order_relaxed);
     AsyncResult r;
     r.status = AsyncStatus::kHit;
     r.value = std::move(ram_value);
     FinishOp(op.key, std::move(op.cb), std::move(r));
     return;
   }
-  ++stats_.nvm_lookups;
+  stats_.nvm_lookups.fetch_add(1, std::memory_order_relaxed);
   if (nvm_stale_.count(op.key) > 0) {
-    ++stats_.misses;
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
     FinishOp(op.key, std::move(op.cb), AsyncResult{});
     return;
   }
@@ -185,7 +202,7 @@ void HybridCache::RunLookup(QueuedOp op) {
   navy_->LookupAsync(key, [this, key, cb = std::move(op.cb)](AsyncResult r) mutable {
     AsyncScope inner(this);
     if (r.hit()) {
-      ++stats_.nvm_hits;
+      stats_.nvm_hits.fetch_add(1, std::memory_order_relaxed);
       // Finish-time revalidation: a blocking Set of this key may have
       // completed while the flash read was parked (the blocking API bypasses
       // the pending-key table), leaving a NEWER value in RAM and the flash
@@ -198,7 +215,7 @@ void HybridCache::RunLookup(QueuedOp op) {
         ram_.Put(key, r.value);
       }
     } else {
-      ++stats_.misses;
+      stats_.misses.fetch_add(1, std::memory_order_relaxed);
     }
     FinishOp(key, std::move(cb), std::move(r));
   });
@@ -206,7 +223,7 @@ void HybridCache::RunLookup(QueuedOp op) {
 
 void HybridCache::RunInsert(QueuedOp op) {
   AsyncScope scope(this);
-  ++stats_.sets;
+  stats_.sets.fetch_add(1, std::memory_order_relaxed);
   nvm_stale_.insert(op.key);
   if (ram_.Put(op.key, op.value)) {
     AsyncResult r;
@@ -262,7 +279,7 @@ void HybridCache::FinishOp(const std::string& key, AsyncCallback cb, AsyncResult
       it->second.pop_front();
     }
   }
-  --pending_async_;
+  pending_async_.fetch_sub(1, std::memory_order_release);
   if (cb) {
     cb(std::move(result));
   }
@@ -288,13 +305,22 @@ size_t HybridCache::PumpAsync(bool blocking) {
     navy_->PumpAsync();
   }
   DrainRunnable();
-  return pending_async_;
+  // Ride the pending-op pump for deferred reclamation: free DRAM nodes whose
+  // readers have all exited. Memory-only — no observable cache state
+  // changes, so blocking-path determinism is unaffected.
+  if (ram_.deferred_nodes() > 0) {
+    ram_.ReapDeferred();
+  }
+  return pending_async_.load(std::memory_order_relaxed);
 }
 
 void HybridCache::DrainAsync() {
   for (;;) {
     DrainRunnable();
-    if (pending_async_ == 0) {
+    if (pending_async_.load(std::memory_order_relaxed) == 0) {
+      if (ram_.deferred_nodes() > 0) {
+        ram_.ReapDeferred();
+      }
       return;
     }
     if (navy_->pending_async_ops() > 0) {
@@ -309,6 +335,27 @@ void HybridCache::DrainAsync() {
     // impossible by construction; bail out rather than spin.
     return;
   }
+}
+
+HybridCacheStats HybridCache::stats() const {
+  HybridCacheStats snapshot;
+  snapshot.gets = stats_.gets.load(std::memory_order_relaxed);
+  snapshot.sets = stats_.sets.load(std::memory_order_relaxed);
+  snapshot.ram_hits = stats_.ram_hits.load(std::memory_order_relaxed);
+  snapshot.nvm_lookups = stats_.nvm_lookups.load(std::memory_order_relaxed);
+  snapshot.nvm_hits = stats_.nvm_hits.load(std::memory_order_relaxed);
+  snapshot.misses = stats_.misses.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void HybridCache::ResetStats() {
+  stats_.gets.store(0, std::memory_order_relaxed);
+  stats_.sets.store(0, std::memory_order_relaxed);
+  stats_.ram_hits.store(0, std::memory_order_relaxed);
+  stats_.nvm_lookups.store(0, std::memory_order_relaxed);
+  stats_.nvm_hits.store(0, std::memory_order_relaxed);
+  stats_.misses.store(0, std::memory_order_relaxed);
+  navy_->ResetStats();
 }
 
 }  // namespace fdpcache

@@ -26,10 +26,14 @@
 //
 // The class itself stays externally synchronized (one shard of ShardedCache,
 // or a single-threaded driver): calls, pumps, and callbacks all run under
-// whatever lock the owner supplies.
+// whatever lock the owner supplies — with ONE exception: TryRamGet() is safe
+// to call with no lock at all, racing the synchronized API. It rides the
+// RamCache's lock-free read path, and every piece of state it touches
+// (the DRAM tier, the stats counters, the pending-op gauge) is atomic.
 #ifndef SRC_CACHE_HYBRID_CACHE_H_
 #define SRC_CACHE_HYBRID_CACHE_H_
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <optional>
@@ -85,6 +89,16 @@ class HybridCache {
   // Looks up RAM, then flash. Flash hits are promoted to RAM.
   bool Get(std::string_view key, std::string* value);
 
+  // Lock-free DRAM-tier probe: may be called with NO external lock, racing
+  // the synchronized API on other threads. Returns true and fills `value`
+  // on a RAM hit (counting a get + ram_hit); returns false — counting
+  // NOTHING — when the item is not in RAM or when any async operation is
+  // pending on this cache, in which case the caller must fall back to the
+  // locked path. The pending-op gate preserves same-key async FIFO order: a
+  // parked async op means a racing lookup of its key must queue behind it,
+  // not short-circuit on RAM state a concurrent blocking Set repopulated.
+  bool TryRamGet(std::string_view key, std::string* value);
+
   // Removes from both tiers.
   void Remove(std::string_view key);
 
@@ -106,8 +120,11 @@ class HybridCache {
   // Operations submitted by callbacks during the drain are drained too.
   void DrainAsync();
   // Async operations accepted but not yet completed (active, parked, queued
-  // behind a same-key claim, and pending eviction spills).
-  size_t pending_async_ops() const { return pending_async_; }
+  // behind a same-key claim, and pending eviction spills). Lock-free; safe
+  // to read while other threads operate under the owner's lock.
+  size_t pending_async_ops() const {
+    return pending_async_.load(std::memory_order_acquire);
+  }
 
   // --- Warm restart ---------------------------------------------------------
   // Persists flash-tier recovery state (LOC index + metadata) into `state`;
@@ -119,8 +136,12 @@ class HybridCache {
     return navy_->Recover(state);
   }
 
-  const HybridCacheStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = HybridCacheStats{}; navy_->ResetStats(); }
+  // Snapshot of the cache counters. The counters are relaxed atomics (the
+  // lock-free hit path bumps them with no lock held), so a snapshot racing
+  // operations may pair counters from adjacent operations; quiescent reads
+  // are exact.
+  HybridCacheStats stats() const;
+  void ResetStats();
   const RamCache& ram() const { return ram_; }
   NavyCache& navy() { return *navy_; }
   const NavyCache& navy() const { return *navy_; }
@@ -173,14 +194,28 @@ class HybridCache {
   // written to RAM and has not reached flash yet. CacheLib tracks the same
   // thing with in-memory NVM invalidation state; no device I/O involved.
   std::unordered_set<std::string> nvm_stale_;
-  HybridCacheStats stats_;
+
+  // Relaxed atomics rather than plain counters: TryRamGet (and through it
+  // ShardedCache's lock-free hit path) bumps gets/ram_hits with no external
+  // lock held, racing locked-path updates.
+  struct AtomicStats {
+    std::atomic<uint64_t> gets{0};
+    std::atomic<uint64_t> sets{0};
+    std::atomic<uint64_t> ram_hits{0};
+    std::atomic<uint64_t> nvm_lookups{0};
+    std::atomic<uint64_t> nvm_hits{0};
+    std::atomic<uint64_t> misses{0};
+  };
+  AtomicStats stats_;
 
   // Pending-key table: a key is present while an async op on it is active;
   // the deque holds same-key ops queued behind it (FIFO). Released claims
   // promote their first waiter onto runnable_.
   std::unordered_map<std::string, std::deque<QueuedOp>> key_claims_;
   std::deque<QueuedOp> runnable_;
-  size_t pending_async_ = 0;
+  // Atomic so TryRamGet's gate and ShardedCache's poller can read it with
+  // no shard lock; still only written under the owner's synchronization.
+  std::atomic<size_t> pending_async_{0};
   bool in_async_context_ = false;
   bool draining_runnable_ = false;
 };

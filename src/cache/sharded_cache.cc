@@ -59,7 +59,7 @@ ShardedCache::~ShardedCache() {
     Drain();
     pending = false;
     for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      auto lock = LockShard(*shard);
       pending = pending || shard->cache->pending_async_ops() > 0;
     }
   }
@@ -84,16 +84,9 @@ uint32_t ShardedCache::ShardIndexFor(std::string_view key, uint32_t num_shards) 
   return static_cast<uint32_t>(Mix64(HashString(key) ^ kShardSeed) % num_shards);
 }
 
-void ShardedCache::PublishStats(Shard& shard) {
-  const HybridCacheStats& s = shard.cache->stats();
-  shard.m_gets.store(s.gets, std::memory_order_relaxed);
-  shard.m_sets.store(s.sets, std::memory_order_relaxed);
-  shard.m_removes.store(shard.removes, std::memory_order_relaxed);
-  shard.m_ram_hits.store(s.ram_hits, std::memory_order_relaxed);
-  shard.m_nvm_lookups.store(s.nvm_lookups, std::memory_order_relaxed);
-  shard.m_nvm_hits.store(s.nvm_hits, std::memory_order_relaxed);
-  shard.m_misses.store(s.misses, std::memory_order_relaxed);
-  shard.m_pending_ops.store(shard.cache->pending_async_ops(), std::memory_order_relaxed);
+std::unique_lock<std::mutex> ShardedCache::LockShard(Shard& shard) {
+  shard.lock_acquisitions.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_lock<std::mutex>(shard.mu);
 }
 
 void ShardedCache::TakeFired(Shard& shard, FiredList* out) {
@@ -116,7 +109,7 @@ void ShardedCache::FireTaken(Shard& shard, FiredList* fired) {
   }
   fired->clear();
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    auto lock = LockShard(shard);
     --shard.firing;
   }
   shard.fire_cv.notify_all();
@@ -134,12 +127,11 @@ void ShardedCache::Set(std::string_view key, std::string_view value) {
   Shard& shard = ShardFor(key);
   FiredList fired;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    auto lock = LockShard(shard);
     // Any DRAM eviction this triggers spills to flash from inside the call,
     // still under this shard's lock — safe, because the spill path only
     // touches this shard's own tiers (see RamCache::EvictOne).
     shard.cache->Set(key, value);
-    PublishStats(shard);
     TakeFired(shard, &fired);
   }
   FireTaken(shard, &fired);
@@ -147,12 +139,18 @@ void ShardedCache::Set(std::string_view key, std::string_view value) {
 
 bool ShardedCache::Get(std::string_view key, std::string* value) {
   Shard& shard = ShardFor(key);
+  // Lock-free fast path: the overwhelming majority of gets hit DRAM, and a
+  // RAM hit needs none of the under-lock state. On a miss we fall through
+  // to the FULL locked Get — including its RAM re-check — because deciding
+  // flash promotion on stale RAM state could clobber a newer concurrent Set.
+  if (shard.cache->TryRamGet(key, value)) {
+    return true;
+  }
   FiredList fired;
   bool hit;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    auto lock = LockShard(shard);
     hit = shard.cache->Get(key, value);
-    PublishStats(shard);
     TakeFired(shard, &fired);
   }
   FireTaken(shard, &fired);
@@ -163,10 +161,9 @@ void ShardedCache::Remove(std::string_view key) {
   Shard& shard = ShardFor(key);
   FiredList fired;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    auto lock = LockShard(shard);
     shard.cache->Remove(key);
-    ++shard.removes;
-    PublishStats(shard);
+    shard.removes.fetch_add(1, std::memory_order_relaxed);
     TakeFired(shard, &fired);
   }
   FireTaken(shard, &fired);
@@ -174,12 +171,27 @@ void ShardedCache::Remove(std::string_view key) {
 
 void ShardedCache::LookupAsync(std::string_view key, AsyncCallback cb) {
   Shard& shard = ShardFor(key);
+  // Lock-free fast path, same contract as the locked inline completion: the
+  // callback fires before the call returns, with no shard lock held.
+  // TryRamGet's pending-op gate keeps same-key FIFO intact — if ANY async
+  // op is pending on this shard the probe declines and we queue normally.
+  {
+    std::string ram_value;
+    if (shard.cache->TryRamGet(key, &ram_value)) {
+      if (cb) {
+        AsyncResult result;
+        result.status = AsyncStatus::kHit;
+        result.value = std::move(ram_value);
+        cb(std::move(result));
+      }
+      return;
+    }
+  }
   FiredList fired;
   bool parked;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    auto lock = LockShard(shard);
     shard.cache->LookupAsync(key, StageInto(shard, std::move(cb)));
-    PublishStats(shard);
     parked = shard.cache->pending_async_ops() > 0;
     TakeFired(shard, &fired);
   }
@@ -195,9 +207,8 @@ void ShardedCache::InsertAsync(std::string_view key, std::string_view value,
   FiredList fired;
   bool parked;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    auto lock = LockShard(shard);
     shard.cache->InsertAsync(key, value, StageInto(shard, std::move(cb)));
-    PublishStats(shard);
     parked = shard.cache->pending_async_ops() > 0;
     TakeFired(shard, &fired);
   }
@@ -212,10 +223,9 @@ void ShardedCache::RemoveAsync(std::string_view key, AsyncCallback cb) {
   FiredList fired;
   bool parked;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    auto lock = LockShard(shard);
     shard.cache->RemoveAsync(key, StageInto(shard, std::move(cb)));
-    ++shard.removes;
-    PublishStats(shard);
+    shard.removes.fetch_add(1, std::memory_order_relaxed);
     parked = shard.cache->pending_async_ops() > 0;
     TakeFired(shard, &fired);
   }
@@ -229,14 +239,13 @@ bool ShardedCache::DrainShard(Shard& shard, bool flush_navy) {
   FiredList fired;
   bool ok = true;
   {
-    std::unique_lock<std::mutex> lock(shard.mu);
+    auto lock = LockShard(shard);
     // Complete parked async ops first (their callbacks fire below), then —
     // for Flush() — seal + retire the shard's write pipeline.
     shard.cache->DrainAsync();
     if (flush_navy) {
       ok = shard.cache->navy().Flush();
     }
-    PublishStats(shard);
     TakeFired(shard, &fired);
     // The barrier covers callback DELIVERY too: another thread (usually
     // the poller) may have taken a batch out of shard.fired and still be
@@ -278,6 +287,12 @@ bool ShardedCache::Flush() {
 }
 
 void ShardedCache::NotifyPoller() {
+  // Coalesce wakeups: the first completion of a burst pays the mutex + cv
+  // signal; everything that lands before the poller clears the flag rides
+  // the same sweep for free (batched callback delivery).
+  if (poll_pending_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(poll_mu_);
     ++poll_signal_;
@@ -288,14 +303,13 @@ void ShardedCache::NotifyPoller() {
 bool ShardedCache::PumpShards() {
   bool any_pending = false;
   for (auto& shard : shards_) {
-    if (shard->m_pending_ops.load(std::memory_order_relaxed) == 0) {
+    if (shard->cache->pending_async_ops() == 0) {
       continue;
     }
     FiredList fired;
     {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      auto lock = LockShard(*shard);
       shard->cache->PumpAsync();
-      PublishStats(*shard);
       any_pending = any_pending || shard->cache->pending_async_ops() > 0;
       TakeFired(*shard, &fired);
     }
@@ -322,6 +336,10 @@ void ShardedCache::PollerLoop() {
     }
     seen = poll_signal_;
     lock.unlock();
+    // Clear BEFORE sweeping: a completion that lands during the sweep must
+    // raise a fresh signal (we may already be past its shard), while one
+    // that landed before the clear is covered by this sweep.
+    poll_pending_.store(false, std::memory_order_seq_cst);
     pending = PumpShards();
     lock.lock();
   }
@@ -332,18 +350,22 @@ ShardedCacheStats ShardedCache::Stats() const {
   out.shard_ops.reserve(shards_.size());
   out.pending_ops.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    const uint64_t gets = shard->m_gets.load(std::memory_order_relaxed);
-    const uint64_t sets = shard->m_sets.load(std::memory_order_relaxed);
-    const uint64_t removes = shard->m_removes.load(std::memory_order_relaxed);
-    out.gets += gets;
-    out.sets += sets;
+    const HybridCacheStats s = shard->cache->stats();
+    const RamCacheStats ram = shard->cache->ram().stats();
+    const uint64_t removes = shard->removes.load(std::memory_order_relaxed);
+    out.gets += s.gets;
+    out.sets += s.sets;
     out.removes += removes;
-    out.ram_hits += shard->m_ram_hits.load(std::memory_order_relaxed);
-    out.nvm_lookups += shard->m_nvm_lookups.load(std::memory_order_relaxed);
-    out.nvm_hits += shard->m_nvm_hits.load(std::memory_order_relaxed);
-    out.misses += shard->m_misses.load(std::memory_order_relaxed);
-    out.shard_ops.push_back(gets + sets + removes);
-    out.pending_ops.push_back(shard->m_pending_ops.load(std::memory_order_relaxed));
+    out.ram_hits += s.ram_hits;
+    out.nvm_lookups += s.nvm_lookups;
+    out.nvm_hits += s.nvm_hits;
+    out.misses += s.misses;
+    out.shard_lock_acquisitions +=
+        shard->lock_acquisitions.load(std::memory_order_relaxed);
+    out.ram_optimistic_retries += ram.optimistic_retries;
+    out.ram_lock_acquisitions += ram.lock_acquisitions;
+    out.shard_ops.push_back(s.gets + s.sets + removes);
+    out.pending_ops.push_back(shard->cache->pending_async_ops());
   }
   for (Device* device : devices_) {
     out.device_queue_pairs = MergeQueuePairStats(std::move(out.device_queue_pairs),
@@ -355,10 +377,9 @@ ShardedCacheStats ShardedCache::Stats() const {
 
 void ShardedCache::ResetStats() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    auto lock = LockShard(*shard);
     shard->cache->ResetStats();
-    shard->removes = 0;
-    PublishStats(*shard);
+    shard->removes.store(0, std::memory_order_relaxed);
   }
 }
 

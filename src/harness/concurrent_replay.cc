@@ -29,6 +29,12 @@ ShardedCacheStats DiffStats(const ShardedCacheStats& after, const ShardedCacheSt
   d.nvm_lookups = after.nvm_lookups - before.nvm_lookups;
   d.nvm_hits = after.nvm_hits - before.nvm_hits;
   d.misses = after.misses - before.misses;
+  d.shard_lock_acquisitions =
+      after.shard_lock_acquisitions - before.shard_lock_acquisitions;
+  d.ram_optimistic_retries =
+      after.ram_optimistic_retries - before.ram_optimistic_retries;
+  d.ram_lock_acquisitions =
+      after.ram_lock_acquisitions - before.ram_lock_acquisitions;
   d.shard_ops.resize(after.shard_ops.size());
   for (size_t s = 0; s < after.shard_ops.size(); ++s) {
     d.shard_ops[s] = after.shard_ops[s] - (s < before.shard_ops.size() ? before.shard_ops[s] : 0);

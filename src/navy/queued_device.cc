@@ -26,6 +26,9 @@ IoQueueConfig Normalize(IoQueueConfig config) {
   if (config.lane_stripe_bytes == 0) {
     config.lane_stripe_bytes = 256 * 1024;
   }
+  if (config.completion_batch == 0) {
+    config.completion_batch = 1;
+  }
   // Each lane is a real thread; cap the count so a config typo cannot fork
   // thousands of workers.
   constexpr uint32_t kMaxExecLanes = 256;
@@ -349,13 +352,30 @@ void QueuedDevice::CompleteLaneTask(const LaneTask& task, const IoResult& result
     qp.complete_cv.notify_all();
   }
   // The completion is reapable: wake any cache-tier poller parked on this
-  // device's tokens. Fired BEFORE the active_ slot is released so that once
-  // Drain() observes an idle pipeline no hook invocation is still in flight
-  // — an owner detaches its hook, Drain()s, and can then safely tear down
+  // device's tokens — but batched. The hook fires once per completion_batch
+  // completions; a partial batch is flushed by whichever completion is the
+  // last active execution with nothing queued (serialized under mu_, so
+  // exactly one completion sees active_ == 1 at pipeline idle). Either way
+  // the hook fires BEFORE the active_ slot is released, so once Drain()
+  // observes an idle pipeline no hook invocation is still in flight — an
+  // owner detaches its hook, Drain()s, and can then safely tear down
   // whatever state the hook touches.
-  FireCompletionHook();
+  const uint32_t pending_hooks =
+      unhooked_completions_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  bool flush = pending_hooks >= queue_config_.completion_batch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!flush && active_ == 1 && queued_total_.load() == 0) {
+      flush = true;  // Pipeline going idle: nothing later would flush.
+    }
+    if (flush &&
+        unhooked_completions_.exchange(0, std::memory_order_acq_rel) > 0) {
+      // Drop mu_ for the hook itself (it crosses into the owner's poller
+      // lock); the active_ slot this execution holds keeps Drain() parked.
+      lock.unlock();
+      FireCompletionHook();
+      lock.lock();
+    }
     --active_;
     idle_cv_.notify_all();
   }

@@ -94,6 +94,16 @@ struct IoQueueConfig {
   // larger than the whole window is still admitted once the QP is empty
   // (no starvation). 0 disables the window (ring depth alone gates).
   uint64_t qp_window_bytes = 4 * 1024 * 1024;
+  // Completion-hook coalescing: fire the owner's completion hook (the
+  // cache-tier poller wakeup) once per this many completions instead of per
+  // completion, cutting cross-layer wakeup traffic at high cache-QD. The
+  // device always flushes a partial batch when the pipeline goes idle — and
+  // does so BEFORE releasing its last active slot, so the Drain() teardown
+  // contract ("after Drain(), no hook invocation is in flight") still
+  // holds. Per-token Wait()/Poll() waiters are woken per completion
+  // regardless; only the hook is batched. 0 is treated as 1 (fire every
+  // completion, the pre-batching behaviour).
+  uint32_t completion_batch = 16;
 };
 
 class QueuedDevice : public Device {
@@ -212,6 +222,11 @@ class QueuedDevice : public Device {
   uint32_t active_ = 0;  // Executions in progress (dispatcher + inline SyncIo).
   bool stop_ = false;
   bool stopped_ = false;
+
+  // Completions published but not yet announced through the completion
+  // hook; flushed by whichever completion reaches the batch size or leaves
+  // the pipeline idle (see IoQueueConfig::completion_batch).
+  std::atomic<uint32_t> unhooked_completions_{0};
 
   // Arbitration cursor; touched only by the dispatcher thread.
   uint32_t arb_qp_ = 0;
