@@ -1,6 +1,10 @@
 #include "src/harness/concurrent_replay.h"
 
+#include <stdlib.h>
+#include <unistd.h>
+
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -8,6 +12,8 @@
 #include <thread>
 
 #include "src/common/hash.h"
+#include "src/navy/file_device.h"
+#include "src/navy/uring_file_device.h"
 
 namespace fdpcache {
 namespace {
@@ -218,6 +224,15 @@ ShardedSimBackend::ShardedSimBackend(const ShardedBackendConfig& config) {
   cfg.num_shards = cfg.num_shards == 0 ? 1 : cfg.num_shards;
   cfg.cache.navy.loc_inflight_regions = cfg.loc_inflight_regions;
   cfg.cache.navy.soc_inflight_writes = cfg.soc_inflight_writes;
+  if (cfg.device_backend != DeviceBackend::kSim) {
+    if (cfg.topology == BackendTopology::kPerShardDevice) {
+      std::fprintf(stderr,
+                   "ShardedSimBackend: file backends require the shared-device topology\n");
+      std::abort();
+    }
+    // No placement on a plain file; the allocator hands out kNoPlacement.
+    cfg.cache.navy.use_placement_handles = false;
+  }
   if (cfg.topology == BackendTopology::kSharedDevice) {
     BuildShared(cfg);
   } else {
@@ -227,12 +242,6 @@ ShardedSimBackend::ShardedSimBackend(const ShardedBackendConfig& config) {
 
 void ShardedSimBackend::BuildShared(const ShardedBackendConfig& config) {
   auto stack = std::make_unique<ShardStack>();
-  stack->ssd = std::make_unique<SimulatedSsd>(config.ssd);
-  const auto nsid = stack->ssd->CreateNamespace(stack->ssd->logical_capacity_bytes());
-  if (!nsid.has_value()) {
-    std::fprintf(stderr, "ShardedSimBackend: shared SSD config yields no usable capacity\n");
-    std::abort();
-  }
   IoQueueConfig queue;
   queue.sq_depth = config.queue_depth;
   // Auto topology: one queue pair per shard, so every shard submits on its
@@ -243,7 +252,55 @@ void ShardedSimBackend::BuildShared(const ShardedBackendConfig& config) {
   queue.read_priority = config.read_priority;
   queue.exec_lanes = config.exec_lanes;
   queue.lane_stripe_bytes = config.lane_stripe_bytes;
-  stack->device = std::make_unique<SimSsdDevice>(stack->ssd.get(), *nsid, &stack->clock, queue);
+  if (config.device_backend == DeviceBackend::kSim) {
+    stack->ssd = std::make_unique<SimulatedSsd>(config.ssd);
+    const auto nsid = stack->ssd->CreateNamespace(stack->ssd->logical_capacity_bytes());
+    if (!nsid.has_value()) {
+      std::fprintf(stderr, "ShardedSimBackend: shared SSD config yields no usable capacity\n");
+      std::abort();
+    }
+    stack->device = std::make_unique<SimSsdDevice>(stack->ssd.get(), *nsid, &stack->clock, queue);
+  } else {
+    // File/uring backend: one shared file (or block device) whose usable size
+    // matches what the simulated geometry would expose, so the per-shard
+    // partitions below are identical to a sim run's.
+    FileBackingOptions backing;
+    backing.path = config.device_path;
+    if (backing.path.empty()) {
+      char temp_template[] = "/tmp/fdpbench_sharded_XXXXXX";
+      const int fd = ::mkstemp(temp_template);
+      if (fd < 0) {
+        std::fprintf(stderr, "ShardedSimBackend: cannot create a temp backing file\n");
+        std::abort();
+      }
+      ::close(fd);
+      owned_temp_path_ = temp_template;
+      backing.path = owned_temp_path_;
+    }
+    const uint64_t logical_pages = static_cast<uint64_t>(
+        std::floor(static_cast<double>(config.ssd.geometry.TotalPages()) *
+                   (1.0 - config.ssd.op_fraction)));
+    backing.size_bytes = logical_pages * config.ssd.geometry.page_size_bytes;
+    backing.page_size = config.ssd.geometry.page_size_bytes;
+    backing.direct_io = config.device_direct_io;
+    if (config.device_backend == DeviceBackend::kFile) {
+      auto device = std::make_unique<FileDevice>(backing, queue);
+      if (!device->ok()) {
+        std::fprintf(stderr, "ShardedSimBackend: %s\n", device->error().c_str());
+        std::abort();
+      }
+      stack->device = std::move(device);
+    } else {
+      UringFileDevice::Options options;
+      options.backing = backing;
+      auto device = std::make_unique<UringFileDevice>(options, queue);
+      if (!device->ok()) {
+        std::fprintf(stderr, "ShardedSimBackend: %s\n", device->error().c_str());
+        std::abort();
+      }
+      stack->device = std::move(device);
+    }
+  }
   stack->allocator = std::make_unique<PlacementHandleAllocator>(*stack->device);
   stacks_.push_back(std::move(stack));
 
@@ -313,6 +370,9 @@ ShardedSimBackend::~ShardedSimBackend() {
   // anything is torn down.
   if (cache_ != nullptr) {
     cache_->Flush();
+  }
+  if (!owned_temp_path_.empty()) {
+    std::remove(owned_temp_path_.c_str());
   }
 }
 

@@ -19,6 +19,7 @@
 #include "src/cache/sharded_cache.h"
 #include "src/common/clock.h"
 #include "src/common/histogram.h"
+#include "src/harness/experiment.h"
 #include "src/navy/sim_ssd_device.h"
 #include "src/ssd/ssd.h"
 #include "src/workload/workload.h"
@@ -105,6 +106,14 @@ enum class BackendTopology : uint8_t {
 struct ShardedBackendConfig {
   uint32_t num_shards = 4;
   BackendTopology topology = BackendTopology::kSharedDevice;
+  // Device implementation beneath the shards. kSim (default) builds the
+  // simulated stack below. kFile/kUring build ONE shared file/block device
+  // instead — kSharedDevice topology only — sized to what the simulated
+  // geometry would expose as logical capacity, so shard partitions match the
+  // sim run byte for byte. `ssd` still supplies that geometry.
+  DeviceBackend device_backend = DeviceBackend::kSim;
+  std::string device_path;       // Empty = auto temp file, removed on teardown.
+  bool device_direct_io = false;
   // Whole-device config in shared mode; per-shard device config otherwise.
   SsdConfig ssd;
   // Per-shard cache config. In shared mode the backend overrides
@@ -148,7 +157,8 @@ class ShardedSimBackend {
 
   // The SSD beneath shard `index` (the single shared SSD in kSharedDevice
   // mode). Callers must quiesce first (ShardedCache::Flush + Device::Drain)
-  // — inspection is unsynchronized with in-flight I/O by design.
+  // — inspection is unsynchronized with in-flight I/O by design. Sim backend
+  // only: kFile/kUring stacks have no simulated SSD.
   SimulatedSsd& shard_ssd(uint32_t index) {
     return *stacks_[index % stacks_.size()]->ssd;
   }
@@ -157,8 +167,8 @@ class ShardedSimBackend {
  private:
   struct ShardStack {
     VirtualClock clock;
-    std::unique_ptr<SimulatedSsd> ssd;
-    std::unique_ptr<SimSsdDevice> device;
+    std::unique_ptr<SimulatedSsd> ssd;  // Null on kFile/kUring.
+    std::unique_ptr<Device> device;
     std::unique_ptr<PlacementHandleAllocator> allocator;
   };
 
@@ -167,6 +177,7 @@ class ShardedSimBackend {
 
   std::vector<std::unique_ptr<ShardStack>> stacks_;
   std::unique_ptr<ShardedCache> cache_;
+  std::string owned_temp_path_;  // Auto-created backing file to remove on exit.
 };
 
 }  // namespace fdpcache

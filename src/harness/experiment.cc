@@ -1,8 +1,17 @@
 #include "src/harness/experiment.h"
 
+#include <stdlib.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
+
+#include "src/nand/geometry.h"
+#include "src/navy/file_device.h"
+#include "src/navy/uring_file_device.h"
 
 namespace fdpcache {
 
@@ -30,16 +39,55 @@ double AvgItemBytes(const KvWorkloadConfig& w) {
   return w.small_key_fraction * small_avg + (1.0 - w.small_key_fraction) * large_avg + 17.0;
 }
 
+// What the simulated SSD would expose as logical capacity for this geometry,
+// without building one: floor(TotalPages * (1 - OP)) pages. The file backends
+// size their backing from this so a utilization sweep covers the same byte
+// range regardless of backend.
+uint64_t GeometryLogicalBytes(const ExperimentConfig& config) {
+  NandGeometry geometry;
+  geometry.pages_per_block = config.pages_per_block;
+  geometry.planes_per_die = config.planes_per_die;
+  geometry.num_dies = config.num_dies;
+  geometry.num_superblocks = config.num_superblocks;
+  const uint64_t logical_pages = static_cast<uint64_t>(
+      std::floor(static_cast<double>(geometry.TotalPages()) *
+                 (1.0 - config.device_op_fraction)));
+  return logical_pages * geometry.page_size_bytes;
+}
+
 }  // namespace
 
-ExperimentRunner::ExperimentRunner(const ExperimentConfig& config) : config_(config) {
-  ssd_ = std::make_unique<SimulatedSsd>(MakeSsdConfig(config_));
-  allocator_ = std::make_unique<PlacementHandleAllocator>(
-      config_.fdp ? ssd_->IdentifyFdp().num_ruhs : 0);
+const char* DeviceBackendName(DeviceBackend backend) {
+  switch (backend) {
+    case DeviceBackend::kSim:
+      return "sim";
+    case DeviceBackend::kFile:
+      return "file";
+    case DeviceBackend::kUring:
+      return "uring";
+  }
+  return "sim";
+}
 
-  const uint64_t logical = ssd_->logical_capacity_bytes();
+ExperimentRunner::ExperimentRunner(const ExperimentConfig& config) : config_(config) {
+  const bool sim = config_.backend == DeviceBackend::kSim;
+  if (sim) {
+    ssd_ = std::make_unique<SimulatedSsd>(MakeSsdConfig(config_));
+    allocator_ = std::make_unique<PlacementHandleAllocator>(
+        config_.fdp ? ssd_->IdentifyFdp().num_ruhs : 0);
+    logical_bytes_ = ssd_->logical_capacity_bytes();
+  } else {
+    logical_bytes_ = GeometryLogicalBytes(config_);
+  }
+
+  const uint64_t logical = logical_bytes_;
   cache_bytes_per_tenant_ = static_cast<uint64_t>(
       static_cast<double>(logical) * config_.utilization / config_.num_tenants);
+  if (!sim) {
+    // Byte-range partitions of one shared file: keep every tenant's slice
+    // page-aligned so O_DIRECT and the region math never straddle pages.
+    cache_bytes_per_tenant_ -= cache_bytes_per_tenant_ % 4096;
+  }
   // Paper default DRAM:NVM ratio is 42 GB : 930 GB (~4.5%).
   ram_bytes_ = config_.ram_bytes != 0
                    ? config_.ram_bytes
@@ -62,35 +110,86 @@ ExperimentRunner::ExperimentRunner(const ExperimentConfig& config) : config_(con
   const uint32_t queue_pairs = config_.queue_pairs == 0 ? 1 : config_.queue_pairs;
   if (cache_bytes_per_tenant_ == 0) {
     std::ostringstream msg;
-    msg << "ExperimentRunner: device too small — logical capacity "
-        << ssd_->logical_capacity_bytes() << " bytes across " << config_.num_tenants
+    msg << "ExperimentRunner: device too small — logical capacity " << logical
+        << " bytes across " << config_.num_tenants
         << " tenant(s) at utilization " << config_.utilization
         << " leaves no per-tenant cache; increase num_superblocks or reduce num_tenants";
     throw std::runtime_error(msg.str());
   }
-  for (uint32_t t = 0; t < config_.num_tenants; ++t) {
-    // Validate per-tenant namespace sizing instead of dereferencing a failed
-    // allocation: CreateNamespace rounds each tenant's share up to whole
-    // pages, so N tenants of logical/N bytes can exceed the device by up to
-    // N-1 pages — historically a segfault on the second tenant of a small
-    // device (fdpbench --tenants=2 --superblocks=64).
-    const auto nsid = ssd_->CreateNamespace(cache_bytes_per_tenant_);
-    if (!nsid.has_value()) {
-      std::ostringstream msg;
-      msg << "ExperimentRunner: cannot carve namespace for tenant " << t << ": need "
-          << cache_bytes_per_tenant_ << " bytes but only " << ssd_->UnallocatedBytes()
-          << " of the device's " << ssd_->logical_capacity_bytes()
-          << "-byte logical capacity remain unallocated; increase num_superblocks, or reduce "
-             "num_tenants/utilization";
-      throw std::runtime_error(msg.str());
+
+  IoQueueConfig queue;
+  queue.num_queue_pairs = queue_pairs;
+  queue.exec_lanes = config_.exec_lanes;
+  queue.lane_stripe_bytes =
+      config_.lane_stripe_bytes != 0 ? config_.lane_stripe_bytes : config_.loc_region_size;
+
+  if (!sim) {
+    // One shared file/block device for every tenant; tenants partition it by
+    // byte range exactly like sim tenants partition the shared simulated SSD
+    // by namespace.
+    FileBackingOptions backing;
+    backing.path = config_.device_path;
+    if (backing.path.empty()) {
+      char temp_template[] = "/tmp/fdpbench_backing_XXXXXX";
+      const int fd = ::mkstemp(temp_template);
+      if (fd < 0) {
+        throw std::runtime_error(
+            "ExperimentRunner: cannot create a temp backing file under /tmp; "
+            "pass an explicit path via device_path");
+      }
+      ::close(fd);
+      owned_temp_path_ = temp_template;
+      backing.path = owned_temp_path_;
     }
+    backing.size_bytes = cache_bytes_per_tenant_ * config_.num_tenants;
+    backing.direct_io = config_.device_direct_io;
+    if (config_.backend == DeviceBackend::kFile) {
+      auto device = std::make_unique<FileDevice>(backing, queue);
+      if (!device->ok()) {
+        throw std::runtime_error("ExperimentRunner: " + device->error());
+      }
+      shared_device_ = std::move(device);
+    } else {
+      auto device = std::make_unique<UringFileDevice>(
+          [&] {
+            UringFileDevice::Options options;
+            options.backing = backing;
+            return options;
+          }(),
+          queue);
+      if (!device->ok()) {
+        throw std::runtime_error("ExperimentRunner: " + device->error());
+      }
+      shared_device_ = std::move(device);
+    }
+    // A plain file exposes no placement handles; the allocator degrades to
+    // kNoPlacement and the caches run FDP-off.
+    allocator_ = std::make_unique<PlacementHandleAllocator>(*shared_device_);
+  }
+
+  for (uint32_t t = 0; t < config_.num_tenants; ++t) {
     auto tenant = std::make_unique<Tenant>();
-    IoQueueConfig queue;
-    queue.num_queue_pairs = queue_pairs;
-    queue.exec_lanes = config_.exec_lanes;
-    queue.lane_stripe_bytes =
-        config_.lane_stripe_bytes != 0 ? config_.lane_stripe_bytes : config_.loc_region_size;
-    tenant->device = std::make_unique<SimSsdDevice>(ssd_.get(), *nsid, &clock_, queue);
+    if (sim) {
+      // Validate per-tenant namespace sizing instead of dereferencing a failed
+      // allocation: CreateNamespace rounds each tenant's share up to whole
+      // pages, so N tenants of logical/N bytes can exceed the device by up to
+      // N-1 pages — historically a segfault on the second tenant of a small
+      // device (fdpbench --tenants=2 --superblocks=64).
+      const auto nsid = ssd_->CreateNamespace(cache_bytes_per_tenant_);
+      if (!nsid.has_value()) {
+        std::ostringstream msg;
+        msg << "ExperimentRunner: cannot carve namespace for tenant " << t << ": need "
+            << cache_bytes_per_tenant_ << " bytes but only " << ssd_->UnallocatedBytes()
+            << " of the device's " << ssd_->logical_capacity_bytes()
+            << "-byte logical capacity remain unallocated; increase num_superblocks, or reduce "
+               "num_tenants/utilization";
+        throw std::runtime_error(msg.str());
+      }
+      tenant->sim_device = std::make_unique<SimSsdDevice>(ssd_.get(), *nsid, &clock_, queue);
+      tenant->device = tenant->sim_device.get();
+    } else {
+      tenant->device = shared_device_.get();
+    }
 
     HybridCacheConfig cache_config;
     cache_config.ram_bytes = ram_bytes_;
@@ -99,7 +198,11 @@ ExperimentRunner::ExperimentRunner(const ExperimentConfig& config) : config_(con
     cache_config.navy.loc_region_size = config_.loc_region_size;
     cache_config.navy.loc_eviction = config_.loc_eviction;
     cache_config.navy.loc_trim_on_evict = config_.loc_trim_on_evict;
-    cache_config.navy.use_placement_handles = config_.fdp;
+    cache_config.navy.use_placement_handles = config_.fdp && sim;
+    if (!sim) {
+      cache_config.navy.base_offset = static_cast<uint64_t>(t) * cache_bytes_per_tenant_;
+      cache_config.navy.size_bytes = cache_bytes_per_tenant_;
+    }
     // Each placement stream rides its own queue pair when enough are
     // configured: tenant t's SOC on QP 2t, its LOC on QP 2t+1 (mod qps) —
     // so even a single-tenant run exercises multiple SQs at --qps >= 2.
@@ -116,7 +219,7 @@ ExperimentRunner::ExperimentRunner(const ExperimentConfig& config) : config_(con
       cache_config.navy.soc_inflight_writes = depth;
     }
     tenant->cache =
-        std::make_unique<HybridCache>(tenant->device.get(), cache_config, allocator_.get());
+        std::make_unique<HybridCache>(tenant->device, cache_config, allocator_.get());
 
     KvWorkloadConfig tenant_workload = workload;
     tenant_workload.seed = config_.seed + 1000003ull * t;
@@ -125,7 +228,21 @@ ExperimentRunner::ExperimentRunner(const ExperimentConfig& config) : config_(con
   }
 }
 
-ExperimentRunner::~ExperimentRunner() = default;
+ExperimentRunner::~ExperimentRunner() {
+  // Caches (inside tenants_) must die before the device they write through.
+  tenants_.clear();
+  shared_device_.reset();
+  if (!owned_temp_path_.empty()) {
+    std::remove(owned_temp_path_.c_str());
+  }
+}
+
+uint64_t ExperimentRunner::HostBytesWritten() const {
+  if (ssd_ != nullptr) {
+    return ssd_->GetFdpStatisticsLog().host_bytes_written;
+  }
+  return shared_device_->stats().write_bytes;
+}
 
 bool ExperimentRunner::Barrier() {
   bool ok = true;
@@ -147,6 +264,9 @@ bool ExperimentRunner::Barrier() {
 }
 
 void ExperimentRunner::MaybeBackpressure() {
+  if (ssd_ == nullptr) {
+    return;  // File backends: real I/O applies its own backpressure.
+  }
   const TimeNs horizon = ssd_->MaxDieBusyUntil();
   if (horizon > clock_.now() + config_.device_backlog_window_ns) {
     clock_.AdvanceTo(horizon - config_.device_backlog_window_ns);
@@ -265,8 +385,7 @@ MetricsReport ExperimentRunner::Run() {
       config_.warmup_cache_writes *
       static_cast<double>(cache_bytes_per_tenant_ * config_.num_tenants));
   uint64_t warmup_ops = 0;
-  while (ssd_->GetFdpStatisticsLog().host_bytes_written < warmup_bytes &&
-         warmup_ops < config_.max_warmup_ops) {
+  while (HostBytesWritten() < warmup_bytes && warmup_ops < config_.max_warmup_ops) {
     for (auto& tenant : tenants_) {
       const auto op = tenant->generator->Next();
       ExecuteOp(*tenant, *op);
@@ -283,18 +402,29 @@ MetricsReport ExperimentRunner::Run() {
   if (!Barrier()) {
     ++flush_failures;
   }
-  ssd_->ftl().ResetStats();
-  ssd_->ResetGcStats();
+  if (ssd_ != nullptr) {
+    ssd_->ftl().ResetStats();
+    ssd_->ResetGcStats();
+  }
   for (auto& tenant : tenants_) {
     tenant->cache->ResetStats();
-    tenant->device->ResetStats();
     tenant->verify_failures = 0;
   }
-  const TimeNs measure_start = clock_.now();
+  if (shared_device_ != nullptr) {
+    shared_device_->ResetStats();
+  } else {
+    for (auto& tenant : tenants_) {
+      tenant->device->ResetStats();
+    }
+  }
+  // Virtual time on the simulator; wall time against real hardware, where the
+  // virtual clock only ticks the modeled host CPU cost.
+  const TimeNs measure_start = ssd_ != nullptr ? clock_.now() : FileWallNowNs();
 
   // --- Measured phase with interval DLWA sampling ---------------------------
   MetricsReport report;
-  FdpStatistics last_sample = ssd_->GetFdpStatisticsLog();
+  FdpStatistics last_sample =
+      ssd_ != nullptr ? ssd_->GetFdpStatisticsLog() : FdpStatistics{};
   uint64_t executed = 0;
   if (config_.overwrite_passes > 0) {
     // Steady-state churn: run until the host has overwritten the device's
@@ -302,9 +432,8 @@ MetricsReport ExperimentRunner::Run() {
     // RU rewritten, GC continuously active). Progress is polled from the FDP
     // statistics log on a coarse stride; DLWA samples fall on equal
     // host-byte intervals instead of op counts.
-    const uint64_t target_bytes =
-        static_cast<uint64_t>(config_.overwrite_passes *
-                              static_cast<double>(ssd_->logical_capacity_bytes()));
+    const uint64_t target_bytes = static_cast<uint64_t>(
+        config_.overwrite_passes * static_cast<double>(logical_bytes_));
     const uint64_t check_every = 512 * tenants_.size();
     const uint64_t sample_stride =
         std::max<uint64_t>(1, target_bytes / std::max(1u, config_.dlwa_samples));
@@ -317,13 +446,14 @@ MetricsReport ExperimentRunner::Run() {
         ++executed;
       }
       if (executed % check_every < tenants_.size()) {
-        const FdpStatistics now_stats = ssd_->GetFdpStatisticsLog();
-        written = now_stats.host_bytes_written;
-        if (written >= next_sample_bytes &&
-            now_stats.host_bytes_written > last_sample.host_bytes_written) {
-          report.interval_dlwa.push_back(FdpStatistics::IntervalDlwa(last_sample, now_stats));
-          last_sample = now_stats;
-          next_sample_bytes += sample_stride;
+        written = HostBytesWritten();
+        if (ssd_ != nullptr && written >= next_sample_bytes) {
+          const FdpStatistics now_stats = ssd_->GetFdpStatisticsLog();
+          if (now_stats.host_bytes_written > last_sample.host_bytes_written) {
+            report.interval_dlwa.push_back(FdpStatistics::IntervalDlwa(last_sample, now_stats));
+            last_sample = now_stats;
+            next_sample_bytes += sample_stride;
+          }
         }
       }
     }
@@ -336,7 +466,7 @@ MetricsReport ExperimentRunner::Run() {
         ExecuteOp(*tenant, *op);
         ++executed;
       }
-      if (executed % sample_interval < tenants_.size()) {
+      if (ssd_ != nullptr && executed % sample_interval < tenants_.size()) {
         const FdpStatistics now_stats = ssd_->GetFdpStatisticsLog();
         if (now_stats.host_bytes_written > last_sample.host_bytes_written) {
           report.interval_dlwa.push_back(FdpStatistics::IntervalDlwa(last_sample, now_stats));
@@ -362,11 +492,12 @@ MetricsReport ExperimentRunner::Run() {
   report.flush_failures = flush_failures;
 
   // --- Collect ----------------------------------------------------------------
-  const TimeNs elapsed = clock_.now() - measure_start;
+  const TimeNs elapsed = (ssd_ != nullptr ? clock_.now() : FileWallNowNs()) - measure_start;
   report.elapsed_virtual_ns = elapsed;
   report.ops_executed = executed;
-  report.final_dlwa = ssd_->GetFdpStatisticsLog().Dlwa();
-  report.host_bytes_written = ssd_->GetFdpStatisticsLog().host_bytes_written;
+  // A plain file rewrites in place: device bytes == host bytes, DLWA 1.
+  report.final_dlwa = ssd_ != nullptr ? ssd_->GetFdpStatisticsLog().Dlwa() : 1.0;
+  report.host_bytes_written = HostBytesWritten();
   report.throughput_kops =
       elapsed == 0 ? 0.0
                    : static_cast<double>(executed) / (static_cast<double>(elapsed) / 1e9) / 1e3;
@@ -381,6 +512,20 @@ MetricsReport ExperimentRunner::Run() {
   double item_bytes = 0;
   double dev_bytes = 0;
   double soc_dev_bytes = 0;
+  // Device stats are per *distinct* device: per tenant on the simulator,
+  // once for the shared file device (every tenant would re-count it).
+  const auto collect_device = [&](Device* device) {
+    const DeviceStats device_stats = device->stats();
+    reads.Merge(device_stats.read_latency_ns);
+    writes.Merge(device_stats.write_latency_ns);
+    report.device_queue_pairs = MergeQueuePairStats(std::move(report.device_queue_pairs),
+                                                    device->PerQueuePairStats());
+    report.device_lanes =
+        MergeLaneStats(std::move(report.device_lanes), device->PerLaneStats());
+  };
+  if (shared_device_ != nullptr) {
+    collect_device(shared_device_.get());
+  }
   for (auto& tenant : tenants_) {
     const auto& cache_stats = tenant->cache->stats();
     gets += cache_stats.gets;
@@ -388,12 +533,9 @@ MetricsReport ExperimentRunner::Run() {
     hit_num += static_cast<double>(cache_stats.ram_hits + cache_stats.nvm_hits);
     nvm_hit_num += static_cast<double>(cache_stats.nvm_hits);
     nvm_lookups += static_cast<double>(cache_stats.nvm_lookups);
-    reads.Merge(tenant->device->stats().read_latency_ns);
-    writes.Merge(tenant->device->stats().write_latency_ns);
-    report.device_queue_pairs = MergeQueuePairStats(std::move(report.device_queue_pairs),
-                                                    tenant->device->PerQueuePairStats());
-    report.device_lanes =
-        MergeLaneStats(std::move(report.device_lanes), tenant->device->PerLaneStats());
+    if (shared_device_ == nullptr) {
+      collect_device(tenant->device);
+    }
     const NavyStats navy = tenant->cache->navy().stats();
     item_bytes += static_cast<double>(navy.soc.item_bytes_written + navy.loc.item_bytes_written);
     dev_bytes += static_cast<double>(navy.soc.bytes_written + navy.loc.bytes_written);
@@ -413,33 +555,35 @@ MetricsReport ExperimentRunner::Run() {
   report.p99_write_ns = writes.Percentile(99);
   report.p999_write_ns = writes.Percentile(99.9);
 
-  const SsdTelemetry telemetry = ssd_->Telemetry(elapsed);
-  report.gc_events = telemetry.gc_events;
-  report.per_die_busy_ns = telemetry.per_die_busy_ns;
-  report.gc_relocated_pages = telemetry.gc_relocated_pages;
-  report.clean_ru_erases = telemetry.clean_ru_erases;
-  report.op_energy_uj = telemetry.op_energy_uj;
-  report.total_energy_uj = telemetry.total_energy_uj;
-  report.wear_max_pe = telemetry.max_pe_cycles;
-  report.gc_bg_ticks = telemetry.gc_unit.ticks;
-  report.gc_bg_migrated_pages = telemetry.gc_unit.migrated_pages;
-  report.gc_bg_erases = telemetry.gc_unit.erases;
-  report.gc_bg_deferred_ticks = telemetry.gc_unit.deferred_ticks;
-  report.gc_bg_abandoned = telemetry.gc_unit.victims_abandoned;
-  report.erase_suspensions = telemetry.erase_suspensions;
-  report.host_stall_ns = telemetry.host_stall_ns;
-  report.gc_die_ns = telemetry.gc_die_ns;
-  for (const RuhIoStats& ruh : telemetry.ruh_io) {
-    report.per_ruh_dlwa.push_back(ruh.Dlwa());
+  if (ssd_ != nullptr) {
+    const SsdTelemetry telemetry = ssd_->Telemetry(elapsed);
+    report.gc_events = telemetry.gc_events;
+    report.per_die_busy_ns = telemetry.per_die_busy_ns;
+    report.gc_relocated_pages = telemetry.gc_relocated_pages;
+    report.clean_ru_erases = telemetry.clean_ru_erases;
+    report.op_energy_uj = telemetry.op_energy_uj;
+    report.total_energy_uj = telemetry.total_energy_uj;
+    report.wear_max_pe = telemetry.max_pe_cycles;
+    report.gc_bg_ticks = telemetry.gc_unit.ticks;
+    report.gc_bg_migrated_pages = telemetry.gc_unit.migrated_pages;
+    report.gc_bg_erases = telemetry.gc_unit.erases;
+    report.gc_bg_deferred_ticks = telemetry.gc_unit.deferred_ticks;
+    report.gc_bg_abandoned = telemetry.gc_unit.victims_abandoned;
+    report.erase_suspensions = telemetry.erase_suspensions;
+    report.host_stall_ns = telemetry.host_stall_ns;
+    report.gc_die_ns = telemetry.gc_die_ns;
+    for (const RuhIoStats& ruh : telemetry.ruh_io) {
+      report.per_ruh_dlwa.push_back(ruh.Dlwa());
+    }
   }
-  report.overwrite_passes_done =
-      static_cast<double>(report.host_bytes_written) /
-      static_cast<double>(ssd_->logical_capacity_bytes());
-  report.device_page_bytes = ssd_->page_size();
+  report.overwrite_passes_done = static_cast<double>(report.host_bytes_written) /
+                                 static_cast<double>(logical_bytes_);
+  report.device_page_bytes = ssd_ != nullptr ? ssd_->page_size() : shared_device_->page_size();
 
   report.cache_bytes = cache_bytes_per_tenant_;
   report.ram_bytes = ram_bytes_;
-  report.device_physical_bytes = ssd_->physical_capacity_bytes();
+  report.device_physical_bytes =
+      ssd_ != nullptr ? ssd_->physical_capacity_bytes() : shared_device_->size_bytes();
   return report;
 }
 

@@ -22,7 +22,32 @@
 
 namespace fdpcache {
 
+// Which device implementation backs the tenants' caches.
+//  kSim:   the simulated FDP SSD (virtual-clock latencies, FDP statistics,
+//          GC/DLWA telemetry) — the default, and the only backend whose
+//          metrics cover the paper's DLWA/FDP claims.
+//  kFile:  FileDevice on a regular file or block device — synchronous
+//          pread/pwrite under the queue-pair pipeline, wall-clock latencies.
+//  kUring: UringFileDevice — io_uring when the kernel has it (thread-pool
+//          fallback otherwise), same file/block-device backing.
+// On kFile/kUring all tenants share ONE device and partition it by byte
+// range (exactly how sim shards share one SSD); FDP placement, DLWA, GC and
+// energy metrics are reported as zeros/unity since a plain file has none.
+enum class DeviceBackend : uint8_t { kSim, kFile, kUring };
+
+const char* DeviceBackendName(DeviceBackend backend);
+
 struct ExperimentConfig {
+  // --- Backend ----------------------------------------------------------------
+  DeviceBackend backend = DeviceBackend::kSim;
+  // Backing path for kFile/kUring: a regular file (created/grown as needed)
+  // or an existing block device (never truncated). Empty = a temp file under
+  // /tmp sized like the simulated device, removed when the runner dies.
+  std::string device_path;
+  // Ask for O_DIRECT on kFile/kUring (downgraded automatically where the
+  // filesystem refuses, e.g. tmpfs).
+  bool device_direct_io = false;
+
   // --- Device (scaled PM9D3: 8 II RUHs, 1 RG) -------------------------------
   // 2 MiB reclaim units so the device has ~256 RUs: the RU-count:device
   // ratio matters (open-RU stranding must be small relative to OP, as it is
@@ -213,11 +238,19 @@ class ExperimentRunner {
   // Runs warm-up then the measured phase; returns the collected metrics.
   MetricsReport Run();
 
+  // Sim backend only; never call on kFile/kUring (see has_sim()).
   SimulatedSsd& ssd() { return *ssd_; }
+  bool has_sim() const { return ssd_ != nullptr; }
+  // The one device every tenant shares on kFile/kUring; null on kSim (each
+  // tenant has its own SimSsdDevice over the shared simulated SSD).
+  Device* shared_device() { return shared_device_.get(); }
 
  private:
   struct Tenant {
-    std::unique_ptr<SimSsdDevice> device;
+    // Not owned on kFile/kUring (points at shared_device_); owned via
+    // sim_device on kSim.
+    Device* device = nullptr;
+    std::unique_ptr<SimSsdDevice> sim_device;
     std::unique_ptr<HybridCache> cache;
     std::unique_ptr<KvTraceGenerator> generator;
     std::unordered_map<uint64_t, uint32_t> versions;
@@ -234,13 +267,24 @@ class ExperimentRunner {
   bool Barrier();
   void MaybeBackpressure();
 
+  // Host bytes the workload has pushed to flash so far: the FDP statistics
+  // log on kSim, merged device write counters on kFile/kUring. Drives the
+  // warm-up and overwrite-pass progress loops on every backend.
+  uint64_t HostBytesWritten() const;
+
   ExperimentConfig config_;
   VirtualClock clock_;
-  std::unique_ptr<SimulatedSsd> ssd_;
+  std::unique_ptr<SimulatedSsd> ssd_;              // kSim only.
+  std::unique_ptr<Device> shared_device_;          // kFile/kUring only.
+  std::string owned_temp_path_;  // Auto-created backing file to remove on exit.
   std::unique_ptr<PlacementHandleAllocator> allocator_;
   std::vector<std::unique_ptr<Tenant>> tenants_;
   uint64_t cache_bytes_per_tenant_ = 0;
   uint64_t ram_bytes_ = 0;
+  // Usable capacity the experiment is sized against: the simulated SSD's
+  // logical capacity on kSim, and the same geometry-derived figure on
+  // kFile/kUring so utilization sweeps mean the same thing on every backend.
+  uint64_t logical_bytes_ = 0;
 };
 
 }  // namespace fdpcache

@@ -142,6 +142,11 @@ struct QueuePairStats {
   // or a full SQ ring before being admitted — the backpressure that prevents
   // deep queues from convoying the backend (QD-64 collapse).
   uint64_t admission_waits = 0;
+  // Requests an asynchronous backend (BeginExecute path) had to park behind
+  // an overlapping same-QP request still in flight, to preserve the per-QP
+  // ordering guarantee. Always zero on synchronous backends, where the
+  // dispatcher/lane conflict tracker orders overlaps instead.
+  uint64_t conflict_defers = 0;
   Histogram read_latency_ns;
   Histogram write_latency_ns;
   // SQ occupancy sampled at every Submit (after the push): the queue-depth
@@ -157,6 +162,7 @@ struct QueuePairStats {
     io_errors += other.io_errors;
     dispatched += other.dispatched;
     admission_waits += other.admission_waits;
+    conflict_defers += other.conflict_defers;
     read_latency_ns.Merge(other.read_latency_ns);
     write_latency_ns.Merge(other.write_latency_ns);
     queue_depth.Merge(other.queue_depth);

@@ -1,82 +1,42 @@
 #include "src/navy/file_device.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <chrono>
-#include <cstring>
-#include <vector>
-
 namespace fdpcache {
 
 namespace {
 
-uint64_t WallNowNs() {
-  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                   std::chrono::steady_clock::now().time_since_epoch())
-                                   .count());
+FileBackingOptions MakeOptions(const std::string& path, uint64_t size_bytes,
+                               uint64_t page_size) {
+  FileBackingOptions options;
+  options.path = path;
+  options.size_bytes = size_bytes;
+  options.page_size = page_size;
+  return options;
 }
 
 }  // namespace
 
 FileDevice::FileDevice(const std::string& path, uint64_t size_bytes, uint64_t page_size,
                        const IoQueueConfig& queue_config)
-    : QueuedDevice(queue_config), size_bytes_(size_bytes), page_size_(page_size) {
-  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
-  if (fd_ >= 0 && ::ftruncate(fd_, static_cast<off_t>(size_bytes)) != 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
-}
+    : FileDevice(MakeOptions(path, size_bytes, page_size), queue_config) {}
+
+FileDevice::FileDevice(const FileBackingOptions& options, const IoQueueConfig& queue_config)
+    : QueuedDevice(queue_config), backing_(OpenFileBacking(options)) {}
 
 FileDevice::~FileDevice() {
   StopQueue();
-  if (fd_ >= 0) {
-    ::close(fd_);
-  }
 }
 
 IoResult FileDevice::ExecuteWrite(uint64_t offset, const void* data, uint64_t size,
                                   PlacementHandle /*handle*/) {
-  if (fd_ < 0 || offset % page_size_ != 0 || size % page_size_ != 0 ||
-      offset + size > size_bytes_) {
-    return IoResult{};
-  }
-  const uint64_t start = WallNowNs();
-  const ssize_t n = ::pwrite(fd_, data, size, static_cast<off_t>(offset));
-  if (n != static_cast<ssize_t>(size)) {
-    return IoResult{};
-  }
-  return IoResult{true, WallNowNs() - start};
+  return BackingWrite(backing_, offset, data, size);
 }
 
 IoResult FileDevice::ExecuteRead(uint64_t offset, void* out, uint64_t size) {
-  if (fd_ < 0 || offset % page_size_ != 0 || size % page_size_ != 0 ||
-      offset + size > size_bytes_) {
-    return IoResult{};
-  }
-  const uint64_t start = WallNowNs();
-  const ssize_t n = ::pread(fd_, out, size, static_cast<off_t>(offset));
-  if (n != static_cast<ssize_t>(size)) {
-    return IoResult{};
-  }
-  return IoResult{true, WallNowNs() - start};
+  return BackingRead(backing_, offset, out, size);
 }
 
 IoResult FileDevice::ExecuteTrim(uint64_t offset, uint64_t size) {
-  if (fd_ < 0 || offset + size > size_bytes_) {
-    return IoResult{};
-  }
-  const uint64_t start = WallNowNs();
-  // Overwrite with zeroes: files have no deallocate semantics we rely on.
-  std::vector<char> zeros(page_size_, 0);
-  for (uint64_t o = offset; o < offset + size; o += page_size_) {
-    if (::pwrite(fd_, zeros.data(), page_size_, static_cast<off_t>(o)) !=
-        static_cast<ssize_t>(page_size_)) {
-      return IoResult{};
-    }
-  }
-  return IoResult{true, WallNowNs() - start};
+  return BackingTrim(backing_, offset, size);
 }
 
 }  // namespace fdpcache

@@ -46,6 +46,7 @@ QueuedDevice::QueuedDevice(const IoQueueConfig& queue_config)
   for (uint32_t i = 0; i < queue_config_.num_queue_pairs; ++i) {
     qps_.push_back(std::make_unique<IoQueuePair>());
   }
+  async_.resize(queue_config_.num_queue_pairs);
   arb_credit_ = WeightOf(0);
   if (queue_config_.exec_lanes > 0) {
     lanes_ = std::make_unique<ExecLaneEngine>(
@@ -82,6 +83,15 @@ void QueuedDevice::StopQueue() {
     // handed off. Stop() executes the backlog and joins the workers, so no
     // lane can touch the derived class after this returns.
     lanes_->Stop();
+  }
+  // Async backends: requests handed to BeginExecute (including deferred
+  // conflicts) may still be in flight on the subclass's completion context;
+  // they hold active_ slots until their CompleteLaneTask runs. Wait them out
+  // while the subclass's reaper is still alive, so the derived destructor
+  // can tear its backend down with nothing left to call back.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return active_ == 0; });
   }
 }
 
@@ -320,12 +330,20 @@ void QueuedDevice::DispatcherLoop() {
       continue;
     }
     if (popped) {
-      // Inline path: execute on this thread and publish through the same
-      // completion routine the lane workers use.
       LaneTask task;
       task.token = pending.token;
       task.request = pending.request;
       task.qp = qp_index;
+      if (SupportsAsyncExecute()) {
+        // Async path: register the request with the per-QP conflict tracker
+        // and hand it to the backend; the dispatcher never blocks on the
+        // actual I/O. The backend's completion context (or the synchronous
+        // fallback inside IssueAsync) releases the active_ slot.
+        StartAsync(std::move(task));
+        continue;
+      }
+      // Inline path: execute on this thread and publish through the same
+      // completion routine the lane workers use.
       CompleteLaneTask(task, Execute(task.request));
       continue;
     }
@@ -350,6 +368,14 @@ void QueuedDevice::CompleteLaneTask(const LaneTask& task, const IoResult& result
     qp.outstanding_bytes -= task.request.size;
     qp.space_cv.notify_all();
     qp.complete_cv.notify_all();
+  }
+  if (lanes_ == nullptr && SupportsAsyncExecute()) {
+    // Retire the request from the conflict tracker and launch any deferred
+    // overlapping requests it was blocking, BEFORE the hook/active_ block:
+    // the unblocked I/O should hit the backend as soon as the ordering
+    // guarantee allows. Promoted tasks hold their own active_ slots, so
+    // Drain() still waits for them.
+    RetireAsync(task);
   }
   // The completion is reapable: wake any cache-tier poller parked on this
   // device's tokens — but batched. The hook fires once per completion_batch
@@ -381,12 +407,123 @@ void QueuedDevice::CompleteLaneTask(const LaneTask& task, const IoResult& result
   }
 }
 
+bool QueuedDevice::AsyncConflicts(uint64_t offset, uint64_t size, IoOp op,
+                                  const IoRequest& request) {
+  // Same rule the lane conflict tracker applies: overlapping ranges must
+  // retire in submission order unless both sides are reads.
+  const bool overlap = offset < request.offset + request.size &&
+                       request.offset < offset + size;
+  return overlap && !(op == IoOp::kRead && request.op == IoOp::kRead);
+}
+
+void QueuedDevice::StartAsync(LaneTask task) {
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    AsyncQp& aq = async_[task.qp];
+    bool conflict = false;
+    for (const AsyncEntry& entry : aq.inflight) {
+      if (AsyncConflicts(entry.offset, entry.size, entry.op, task.request)) {
+        conflict = true;
+        break;
+      }
+    }
+    if (!conflict) {
+      // A request must also not jump ahead of an older deferred one it
+      // overlaps, or the two would retire out of submission order once the
+      // deferred one is promoted.
+      for (const LaneTask& parked : aq.deferred) {
+        if (AsyncConflicts(parked.request.offset, parked.request.size,
+                           parked.request.op, task.request)) {
+          conflict = true;
+          break;
+        }
+      }
+    }
+    if (conflict) {
+      ++aq.defers;
+      aq.deferred.push_back(std::move(task));
+      return;
+    }
+    AsyncEntry entry;
+    entry.offset = task.request.offset;
+    entry.size = task.request.size;
+    entry.op = task.request.op;
+    entry.token = task.token;
+    aq.inflight.push_back(entry);
+  }
+  IssueAsync(task);
+}
+
+void QueuedDevice::IssueAsync(const LaneTask& task) {
+  // async_mu_ is NOT held here: BeginExecute may submit to a kernel queue
+  // (and must tolerate concurrent callers), and the synchronous fallback
+  // runs the full blocking Execute + completion.
+  if (!BeginExecute(task)) {
+    CompleteLaneTask(task, Execute(task.request));
+  }
+}
+
+void QueuedDevice::RetireAsync(const LaneTask& task) {
+  std::vector<LaneTask> promoted;
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    AsyncQp& aq = async_[task.qp];
+    for (auto it = aq.inflight.begin(); it != aq.inflight.end(); ++it) {
+      if (it->token == task.token) {
+        aq.inflight.erase(it);
+        break;
+      }
+    }
+    // Promote deferred requests in FIFO order. A candidate launches only if
+    // it conflicts with nothing in flight AND nothing still parked ahead of
+    // it; promoted entries join inflight immediately so later candidates in
+    // this same scan see them.
+    for (auto it = aq.deferred.begin(); it != aq.deferred.end();) {
+      bool blocked = false;
+      for (const AsyncEntry& entry : aq.inflight) {
+        if (AsyncConflicts(entry.offset, entry.size, entry.op, it->request)) {
+          blocked = true;
+          break;
+        }
+      }
+      if (!blocked) {
+        for (auto earlier = aq.deferred.begin(); earlier != it; ++earlier) {
+          if (AsyncConflicts(earlier->request.offset, earlier->request.size,
+                             earlier->request.op, it->request)) {
+            blocked = true;
+            break;
+          }
+        }
+      }
+      if (blocked) {
+        ++it;
+        continue;
+      }
+      AsyncEntry entry;
+      entry.offset = it->request.offset;
+      entry.size = it->request.size;
+      entry.op = it->request.op;
+      entry.token = it->token;
+      aq.inflight.push_back(entry);
+      promoted.push_back(std::move(*it));
+      it = aq.deferred.erase(it);
+    }
+  }
+  for (const LaneTask& next : promoted) {
+    IssueAsync(next);
+  }
+}
+
 std::vector<QueuePairStats> QueuedDevice::PerQueuePairStats() const {
   std::vector<QueuePairStats> out;
   out.reserve(qps_.size());
   for (const auto& qp : qps_) {
     std::lock_guard<std::mutex> lock(qp->mu);
     out.push_back(qp->stats);
+  }
+  std::lock_guard<std::mutex> lock(async_mu_);
+  for (size_t i = 0; i < out.size() && i < async_.size(); ++i) {
+    out[i].conflict_defers = async_[i].defers;
   }
   return out;
 }
@@ -400,6 +537,12 @@ void QueuedDevice::ResetStats() {
   for (auto& qp : qps_) {
     std::lock_guard<std::mutex> lock(qp->mu);
     qp->stats = QueuePairStats{};
+  }
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    for (AsyncQp& aq : async_) {
+      aq.defers = 0;
+    }
   }
   if (lanes_ != nullptr) {
     lanes_->ResetStats();

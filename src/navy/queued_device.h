@@ -154,9 +154,48 @@ class QueuedDevice : public Device {
   virtual IoResult ExecuteRead(uint64_t offset, void* out, uint64_t size) = 0;
   virtual IoResult ExecuteTrim(uint64_t offset, uint64_t size) = 0;
 
-  // Stops the dispatcher after it finishes everything already submitted.
-  // Every derived destructor MUST call this first, so the dispatcher cannot
-  // call into a partially-destroyed derived class. Idempotent.
+  // --- Asynchronous backend execution -----------------------------------------
+  // A subclass whose backend is itself asynchronous (a real kernel queue:
+  // io_uring SQEs reaped by a completion thread, an I/O thread pool) opts in
+  // by overriding SupportsAsyncExecute() to return true and BeginExecute()
+  // to *start* a popped request without blocking. The contract:
+  //
+  //   - BeginExecute(task) is called once per popped request, from the
+  //     dispatcher thread or from a completion context that just unblocked a
+  //     deferred request — implementations must tolerate concurrent calls.
+  //   - Returning true means the backend took ownership and MUST call
+  //     CompleteLaneTask(task, result) exactly once later, from any thread
+  //     (its reaper, a pool worker). Returning false declines the request:
+  //     the pipeline executes it synchronously via ExecuteWrite/Read/Trim on
+  //     the calling thread (escape hatch for op types with no async path).
+  //   - The per-QP overlap-ordering guarantee is enforced HERE, not by the
+  //     subclass: before BeginExecute the pipeline checks the request
+  //     against every same-QP request still in flight (or deferred) and
+  //     parks conflicting ones; a deferred request is issued only after the
+  //     requests it overlaps have fully retired. Disjoint requests are
+  //     issued back to back and may complete in any order.
+  //
+  // exec_lanes > 0 takes precedence: lane workers always run the blocking
+  // Execute* ops (a thread-pool execution mode) and BeginExecute is never
+  // called. The SyncIo idle fast path likewise stays synchronous.
+  virtual bool SupportsAsyncExecute() const { return false; }
+  virtual bool BeginExecute(const LaneTask& task) {
+    (void)task;
+    return false;
+  }
+
+  // Publishes one executed request: aggregate + per-QP stats, CQ insert,
+  // waiter wakeups, window credit, deferred-conflict promotion, and the
+  // global active_ decrement. Called from lane worker threads (lane path),
+  // the dispatcher (inline path), and async backends' completion contexts
+  // (BeginExecute path) — the one completion routine all paths share.
+  void CompleteLaneTask(const LaneTask& task, const IoResult& result);
+
+  // Stops the dispatcher after it finishes everything already submitted,
+  // then waits out executions still in flight on lanes or an async backend.
+  // Every derived destructor MUST call this first (before tearing down its
+  // own reaper/pool), so no pipeline thread can call into a
+  // partially-destroyed derived class. Idempotent.
   void StopQueue();
 
  private:
@@ -192,17 +231,43 @@ class QueuedDevice : public Device {
     return static_cast<uint32_t>(token >> kQpShift);
   }
 
+  // One async in-flight request's footprint in the per-QP conflict list
+  // (BeginExecute path only).
+  struct AsyncEntry {
+    uint64_t offset = 0;
+    uint64_t size = 0;
+    IoOp op = IoOp::kRead;
+    CompletionToken token = kInvalidToken;
+  };
+
+  // Per-QP async execution state: requests handed to the backend and not yet
+  // retired, plus the FIFO of requests parked behind a same-QP overlap.
+  struct AsyncQp {
+    std::vector<AsyncEntry> inflight;
+    std::deque<LaneTask> deferred;
+    uint64_t defers = 0;  // Total requests that had to park (monotonic).
+  };
+
   uint32_t WeightOf(uint32_t qp_index) const;
   // Arbitration step: pops the next request across all SQs into `*out`.
   // Returns false only when every ring is empty.
   bool PopNext(Pending* out, uint32_t* out_qp);
   void RecordQpCompletion(IoQueuePair& qp, const IoRequest& request, const IoResult& result);
   IoResult Execute(const IoRequest& request);
-  // Publishes one executed request: aggregate + per-QP stats, CQ insert,
-  // waiter wakeups, and the global active_ decrement. Called from lane
-  // worker threads (lane path) and the dispatcher (inline path) — the one
-  // completion routine both paths share.
-  void CompleteLaneTask(const LaneTask& task, const IoResult& result);
+  // True when `request` overlaps `entry` and at least one of the two writes
+  // (the same conflict rule the lane engine's tracker applies).
+  static bool AsyncConflicts(uint64_t offset, uint64_t size, IoOp op, const IoRequest& request);
+  // Async-backend admission: registers the popped task as in flight and
+  // issues it via IssueAsync, or parks it behind a conflicting same-QP
+  // request; parked tasks are re-admitted by RetireAsync as their blockers
+  // complete.
+  void StartAsync(LaneTask task);
+  // BeginExecute with the synchronous fallback for declined requests.
+  void IssueAsync(const LaneTask& task);
+  // Removes a retired async request from the conflict list and issues every
+  // deferred request the retirement unblocked (FIFO, skipping none that are
+  // still conflicted).
+  void RetireAsync(const LaneTask& task);
   void DispatcherLoop();
 
   const IoQueueConfig queue_config_;
@@ -231,6 +296,12 @@ class QueuedDevice : public Device {
   // Arbitration cursor; touched only by the dispatcher thread.
   uint32_t arb_qp_ = 0;
   uint32_t arb_credit_ = 0;
+
+  // Async-backend conflict tracker (BeginExecute path only; empty lists on
+  // synchronous backends). Guarded by async_mu_; never held across a
+  // BeginExecute/Execute call.
+  mutable std::mutex async_mu_;
+  std::vector<AsyncQp> async_;
 
   // Parallel execution lanes (null when exec_lanes == 0: the dispatcher
   // executes inline). Stopped by StopQueue() after the dispatcher joins, so

@@ -1,0 +1,163 @@
+// UringFileDevice: the true-async file/block-device backend. Queued requests
+// are mapped onto io_uring SQEs — the QueuedDevice dispatcher calls
+// BeginExecute, which fills an SQE and returns without blocking — and a
+// dedicated reaper thread collects CQEs and publishes each completion
+// through the shared CompleteLaneTask path, so the same
+// Device::SetCompletionHook / CompletionToken machinery the cache-tier async
+// ops and the ShardedCache poller park on fires exactly as it does on the
+// simulator. The per-QP overlap-ordering guarantee is enforced upstream by
+// QueuedDevice's async conflict tracker (see queued_device.h).
+//
+// io_uring is driven through raw syscalls (io_uring_setup/enter/register +
+// mmapped rings) — no liburing dependency. When the kernel lacks io_uring
+// (ENOSYS/EPERM, e.g. seccomp) or Options::prefer_uring is false, the device
+// degrades to a positioned-pread/pwrite THREAD-POOL fallback with the exact
+// same asynchronous contract: submitters still never block on the actual
+// I/O, completions still arrive from a worker thread. `using_uring()` says
+// which engine is live.
+//
+// O_DIRECT: when the backing negotiated O_DIRECT, every SQE points at a
+// page-aligned op-owned buffer — a slot from a pre-REGISTERED buffer pool
+// (IORING_OP_READ_FIXED/WRITE_FIXED) when the request fits, a one-off
+// posix_memalign allocation otherwise — and reads are copied out to the
+// caller's buffer at completion. Buffered mode is zero-copy (the SQE uses
+// the caller's memory, valid until completion per the Device contract). The
+// backing fd is registered once (IORING_REGISTER_FILES) and addressed as a
+// fixed file when the kernel accepts it.
+#ifndef SRC_NAVY_URING_FILE_DEVICE_H_
+#define SRC_NAVY_URING_FILE_DEVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/navy/file_backing.h"
+#include "src/navy/queued_device.h"
+
+namespace fdpcache {
+
+class UringFileDevice final : public QueuedDevice {
+ public:
+  struct Options {
+    FileBackingOptions backing;
+    // SQ/CQ depth of the kernel ring (rounded up to a power of two,
+    // clamped to [8, 1024]). 0 sizes it from the queue config
+    // (sq_depth * num_queue_pairs).
+    uint32_t ring_depth = 0;
+    // false forces the thread-pool fallback even on a uring-capable kernel
+    // (used by the uring-vs-fallback equivalence tests).
+    bool prefer_uring = true;
+    // Workers in the fallback pool.
+    uint32_t fallback_threads = 4;
+  };
+
+  // Convenience: create-if-missing regular file, buffered IO.
+  UringFileDevice(const std::string& path, uint64_t size_bytes,
+                  uint64_t page_size = 4096,
+                  const IoQueueConfig& queue_config = IoQueueConfig{});
+  UringFileDevice(const Options& options,
+                  const IoQueueConfig& queue_config = IoQueueConfig{});
+  ~UringFileDevice() override;
+
+  UringFileDevice(const UringFileDevice&) = delete;
+  UringFileDevice& operator=(const UringFileDevice&) = delete;
+
+  bool ok() const { return backing_.ok(); }
+  const std::string& error() const { return backing_.error; }
+  bool direct_io() const { return backing_.direct_io; }
+  // True when SQEs are actually reaching a kernel ring (false = thread-pool
+  // fallback is live).
+  bool using_uring() const { return ring_fd_ >= 0; }
+  // "uring" or "thread-pool" — for report headers.
+  const char* engine_name() const { return using_uring() ? "uring" : "thread-pool"; }
+  // Requests submitted through BeginExecute that could not be given to the
+  // engine (ring momentarily full / no op slot) and were executed
+  // synchronously instead. Diagnostic; monotonic over the device lifetime.
+  uint64_t sync_fallbacks() const;
+
+  // True when this kernel can set up an io_uring instance at all (probed
+  // once per process).
+  static bool KernelSupportsIoUring();
+  // Self-describing one-liner for benchmark/report headers, e.g.
+  // "io_uring: available features=0x3ffff" or "io_uring: unavailable".
+  static std::string KernelIoUringFeatureString();
+
+  uint64_t size_bytes() const override { return backing_.size_bytes; }
+  uint64_t page_size() const override { return backing_.page_size; }
+
+ protected:
+  bool SupportsAsyncExecute() const override { return backing_.ok(); }
+  bool BeginExecute(const LaneTask& task) override;
+
+  // Blocking ops: the SyncIo idle fast path and the synchronous fallback for
+  // declined BeginExecute calls (trims on the uring engine, engine
+  // momentarily out of slots).
+  IoResult ExecuteWrite(uint64_t offset, const void* data, uint64_t size,
+                        PlacementHandle handle) override;
+  IoResult ExecuteRead(uint64_t offset, void* out, uint64_t size) override;
+  IoResult ExecuteTrim(uint64_t offset, uint64_t size) override;
+
+ private:
+  struct UringOp {
+    LaneTask task;
+    void* bounce = nullptr;     // Op-owned aligned buffer (direct IO), or null.
+    int32_t fixed_buf = -1;     // Registered-pool slot backing `bounce`, or -1.
+    uint64_t start_ns = 0;
+    bool in_use = false;
+  };
+
+  bool SetupRing(uint32_t depth);
+  void TeardownRing();
+  bool SubmitSqe(uint32_t slot, const LaneTask& task, void* buffer);
+  void ReaperLoop();
+  void PoolLoop();
+  bool PoolBegin(const LaneTask& task);
+
+  FileBacking backing_;
+  // --- uring engine ---
+  int ring_fd_ = -1;
+  uint32_t ring_entries_ = 0;
+  uint32_t ring_features_ = 0;
+  bool fixed_file_ = false;       // backing fd registered; SQEs use index 0.
+  void* sq_ptr_ = nullptr;        // SQ ring mmap (CQ too under SINGLE_MMAP).
+  size_t sq_map_len_ = 0;
+  void* cq_ptr_ = nullptr;
+  size_t cq_map_len_ = 0;
+  void* sqes_ptr_ = nullptr;
+  size_t sqes_map_len_ = 0;
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned* sq_mask_ = nullptr;
+  unsigned* sq_array_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned* cq_mask_ = nullptr;
+  void* cqes_ = nullptr;
+  // Registered O_DIRECT buffer pool: pool_bufs_[i] is registered as fixed
+  // buffer index i, each kRegisteredBufBytes long.
+  std::vector<void*> reg_bufs_;
+  std::vector<int32_t> reg_free_;
+  bool reg_bufs_ok_ = false;
+
+  std::mutex submit_mu_;          // SQ producer + op-slot allocator.
+  std::vector<UringOp> ops_;
+  std::vector<uint32_t> op_free_;
+  std::atomic<uint64_t> sync_fallbacks_{0};
+  std::thread reaper_;
+
+  // --- thread-pool fallback engine ---
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_;
+  std::deque<LaneTask> pool_queue_;
+  bool pool_stop_ = false;
+  std::vector<std::thread> pool_;
+};
+
+}  // namespace fdpcache
+
+#endif  // SRC_NAVY_URING_FILE_DEVICE_H_

@@ -12,6 +12,7 @@
 
 #include "src/harness/experiment.h"
 #include "src/harness/report.h"
+#include "src/navy/uring_file_device.h"
 #include "tools/flags.h"
 
 namespace fdpcache {
@@ -21,6 +22,15 @@ void PrintUsage() {
   std::printf(
       "fdpbench — FDP flash-cache experiment driver\n"
       "  --workload=kvcache|twitter|wokv   trace preset (default kvcache)\n"
+      "  --backend=sim|file|uring          device backend (default sim = the simulated\n"
+      "                                    FDP SSD; file = synchronous file/block-device\n"
+      "                                    I/O; uring = io_uring with a thread-pool\n"
+      "                                    fallback). file/uring report wall-clock\n"
+      "                                    latency and no FDP/GC/energy telemetry\n"
+      "  --device-path=/path               backing file or block device for file/uring\n"
+      "                                    (default: a temp file removed on exit;\n"
+      "                                    existing files/devices are never truncated)\n"
+      "  --direct-io                       open the file/uring backing with O_DIRECT\n"
       "  --utilization=0.5..1.0            cache share of the device (default 1.0)\n"
       "  --fdp=true|false                  FDP segregation on/off (default true)\n"
       "  --ruh=ii|pi                       RUH isolation type (default ii)\n"
@@ -77,6 +87,19 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "unknown --workload=%s\n", workload.c_str());
     return 2;
   }
+  const std::string backend = flags.GetString("backend", "sim");
+  if (backend == "sim") {
+    config.backend = DeviceBackend::kSim;
+  } else if (backend == "file") {
+    config.backend = DeviceBackend::kFile;
+  } else if (backend == "uring") {
+    config.backend = DeviceBackend::kUring;
+  } else {
+    std::fprintf(stderr, "unknown --backend=%s (sim|file|uring)\n", backend.c_str());
+    return 2;
+  }
+  config.device_path = flags.GetString("device-path", "");
+  config.device_direct_io = flags.GetBool("direct-io", false);
   config.utilization = flags.GetDouble("utilization", 1.0);
   config.fdp = flags.GetBool("fdp", true);
   config.ruh_type = flags.GetString("ruh", "ii") == "pi" ? RuhType::kPersistentlyIsolated
@@ -134,6 +157,23 @@ int Run(int argc, char** argv) {
     return 0;
   }
 
+  // Self-describing header: which device implementation produced these
+  // numbers, and what the kernel offers (so a "uring" run that silently fell
+  // back to the thread pool is visible in the report).
+  const char* engine = "virtual-clock";
+  if (auto* uring = dynamic_cast<UringFileDevice*>(runner->shared_device())) {
+    engine = uring->engine_name();
+  } else if (config.backend == DeviceBackend::kFile) {
+    engine = "sync";
+  }
+  std::printf("backend: %s (engine=%s%s%s); %s\n", DeviceBackendName(config.backend), engine,
+              config.backend == DeviceBackend::kSim
+                  ? ""
+                  : (config.device_path.empty() ? ", path=<temp file>" : ", path="),
+              config.backend == DeviceBackend::kSim || config.device_path.empty()
+                  ? ""
+                  : config.device_path.c_str(),
+              UringFileDevice::KernelIoUringFeatureString().c_str());
   std::printf("deployment: %s, util=%.0f%%, %s, %u tenant(s), soc=%.0f%%, device=%s\n",
               workload.c_str(), config.utilization * 100,
               config.fdp ? "FDP" : "non-FDP", config.num_tenants,
