@@ -1,5 +1,7 @@
 #include "src/cache/hybrid_cache.h"
 
+#include "src/obs/trace.h"
+
 namespace fdpcache {
 
 HybridCache::HybridCache(Device* device, const HybridCacheConfig& config,
@@ -13,6 +15,9 @@ HybridCache::HybridCache(Device* device, const HybridCacheConfig& config,
 HybridCache::~HybridCache() { DrainAsync(); }
 
 void HybridCache::Set(std::string_view key, std::string_view value) {
+  // Begins a request trace unless an outer layer (ShardedCache) already did;
+  // downstream flash/device spans attach through the thread-local trace.
+  obs::ScopedRequest trace(obs::TraceOp::kSet);
   stats_.sets.fetch_add(1, std::memory_order_relaxed);
   // The freshest copy now lives in RAM; any flash copy is stale until the
   // item is spilled again.
@@ -39,6 +44,8 @@ void HybridCache::OnRamEviction(const std::string& key, const std::string& value
     op.kind = QueuedOp::Kind::kSpill;
     op.key = key;
     op.value = value;
+    // The spill is caused by (and charged to) the request that evicted.
+    op.trace_id = obs::CurrentTraceId();
     EnqueueOp(std::move(op));
     return;
   }
@@ -48,8 +55,15 @@ void HybridCache::OnRamEviction(const std::string& key, const std::string& value
 }
 
 bool HybridCache::Get(std::string_view key, std::string* value) {
+  obs::ScopedRequest trace(obs::TraceOp::kGet);
   stats_.gets.fetch_add(1, std::memory_order_relaxed);
-  if (ram_.Get(key, value)) {
+  bool ram_hit;
+  {
+    obs::ScopedSpan probe(obs::TraceStage::kRamProbe,
+                          static_cast<uint8_t>(obs::TraceOp::kGet));
+    ram_hit = ram_.Get(key, value);
+  }
+  if (ram_hit) {
     stats_.ram_hits.fetch_add(1, std::memory_order_relaxed);
     DrainRunnable();
     return true;
@@ -103,6 +117,7 @@ bool HybridCache::TryRamGet(std::string_view key, std::string* value) {
 }
 
 void HybridCache::Remove(std::string_view key) {
+  obs::ScopedRequest trace(obs::TraceOp::kRemove);
   ram_.Remove(key);
   navy_->Remove(key);
   nvm_stale_.erase(std::string(key));
@@ -111,30 +126,57 @@ void HybridCache::Remove(std::string_view key) {
 
 // --- Asynchronous path --------------------------------------------------------
 
+namespace {
+
+// Ends `span` after the user callback's op completes; identity when this
+// layer did not begin a trace (outer layer or none owns the request span).
+AsyncCallback WrapTraced(obs::RequestSpan span, obs::TraceOp op, AsyncCallback cb) {
+  if (!span) {
+    return cb;
+  }
+  return [span, op, cb = std::move(cb)](AsyncResult r) {
+    obs::EndRequestSpan(span, op);
+    if (cb) {
+      cb(std::move(r));
+    }
+  };
+}
+
+}  // namespace
+
 void HybridCache::LookupAsync(std::string_view key, AsyncCallback cb) {
+  obs::RequestSpan span = obs::BeginRequestSpanIfIdle();
+  obs::TraceScope tscope(span.id);
   QueuedOp op;
   op.kind = QueuedOp::Kind::kLookup;
   op.key = std::string(key);
-  op.cb = std::move(cb);
+  op.trace_id = obs::CurrentTraceId();
+  op.cb = WrapTraced(span, obs::TraceOp::kGet, std::move(cb));
   EnqueueOp(std::move(op));
   DrainRunnable();
 }
 
 void HybridCache::InsertAsync(std::string_view key, std::string_view value, AsyncCallback cb) {
+  obs::RequestSpan span = obs::BeginRequestSpanIfIdle();
+  obs::TraceScope tscope(span.id);
   QueuedOp op;
   op.kind = QueuedOp::Kind::kInsert;
   op.key = std::string(key);
   op.value = std::string(value);
-  op.cb = std::move(cb);
+  op.trace_id = obs::CurrentTraceId();
+  op.cb = WrapTraced(span, obs::TraceOp::kSet, std::move(cb));
   EnqueueOp(std::move(op));
   DrainRunnable();
 }
 
 void HybridCache::RemoveAsync(std::string_view key, AsyncCallback cb) {
+  obs::RequestSpan span = obs::BeginRequestSpanIfIdle();
+  obs::TraceScope tscope(span.id);
   QueuedOp op;
   op.kind = QueuedOp::Kind::kRemove;
   op.key = std::string(key);
-  op.cb = std::move(cb);
+  op.trace_id = obs::CurrentTraceId();
+  op.cb = WrapTraced(span, obs::TraceOp::kRemove, std::move(cb));
   EnqueueOp(std::move(op));
   DrainRunnable();
 }
@@ -152,6 +194,10 @@ void HybridCache::EnqueueOp(QueuedOp op) {
 }
 
 void HybridCache::RunOp(QueuedOp op) {
+  // Ops may have waited behind a same-key claim since their entry point
+  // returned; re-install their trace so downstream spans (flash park, device
+  // submit) attach to the right request.
+  obs::TraceScope tscope(op.trace_id);
   switch (op.kind) {
     case QueuedOp::Kind::kLookup:
       RunLookup(std::move(op));
@@ -165,7 +211,15 @@ void HybridCache::RunOp(QueuedOp op) {
     case QueuedOp::Kind::kSpill: {
       AsyncScope scope(this);
       std::string key = op.key;
-      navy_->InsertAsync(key, op.value, [this, key](AsyncResult r) {
+      const uint64_t trace_id = obs::CurrentTraceId();
+      const uint64_t park_start =
+          (trace_id != 0 && obs::TracingEnabled()) ? obs::NowNs() : 0;
+      navy_->InsertAsync(key, op.value, [this, key, trace_id, park_start](AsyncResult r) {
+        obs::TraceScope cb_scope(trace_id);
+        if (park_start != 0) {
+          obs::RecordSpan(trace_id, obs::TraceStage::kFlashPark, park_start,
+                          obs::NowNs(), static_cast<uint8_t>(obs::TraceOp::kSet));
+        }
         AsyncScope inner(this);
         // Same finish-time revalidation as the lookup path: if a blocking
         // Set re-populated RAM while this spill was parked, the flash copy
@@ -184,7 +238,13 @@ void HybridCache::RunLookup(QueuedOp op) {
   AsyncScope scope(this);
   stats_.gets.fetch_add(1, std::memory_order_relaxed);
   std::string ram_value;
-  if (ram_.Get(op.key, &ram_value)) {
+  bool ram_hit;
+  {
+    obs::ScopedSpan probe(obs::TraceStage::kRamProbe,
+                          static_cast<uint8_t>(obs::TraceOp::kGet));
+    ram_hit = ram_.Get(op.key, &ram_value);
+  }
+  if (ram_hit) {
     stats_.ram_hits.fetch_add(1, std::memory_order_relaxed);
     AsyncResult r;
     r.status = AsyncStatus::kHit;
@@ -199,7 +259,15 @@ void HybridCache::RunLookup(QueuedOp op) {
     return;
   }
   std::string key = op.key;
-  navy_->LookupAsync(key, [this, key, cb = std::move(op.cb)](AsyncResult r) mutable {
+  const uint64_t trace_id = obs::CurrentTraceId();
+  const uint64_t park_start = (trace_id != 0 && obs::TracingEnabled()) ? obs::NowNs() : 0;
+  navy_->LookupAsync(key, [this, key, trace_id, park_start,
+                           cb = std::move(op.cb)](AsyncResult r) mutable {
+    obs::TraceScope cb_scope(trace_id);
+    if (park_start != 0) {
+      obs::RecordSpan(trace_id, obs::TraceStage::kFlashPark, park_start, obs::NowNs(),
+                      static_cast<uint8_t>(obs::TraceOp::kGet));
+    }
     AsyncScope inner(this);
     if (r.hit()) {
       stats_.nvm_hits.fetch_add(1, std::memory_order_relaxed);
@@ -234,7 +302,15 @@ void HybridCache::RunInsert(QueuedOp op) {
   // Oversized for the DRAM budget: straight to flash, like the blocking path.
   ram_.Remove(op.key);
   std::string key = op.key;
-  navy_->InsertAsync(key, op.value, [this, key, cb = std::move(op.cb)](AsyncResult r) mutable {
+  const uint64_t trace_id = obs::CurrentTraceId();
+  const uint64_t park_start = (trace_id != 0 && obs::TracingEnabled()) ? obs::NowNs() : 0;
+  navy_->InsertAsync(key, op.value, [this, key, trace_id, park_start,
+                                     cb = std::move(op.cb)](AsyncResult r) mutable {
+    obs::TraceScope cb_scope(trace_id);
+    if (park_start != 0) {
+      obs::RecordSpan(trace_id, obs::TraceStage::kFlashPark, park_start, obs::NowNs(),
+                      static_cast<uint8_t>(obs::TraceOp::kSet));
+    }
     AsyncScope inner(this);
     // Keep the staleness marker if a blocking Set re-populated RAM with a
     // newer value while this flash insert was parked.
@@ -252,8 +328,15 @@ void HybridCache::RunRemove(QueuedOp op) {
   // final status below.
   const bool ram_removed = ram_.Remove(op.key);
   std::string key = op.key;
-  navy_->RemoveAsync(key, [this, key, ram_removed,
+  const uint64_t trace_id = obs::CurrentTraceId();
+  const uint64_t park_start = (trace_id != 0 && obs::TracingEnabled()) ? obs::NowNs() : 0;
+  navy_->RemoveAsync(key, [this, key, ram_removed, trace_id, park_start,
                            cb = std::move(op.cb)](AsyncResult r) mutable {
+    obs::TraceScope cb_scope(trace_id);
+    if (park_start != 0) {
+      obs::RecordSpan(trace_id, obs::TraceStage::kFlashPark, park_start, obs::NowNs(),
+                      static_cast<uint8_t>(obs::TraceOp::kRemove));
+    }
     AsyncScope inner(this);
     // If a blocking Set re-created the key while the remove's flash RMW was
     // parked, its RAM copy is the freshest state and its flash copy is

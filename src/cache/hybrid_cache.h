@@ -153,6 +153,9 @@ class HybridCache {
     std::string key;
     std::string value;  // kInsert / kSpill payload.
     AsyncCallback cb;   // Null for kSpill.
+    // Owning request trace (0 = untraced): ops cross pump/drain boundaries,
+    // so the thread-local trace is re-installed from here when the op runs.
+    uint64_t trace_id = 0;
   };
 
   // Sets in_async_context_ for its scope, so DRAM evictions spill through

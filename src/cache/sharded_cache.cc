@@ -3,9 +3,24 @@
 #include <chrono>
 
 #include "src/common/hash.h"
+#include "src/obs/trace.h"
 
 namespace fdpcache {
 namespace {
+
+// Ends `span` when the user callback is delivered; identity when this layer
+// did not begin a trace.
+AsyncCallback EndSpanOnDelivery(obs::RequestSpan span, obs::TraceOp op, AsyncCallback cb) {
+  if (!span) {
+    return cb;
+  }
+  return [span, op, cb = std::move(cb)](AsyncResult r) {
+    obs::EndRequestSpan(span, op);
+    if (cb) {
+      cb(std::move(r));
+    }
+  };
+}
 
 // Mixed into the key hash before shard selection so that shard routing and
 // SOC bucket placement (both derived from HashString) stay independent.
@@ -86,6 +101,9 @@ uint32_t ShardedCache::ShardIndexFor(std::string_view key, uint32_t num_shards) 
 
 std::unique_lock<std::mutex> ShardedCache::LockShard(Shard& shard) {
   shard.lock_acquisitions.fetch_add(1, std::memory_order_relaxed);
+  // The span's destructor runs AFTER the returned lock is constructed, so it
+  // measures exactly the mutex acquisition wait.
+  obs::ScopedSpan wait(obs::TraceStage::kShardLockWait);
   return std::unique_lock<std::mutex>(shard.mu);
 }
 
@@ -125,6 +143,7 @@ AsyncCallback ShardedCache::StageInto(Shard& shard, AsyncCallback cb) {
 
 void ShardedCache::Set(std::string_view key, std::string_view value) {
   Shard& shard = ShardFor(key);
+  obs::ScopedRequest trace(obs::TraceOp::kSet);
   FiredList fired;
   {
     auto lock = LockShard(shard);
@@ -139,12 +158,17 @@ void ShardedCache::Set(std::string_view key, std::string_view value) {
 
 bool ShardedCache::Get(std::string_view key, std::string* value) {
   Shard& shard = ShardFor(key);
+  obs::ScopedRequest trace(obs::TraceOp::kGet);
   // Lock-free fast path: the overwhelming majority of gets hit DRAM, and a
   // RAM hit needs none of the under-lock state. On a miss we fall through
   // to the FULL locked Get — including its RAM re-check — because deciding
   // flash promotion on stale RAM state could clobber a newer concurrent Set.
-  if (shard.cache->TryRamGet(key, value)) {
-    return true;
+  {
+    obs::ScopedSpan probe(obs::TraceStage::kRamProbe,
+                          static_cast<uint8_t>(obs::TraceOp::kGet));
+    if (shard.cache->TryRamGet(key, value)) {
+      return true;
+    }
   }
   FiredList fired;
   bool hit;
@@ -159,6 +183,7 @@ bool ShardedCache::Get(std::string_view key, std::string* value) {
 
 void ShardedCache::Remove(std::string_view key) {
   Shard& shard = ShardFor(key);
+  obs::ScopedRequest trace(obs::TraceOp::kRemove);
   FiredList fired;
   {
     auto lock = LockShard(shard);
@@ -171,13 +196,22 @@ void ShardedCache::Remove(std::string_view key) {
 
 void ShardedCache::LookupAsync(std::string_view key, AsyncCallback cb) {
   Shard& shard = ShardFor(key);
+  obs::RequestSpan span = obs::BeginRequestSpanIfIdle();
+  obs::TraceScope tscope(span.id);
   // Lock-free fast path, same contract as the locked inline completion: the
   // callback fires before the call returns, with no shard lock held.
   // TryRamGet's pending-op gate keeps same-key FIFO intact — if ANY async
   // op is pending on this shard the probe declines and we queue normally.
   {
     std::string ram_value;
-    if (shard.cache->TryRamGet(key, &ram_value)) {
+    bool ram_hit;
+    {
+      obs::ScopedSpan probe(obs::TraceStage::kRamProbe,
+                            static_cast<uint8_t>(obs::TraceOp::kGet));
+      ram_hit = shard.cache->TryRamGet(key, &ram_value);
+    }
+    if (ram_hit) {
+      obs::EndRequestSpan(span, obs::TraceOp::kGet);
       if (cb) {
         AsyncResult result;
         result.status = AsyncStatus::kHit;
@@ -191,7 +225,8 @@ void ShardedCache::LookupAsync(std::string_view key, AsyncCallback cb) {
   bool parked;
   {
     auto lock = LockShard(shard);
-    shard.cache->LookupAsync(key, StageInto(shard, std::move(cb)));
+    shard.cache->LookupAsync(
+        key, StageInto(shard, EndSpanOnDelivery(span, obs::TraceOp::kGet, std::move(cb))));
     parked = shard.cache->pending_async_ops() > 0;
     TakeFired(shard, &fired);
   }
@@ -204,11 +239,15 @@ void ShardedCache::LookupAsync(std::string_view key, AsyncCallback cb) {
 void ShardedCache::InsertAsync(std::string_view key, std::string_view value,
                                AsyncCallback cb) {
   Shard& shard = ShardFor(key);
+  obs::RequestSpan span = obs::BeginRequestSpanIfIdle();
+  obs::TraceScope tscope(span.id);
   FiredList fired;
   bool parked;
   {
     auto lock = LockShard(shard);
-    shard.cache->InsertAsync(key, value, StageInto(shard, std::move(cb)));
+    shard.cache->InsertAsync(
+        key, value,
+        StageInto(shard, EndSpanOnDelivery(span, obs::TraceOp::kSet, std::move(cb))));
     parked = shard.cache->pending_async_ops() > 0;
     TakeFired(shard, &fired);
   }
@@ -220,11 +259,14 @@ void ShardedCache::InsertAsync(std::string_view key, std::string_view value,
 
 void ShardedCache::RemoveAsync(std::string_view key, AsyncCallback cb) {
   Shard& shard = ShardFor(key);
+  obs::RequestSpan span = obs::BeginRequestSpanIfIdle();
+  obs::TraceScope tscope(span.id);
   FiredList fired;
   bool parked;
   {
     auto lock = LockShard(shard);
-    shard.cache->RemoveAsync(key, StageInto(shard, std::move(cb)));
+    shard.cache->RemoveAsync(
+        key, StageInto(shard, EndSpanOnDelivery(span, obs::TraceOp::kRemove, std::move(cb))));
     shard.removes.fetch_add(1, std::memory_order_relaxed);
     parked = shard.cache->pending_async_ops() > 0;
     TakeFired(shard, &fired);
@@ -381,6 +423,37 @@ void ShardedCache::ResetStats() {
     shard->cache->ResetStats();
     shard->removes.store(0, std::memory_order_relaxed);
   }
+}
+
+void ShardedCache::RegisterMetrics(obs::MetricsRegistry& registry) {
+  registry.AddCollector([this](obs::MetricsRegistry& r) {
+    const ShardedCacheStats s = Stats();
+    r.Counter("fdpcache_cache_gets")->Set(s.gets);
+    r.Counter("fdpcache_cache_sets")->Set(s.sets);
+    r.Counter("fdpcache_cache_removes")->Set(s.removes);
+    r.Counter("fdpcache_cache_ram_hits")->Set(s.ram_hits);
+    r.Counter("fdpcache_cache_nvm_lookups")->Set(s.nvm_lookups);
+    r.Counter("fdpcache_cache_nvm_hits")->Set(s.nvm_hits);
+    r.Counter("fdpcache_cache_misses")->Set(s.misses);
+    r.Counter("fdpcache_cache_shard_lock_acquisitions")->Set(s.shard_lock_acquisitions);
+    r.Gauge("fdpcache_cache_pending_ops")->Set(static_cast<double>(s.TotalPendingOps()));
+    for (size_t i = 0; i < s.device_queue_pairs.size(); ++i) {
+      const QueuePairStats& qp = s.device_queue_pairs[i];
+      const std::string label = "{qp=\"" + std::to_string(i) + "\"}";
+      r.Counter("fdpcache_qp_reads" + label)->Set(qp.reads);
+      r.Counter("fdpcache_qp_writes" + label)->Set(qp.writes);
+      r.Counter("fdpcache_qp_dispatched" + label)->Set(qp.dispatched);
+      r.Counter("fdpcache_qp_admission_waits" + label)->Set(qp.admission_waits);
+      r.Counter("fdpcache_qp_conflict_defers" + label)->Set(qp.conflict_defers);
+    }
+    for (size_t i = 0; i < s.device_lanes.size(); ++i) {
+      const LaneStats& lane = s.device_lanes[i];
+      const std::string label = "{lane=\"" + std::to_string(i) + "\"}";
+      r.Counter("fdpcache_lane_dispatches" + label)->Set(lane.dispatches);
+      r.Counter("fdpcache_lane_conflict_waits" + label)->Set(lane.conflict_waits);
+      r.Counter("fdpcache_lane_busy_ns" + label)->Set(lane.busy_ns);
+    }
+  });
 }
 
 }  // namespace fdpcache

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/common/epoch_reclaim.h"
 #include "src/nand/geometry.h"
 #include "src/navy/file_device.h"
 #include "src/navy/uring_file_device.h"
@@ -417,6 +418,28 @@ MetricsReport ExperimentRunner::Run() {
       tenant->device->ResetStats();
     }
   }
+  // Observability covers only the measured phase: tracing and the live
+  // exporter start after the warm-up reset so stage spans and time series
+  // describe steady state. Trace timestamps use the wall clock exclusively —
+  // the virtual clock (and with it every virtual-time metric) is untouched.
+  if (config_.trace_enabled) {
+    obs::TraceController::Instance().Clear();
+    obs::TraceController::Instance().Enable(config_.trace_sample);
+  }
+  if (config_.metrics_interval_ms > 0) {
+    RegisterMetrics();
+    obs::MetricsExporterOptions exporter_options;
+    exporter_options.interval_ms = config_.metrics_interval_ms;
+    if (config_.metrics_path.rfind("unix:", 0) == 0) {
+      exporter_options.socket_path = config_.metrics_path.substr(5);
+    } else if (!config_.metrics_path.empty()) {
+      exporter_options.file_path = config_.metrics_path;
+    } else {
+      exporter_options.file_path = "fdpbench_metrics.prom";
+    }
+    exporter_ = std::make_unique<obs::MetricsExporter>(&metrics_, exporter_options);
+    exporter_->Start();
+  }
   // Virtual time on the simulator; wall time against real hardware, where the
   // virtual clock only ticks the modeled host CPU cost.
   const TimeNs measure_start = ssd_ != nullptr ? clock_.now() : FileWallNowNs();
@@ -490,6 +513,26 @@ MetricsReport ExperimentRunner::Run() {
     ++flush_failures;
   }
   report.flush_failures = flush_failures;
+
+  // Tracing stays live through the barrier above so completion-delivery tails
+  // of sampled requests are captured; disable before reading the rings.
+  if (config_.trace_enabled) {
+    obs::TraceController& tc = obs::TraceController::Instance();
+    tc.Disable();
+    std::vector<obs::TraceEvent> events = tc.Collect();
+    obs::SynthesizeCompletionDelivery(&events);
+    if (!config_.trace_path.empty()) {
+      obs::WriteChromeTrace(events, config_.trace_path);
+    }
+    report.trace = obs::BuildTraceBreakdown(events);
+    report.trace.dropped = tc.DroppedEvents();
+    report.traced = true;
+  }
+  if (exporter_ != nullptr) {
+    exporter_->Stop();  // Writes one final snapshot covering the full run.
+    report.metrics_snapshots = exporter_->snapshots_written();
+    exporter_.reset();
+  }
 
   // --- Collect ----------------------------------------------------------------
   const TimeNs elapsed = (ssd_ != nullptr ? clock_.now() : FileWallNowNs()) - measure_start;
@@ -585,6 +628,104 @@ MetricsReport ExperimentRunner::Run() {
   report.device_physical_bytes =
       ssd_ != nullptr ? ssd_->physical_capacity_bytes() : shared_device_->size_bytes();
   return report;
+}
+
+void ExperimentRunner::RegisterMetrics() {
+  // One collector snapshots everything: each underlying read is itself
+  // thread-safe (relaxed atomics on cache/device counters, a locked
+  // Telemetry()/statistics-log call on the simulator), so the exporter
+  // thread can run it concurrently with the op loop.
+  metrics_.AddCollector([this](obs::MetricsRegistry& reg) {
+    uint64_t gets = 0;
+    uint64_t sets = 0;
+    uint64_t ram_hits = 0;
+    uint64_t nvm_hits = 0;
+    uint64_t nvm_lookups = 0;
+    uint64_t misses = 0;
+    uint64_t pending_ops = 0;
+    uint64_t limbo = 0;
+    for (const auto& tenant : tenants_) {
+      const HybridCacheStats s = tenant->cache->stats();
+      gets += s.gets;
+      sets += s.sets;
+      ram_hits += s.ram_hits;
+      nvm_hits += s.nvm_hits;
+      nvm_lookups += s.nvm_lookups;
+      misses += s.misses;
+      pending_ops += tenant->cache->pending_async_ops();
+      limbo += tenant->cache->ram().deferred_nodes();
+    }
+    reg.Counter("fdpcache_cache_gets")->Set(gets);
+    reg.Counter("fdpcache_cache_sets")->Set(sets);
+    reg.Counter("fdpcache_cache_ram_hits")->Set(ram_hits);
+    reg.Counter("fdpcache_cache_nvm_hits")->Set(nvm_hits);
+    reg.Counter("fdpcache_cache_nvm_lookups")->Set(nvm_lookups);
+    reg.Counter("fdpcache_cache_misses")->Set(misses);
+    reg.Gauge("fdpcache_cache_pending_ops")->Set(static_cast<double>(pending_ops));
+    // Epoch-reclaim limbo depth: nodes awaiting a safe epoch plus readers
+    // currently pinning one (the lock-free DRAM hit path's deferred frees).
+    reg.Gauge("fdpcache_epoch_limbo_nodes")->Set(static_cast<double>(limbo));
+    reg.Gauge("fdpcache_epoch_active_readers")
+        ->Set(static_cast<double>(EpochRegistry::Instance().ActiveReaders()));
+
+    DeviceStats dev;
+    std::vector<QueuePairStats> qps;
+    std::vector<LaneStats> lanes;
+    uint64_t in_flight = 0;
+    const auto collect_device = [&](Device* device) {
+      const DeviceStats s = device->stats();
+      dev.reads += s.reads;
+      dev.writes += s.writes;
+      dev.read_bytes += s.read_bytes;
+      dev.write_bytes += s.write_bytes;
+      qps = MergeQueuePairStats(std::move(qps), device->PerQueuePairStats());
+      lanes = MergeLaneStats(std::move(lanes), device->PerLaneStats());
+      in_flight += device->InFlight();
+    };
+    if (shared_device_ != nullptr) {
+      collect_device(shared_device_.get());
+    } else {
+      for (const auto& tenant : tenants_) {
+        collect_device(tenant->device);
+      }
+    }
+    reg.Counter("fdpcache_device_reads")->Set(dev.reads);
+    reg.Counter("fdpcache_device_writes")->Set(dev.writes);
+    reg.Counter("fdpcache_device_read_bytes")->Set(dev.read_bytes);
+    reg.Counter("fdpcache_device_write_bytes")->Set(dev.write_bytes);
+    reg.Gauge("fdpcache_device_in_flight")->Set(static_cast<double>(in_flight));
+    for (size_t i = 0; i < qps.size(); ++i) {
+      const std::string label = "{qp=\"" + std::to_string(i) + "\"}";
+      reg.Counter("fdpcache_qp_reads" + label)->Set(qps[i].reads);
+      reg.Counter("fdpcache_qp_writes" + label)->Set(qps[i].writes);
+      reg.Counter("fdpcache_qp_dispatched" + label)->Set(qps[i].dispatched);
+      // Submissions that parked on the congestion window = window stalls.
+      reg.Counter("fdpcache_qp_window_stalls" + label)->Set(qps[i].admission_waits);
+      reg.Counter("fdpcache_qp_conflict_defers" + label)->Set(qps[i].conflict_defers);
+    }
+    for (size_t i = 0; i < lanes.size(); ++i) {
+      const std::string label = "{lane=\"" + std::to_string(i) + "\"}";
+      reg.Counter("fdpcache_lane_dispatches" + label)->Set(lanes[i].dispatches);
+      reg.Counter("fdpcache_lane_conflict_waits" + label)->Set(lanes[i].conflict_waits);
+      reg.Counter("fdpcache_lane_busy_ns" + label)->Set(lanes[i].busy_ns);
+    }
+
+    if (ssd_ != nullptr) {
+      const FdpStatistics fdp = ssd_->GetFdpStatisticsLog();
+      reg.Gauge("fdpcache_ssd_dlwa")->Set(fdp.Dlwa());
+      reg.Counter("fdpcache_ssd_host_bytes_written")->Set(fdp.host_bytes_written);
+      const SsdTelemetry telemetry = ssd_->Telemetry(0);
+      reg.Counter("fdpcache_gc_bg_ticks")->Set(telemetry.gc_unit.ticks);
+      reg.Counter("fdpcache_gc_bg_migrated_pages")->Set(telemetry.gc_unit.migrated_pages);
+      reg.Counter("fdpcache_gc_bg_deferred_ticks")->Set(telemetry.gc_unit.deferred_ticks);
+      reg.Counter("fdpcache_gc_relocated_pages")->Set(telemetry.gc_relocated_pages);
+      reg.Counter("fdpcache_host_stall_ns")->Set(telemetry.host_stall_ns);
+      for (size_t i = 0; i < telemetry.ruh_io.size(); ++i) {
+        reg.Gauge("fdpcache_ruh_dlwa{ruh=\"" + std::to_string(i) + "\"}")
+            ->Set(telemetry.ruh_io[i].Dlwa());
+      }
+    }
+  });
 }
 
 }  // namespace fdpcache

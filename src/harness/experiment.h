@@ -17,6 +17,8 @@
 #include "src/cache/hybrid_cache.h"
 #include "src/common/clock.h"
 #include "src/navy/sim_ssd_device.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/ssd/ssd.h"
 #include "src/workload/workload.h"
 
@@ -144,6 +146,20 @@ struct ExperimentConfig {
   uint32_t dlwa_samples = 24;
   bool verify_values = false;  // End-to-end payload verification (slower).
   uint64_t seed = 42;
+
+  // --- Observability ----------------------------------------------------------
+  // Per-request tracing of the measured phase (fdpbench --trace). Stage spans
+  // use the wall clock only, so every virtual-time metric is identical with
+  // tracing on or off. trace_path empty = collect spans and report the
+  // breakdown without writing a chrome://tracing JSON.
+  bool trace_enabled = false;
+  uint32_t trace_sample = 1;  // Trace 1 in N requests (fdpbench --trace-sample).
+  std::string trace_path;
+  // Live Prometheus exposition (fdpbench --metrics-every / --metrics-out):
+  // interval 0 disables; metrics_path is a snapshot file, or a unix-domain
+  // socket when prefixed "unix:".
+  uint32_t metrics_interval_ms = 0;
+  std::string metrics_path;
 };
 
 struct MetricsReport {
@@ -225,6 +241,13 @@ struct MetricsReport {
   uint64_t cache_bytes = 0;          // Flash cache size per tenant.
   uint64_t ram_bytes = 0;
   uint64_t device_physical_bytes = 0;
+
+  // Per-stage latency attribution of the measured phase's sampled requests
+  // (trace_enabled runs only; `traced` false otherwise).
+  bool traced = false;
+  obs::TraceBreakdown trace;
+  // Prometheus snapshots the live exporter wrote (0 when disabled).
+  uint64_t metrics_snapshots = 0;
 };
 
 class ExperimentRunner {
@@ -272,7 +295,17 @@ class ExperimentRunner {
   // warm-up and overwrite-pass progress loops on every backend.
   uint64_t HostBytesWritten() const;
 
+  // Registers the live-exposition collectors (cache counters, device in-
+  // flight, GC/DLWA telemetry, epoch limbo depth) into metrics_. Only called
+  // when the exporter is configured; collectors capture `this` and sample
+  // thread-safe state (atomics or locked telemetry snapshots).
+  void RegisterMetrics();
+
   ExperimentConfig config_;
+  // Owned (not the process singleton) so collectors capturing runner state
+  // cannot outlive what they point at.
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::MetricsExporter> exporter_;
   VirtualClock clock_;
   std::unique_ptr<SimulatedSsd> ssd_;              // kSim only.
   std::unique_ptr<Device> shared_device_;          // kFile/kUring only.

@@ -1,6 +1,7 @@
 #include "src/harness/report.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -195,6 +196,218 @@ std::string FormatPendingOps(const std::string& indent,
   }
   out << "]\n";
   return out.str();
+}
+
+std::string FormatTraceBreakdown(const std::string& indent, const obs::TraceBreakdown& t) {
+  if (t.requests == 0) {
+    return "";
+  }
+  TextTable table({"stage", "spans", "excl_total", "share", "mean"});
+  const double total = static_cast<double>(t.total_request_ns);
+  for (size_t i = 0; i < obs::kNumTraceStages; ++i) {
+    const auto stage = static_cast<obs::TraceStage>(i);
+    if (stage == obs::TraceStage::kRequest || stage == obs::TraceStage::kGcTick) {
+      continue;  // kRequest is the denominator; GC ticks own no request time.
+    }
+    const obs::TraceStageBreakdown& row = t.stages[i];
+    if (row.spans == 0) {
+      continue;
+    }
+    table.AddRow({obs::TraceStageName(stage), std::to_string(row.spans),
+                  FormatNsAsUs(row.exclusive_ns),
+                  FormatPercent(total == 0.0 ? 0.0 : static_cast<double>(row.exclusive_ns) / total),
+                  FormatNsAsUs(row.exclusive_ns / row.spans)});
+  }
+  table.AddRow({"(unattributed)", "-", FormatNsAsUs(t.unattributed_ns),
+                FormatPercent(total == 0.0 ? 0.0 : static_cast<double>(t.unattributed_ns) / total),
+                "-"});
+  std::ostringstream out;
+  std::istringstream lines(table.ToString());
+  std::string line;
+  while (std::getline(lines, line)) {
+    out << indent << line << "\n";
+  }
+  out << indent << "requests=" << t.requests << " p50=" << FormatNsAsUs(t.request_p50_ns)
+      << " events=" << t.events << " dropped=" << t.dropped << "\n";
+  return out.str();
+}
+
+namespace {
+
+// Minimal JSON emission: everything we serialize is numbers, fixed keys, and
+// arrays of those, so no escaping machinery is needed.
+class JsonWriter {
+ public:
+  void Key(const std::string& k) {
+    Comma();
+    out_ << '"' << k << "\":";
+    pending_comma_ = false;
+  }
+  void Value(uint64_t v) {
+    Comma();
+    out_ << v;
+    pending_comma_ = true;
+  }
+  void Value(double v) {
+    Comma();
+    // JSON has no NaN/Inf; clamp to null.
+    if (std::isfinite(v)) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      out_ << buf;
+    } else {
+      out_ << "null";
+    }
+    pending_comma_ = true;
+  }
+  void Open(char c) { Comma(); out_ << c; pending_comma_ = false; }
+  void Close(char c) { out_ << c; pending_comma_ = true; }
+  std::string str() const { return out_.str(); }
+
+ private:
+  void Comma() {
+    if (pending_comma_) {
+      out_ << ',';
+    }
+  }
+  std::ostringstream out_;
+  bool pending_comma_ = false;
+};
+
+}  // namespace
+
+std::string MetricsReportToJson(const MetricsReport& r) {
+  JsonWriter w;
+  w.Open('{');
+  const auto num = [&](const char* key, uint64_t v) { w.Key(key); w.Value(v); };
+  const auto dbl = [&](const char* key, double v) { w.Key(key); w.Value(v); };
+
+  dbl("final_dlwa", r.final_dlwa);
+  dbl("alwa", r.alwa);
+  dbl("hit_ratio", r.hit_ratio);
+  dbl("nvm_hit_ratio", r.nvm_hit_ratio);
+  num("gets", r.gets);
+  num("sets", r.sets);
+  dbl("throughput_kops", r.throughput_kops);
+  num("p50_read_ns", r.p50_read_ns);
+  num("p99_read_ns", r.p99_read_ns);
+  num("p999_read_ns", r.p999_read_ns);
+  num("p50_write_ns", r.p50_write_ns);
+  num("p99_write_ns", r.p99_write_ns);
+  num("p999_write_ns", r.p999_write_ns);
+  num("gc_events", r.gc_events);
+  num("gc_relocated_pages", r.gc_relocated_pages);
+  num("clean_ru_erases", r.clean_ru_erases);
+  num("host_bytes_written", r.host_bytes_written);
+  dbl("op_energy_uj", r.op_energy_uj);
+  dbl("total_energy_uj", r.total_energy_uj);
+  dbl("wear_max_pe", r.wear_max_pe);
+  num("gc_bg_ticks", r.gc_bg_ticks);
+  num("gc_bg_migrated_pages", r.gc_bg_migrated_pages);
+  num("gc_bg_erases", r.gc_bg_erases);
+  num("gc_bg_deferred_ticks", r.gc_bg_deferred_ticks);
+  num("gc_bg_abandoned", r.gc_bg_abandoned);
+  num("erase_suspensions", r.erase_suspensions);
+  num("host_stall_ns", r.host_stall_ns);
+  num("gc_die_ns", r.gc_die_ns);
+  dbl("overwrite_passes_done", r.overwrite_passes_done);
+  num("device_page_bytes", r.device_page_bytes);
+  dbl("soc_write_share", r.soc_write_share);
+  num("flush_failures", r.flush_failures);
+  num("elapsed_virtual_ns", r.elapsed_virtual_ns);
+  num("ops_executed", r.ops_executed);
+  num("verify_failures", r.verify_failures);
+  num("cache_bytes", r.cache_bytes);
+  num("ram_bytes", r.ram_bytes);
+  num("device_physical_bytes", r.device_physical_bytes);
+  num("metrics_snapshots", r.metrics_snapshots);
+
+  const auto array_of_doubles = [&](const char* key, const std::vector<double>& v) {
+    w.Key(key);
+    w.Open('[');
+    for (const double x : v) {
+      w.Value(x);
+    }
+    w.Close(']');
+  };
+  array_of_doubles("interval_dlwa", r.interval_dlwa);
+  array_of_doubles("per_ruh_dlwa", r.per_ruh_dlwa);
+  w.Key("per_die_busy_ns");
+  w.Open('[');
+  for (const uint64_t v : r.per_die_busy_ns) {
+    w.Value(v);
+  }
+  w.Close(']');
+  w.Key("pending_cache_ops");
+  w.Open('[');
+  for (const uint64_t v : r.pending_cache_ops) {
+    w.Value(v);
+  }
+  w.Close(']');
+
+  w.Key("queue_pairs");
+  w.Open('[');
+  for (const QueuePairStats& qp : r.device_queue_pairs) {
+    w.Open('{');
+    w.Key("reads"); w.Value(qp.reads);
+    w.Key("writes"); w.Value(qp.writes);
+    w.Key("read_bytes"); w.Value(qp.read_bytes);
+    w.Key("write_bytes"); w.Value(qp.write_bytes);
+    w.Key("dispatched"); w.Value(qp.dispatched);
+    w.Key("admission_waits"); w.Value(qp.admission_waits);
+    w.Key("conflict_defers"); w.Value(qp.conflict_defers);
+    w.Key("io_errors"); w.Value(qp.io_errors);
+    w.Key("p50_read_ns"); w.Value(qp.read_latency_ns.Percentile(50.0));
+    w.Key("p99_read_ns"); w.Value(qp.read_latency_ns.Percentile(99.0));
+    w.Key("p50_write_ns"); w.Value(qp.write_latency_ns.Percentile(50.0));
+    w.Key("p99_write_ns"); w.Value(qp.write_latency_ns.Percentile(99.0));
+    w.Key("p50_qd"); w.Value(qp.queue_depth.Percentile(50.0));
+    w.Key("max_qd"); w.Value(qp.queue_depth.Max());
+    w.Close('}');
+  }
+  w.Close(']');
+
+  w.Key("lanes");
+  w.Open('[');
+  for (const LaneStats& lane : r.device_lanes) {
+    w.Open('{');
+    w.Key("dispatches"); w.Value(lane.dispatches);
+    w.Key("conflict_waits"); w.Value(lane.conflict_waits);
+    w.Key("busy_ns"); w.Value(lane.busy_ns);
+    w.Key("p50_qd"); w.Value(lane.queue_depth.Percentile(50.0));
+    w.Key("max_qd"); w.Value(lane.queue_depth.Max());
+    w.Close('}');
+  }
+  w.Close(']');
+
+  w.Key("traced");
+  w.Open('{');
+  w.Key("enabled"); w.Value(static_cast<uint64_t>(r.traced ? 1 : 0));
+  if (r.traced) {
+    w.Key("requests"); w.Value(r.trace.requests);
+    w.Key("events"); w.Value(r.trace.events);
+    w.Key("dropped"); w.Value(r.trace.dropped);
+    w.Key("total_request_ns"); w.Value(r.trace.total_request_ns);
+    w.Key("attributed_ns"); w.Value(r.trace.attributed_ns);
+    w.Key("unattributed_ns"); w.Value(r.trace.unattributed_ns);
+    w.Key("request_p50_ns"); w.Value(r.trace.request_p50_ns);
+    w.Key("stages");
+    w.Open('{');
+    for (size_t i = 0; i < obs::kNumTraceStages; ++i) {
+      const obs::TraceStageBreakdown& row = r.trace.stages[i];
+      w.Key(obs::TraceStageName(static_cast<obs::TraceStage>(i)));
+      w.Open('{');
+      w.Key("spans"); w.Value(row.spans);
+      w.Key("raw_ns"); w.Value(row.raw_ns);
+      w.Key("exclusive_ns"); w.Value(row.exclusive_ns);
+      w.Close('}');
+    }
+    w.Close('}');
+  }
+  w.Close('}');
+
+  w.Close('}');
+  return w.str() + "\n";
 }
 
 double BenchScale() {

@@ -73,6 +73,19 @@ std::string FormatGcStats(const std::string& indent, const MetricsReport& report
 std::string FormatPendingOps(const std::string& indent,
                              const std::vector<uint64_t>& pending_ops);
 
+// Per-stage latency-attribution table from a traced run (`fdpbench --trace`):
+// one row per stage with span count, exclusive time, share of total request
+// time, and mean per occurrence, plus an unattributed row and a footer with
+// request count / p50 / dropped events. Empty string when the breakdown holds
+// no requests.
+std::string FormatTraceBreakdown(const std::string& indent, const obs::TraceBreakdown& trace);
+
+// Serializes the full MetricsReport as a JSON object (fdpbench --stats-json):
+// every scalar, the DLWA series, per-RUH DLWA, per-die busy time, pending
+// cache ops, per-QP and per-lane breakdowns, and the trace attribution table
+// when the run was traced.
+std::string MetricsReportToJson(const MetricsReport& report);
+
 // Reads FDPBENCH_SCALE from the environment (0.1 .. 10, default 1.0):
 // benches multiply op counts by it so users can trade speed for fidelity.
 double BenchScale();

@@ -63,6 +63,10 @@ struct IoRequest {
   void* out = nullptr;             // kRead destination.
   PlacementHandle handle = kNoPlacement;  // kWrite only.
   uint32_t qp = 0;                 // Queue pair carrying this request.
+  // Owning request trace (src/obs/trace.h); 0 = untraced. Filled by the
+  // submitting layer (or from the thread's current trace at Submit/SyncIo)
+  // so device-stage spans land in the right request.
+  uint64_t trace_id = 0;
 
   static IoRequest MakeWrite(uint64_t offset, const void* data, uint64_t size,
                              PlacementHandle handle, uint32_t qp = 0) {

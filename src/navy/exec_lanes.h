@@ -51,6 +51,11 @@ struct LaneTask {
   CompletionToken token = kInvalidToken;
   IoRequest request;
   uint32_t qp = 0;
+  // Wall-clock instant an async backend (BeginExecute path) took ownership
+  // of a traced request; CompleteLaneTask turns it into the device_execute
+  // span. 0 on the lane/inline paths, where Execute() records the span
+  // itself on one thread.
+  uint64_t issue_ns = 0;
 };
 
 class ExecLaneEngine {

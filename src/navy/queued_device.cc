@@ -1,5 +1,7 @@
 #include "src/navy/queued_device.h"
 
+#include "src/obs/trace.h"
+
 namespace fdpcache {
 namespace {
 
@@ -105,6 +107,20 @@ CompletionToken QueuedDevice::Submit(const IoRequest& request) {
   const uint32_t qp_index = request.qp % static_cast<uint32_t>(qps_.size());
   IoQueuePair& qp = *qps_[qp_index];
   CompletionToken token;
+  // Resolve the owning trace before taking any lock: the request may carry
+  // its id explicitly (async cache ops crossing threads) or inherit the
+  // submitting thread's current trace. sq_wait starts NOW — it deliberately
+  // includes any admission (window/ring) stall below.
+  uint64_t trace_id = request.trace_id;
+  uint64_t submit_ns = 0;
+  if (obs::TracingEnabled()) {
+    if (trace_id == 0) {
+      trace_id = obs::CurrentTraceId();
+    }
+    if (trace_id != 0) {
+      submit_ns = obs::NowNs();
+    }
+  }
   {
     std::unique_lock<std::mutex> lock(qp.mu);
     // Admission control: ring space AND the congestion window. The window
@@ -129,6 +145,8 @@ CompletionToken QueuedDevice::Submit(const IoRequest& request) {
     pending.token = token;
     pending.request = request;
     pending.request.qp = qp_index;
+    pending.request.trace_id = trace_id;
+    pending.submit_ns = submit_ns;
     qp.sq.push_back(std::move(pending));
     qp.outstanding.insert(token);
     qp.stats.queue_depth.Record(qp.sq.size());
@@ -196,6 +214,17 @@ uint32_t QueuedDevice::InFlight() const {
 }
 
 IoResult QueuedDevice::SyncIo(const IoRequest& request) {
+  // Stamp the caller's current trace onto the request (one level of
+  // recursion, only when a trace is actually active) so the inline fast
+  // path's Execute() records its device_execute span.
+  if (obs::TracingEnabled() && request.trace_id == 0) {
+    const uint64_t id = obs::CurrentTraceId();
+    if (id != 0) {
+      IoRequest traced = request;
+      traced.trace_id = id;
+      return SyncIo(traced);
+    }
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (queued_total_.load() == 0 && active_ == 0) {
@@ -205,11 +234,14 @@ IoResult QueuedDevice::SyncIo(const IoRequest& request) {
       ++active_;
       lock.unlock();
       const IoResult result = Execute(request);
-      RecordCompletion(request, result);
       const uint32_t qp_index = request.qp % static_cast<uint32_t>(qps_.size());
       {
+        // Both stat sinks update under qp.mu (aggregate nests latency_mu_
+        // inside) so ResetStats, which takes every qp.mu first, can never
+        // split the pair — per-QP counters always sum to the aggregate.
         IoQueuePair& qp = *qps_[qp_index];
         std::lock_guard<std::mutex> qp_lock(qp.mu);
+        RecordCompletion(request, result);
         RecordQpCompletion(qp, request, result);
       }
       lock.lock();
@@ -222,15 +254,25 @@ IoResult QueuedDevice::SyncIo(const IoRequest& request) {
 }
 
 IoResult QueuedDevice::Execute(const IoRequest& request) {
+  const uint64_t trace_start =
+      (request.trace_id != 0 && obs::TracingEnabled()) ? obs::NowNs() : 0;
+  IoResult result;
   switch (request.op) {
     case IoOp::kWrite:
-      return ExecuteWrite(request.offset, request.data, request.size, request.handle);
+      result = ExecuteWrite(request.offset, request.data, request.size, request.handle);
+      break;
     case IoOp::kRead:
-      return ExecuteRead(request.offset, request.out, request.size);
+      result = ExecuteRead(request.offset, request.out, request.size);
+      break;
     case IoOp::kTrim:
-      return ExecuteTrim(request.offset, request.size);
+      result = ExecuteTrim(request.offset, request.size);
+      break;
   }
-  return IoResult{};
+  if (trace_start != 0) {
+    obs::RecordSpan(request.trace_id, obs::TraceStage::kDeviceExecute, trace_start,
+                    obs::NowNs(), static_cast<uint8_t>(request.op));
+  }
+  return result;
 }
 
 void QueuedDevice::RecordQpCompletion(IoQueuePair& qp, const IoRequest& request,
@@ -284,6 +326,11 @@ bool QueuedDevice::PopNext(Pending* out, uint32_t* out_qp) {
         *out_qp = arb_qp_;
         ++qp.stats.dispatched;
         --arb_credit_;
+        if (out->submit_ns != 0 && out->request.trace_id != 0) {
+          obs::RecordSpan(out->request.trace_id, obs::TraceStage::kSqWait,
+                          out->submit_ns, obs::NowNs(),
+                          static_cast<uint8_t>(out->request.op));
+        }
         // notify_all: waiters block on heterogeneous predicates (ring space
         // vs window headroom for their own request size); waking just one
         // could pick a still-blocked waiter and strand an admissible one.
@@ -356,10 +403,20 @@ void QueuedDevice::DispatcherLoop() {
 }
 
 void QueuedDevice::CompleteLaneTask(const LaneTask& task, const IoResult& result) {
-  RecordCompletion(task.request, result);
+  // Async-backend (BeginExecute) completions: no single thread ran Execute,
+  // so the device_execute span is recorded here from the issue timestamp.
+  if (task.issue_ns != 0 && task.request.trace_id != 0 && obs::TracingEnabled()) {
+    obs::RecordSpan(task.request.trace_id, obs::TraceStage::kDeviceExecute,
+                    task.issue_ns, obs::NowNs(),
+                    static_cast<uint8_t>(task.request.op));
+  }
   {
     IoQueuePair& qp = *qps_[task.qp];
     std::lock_guard<std::mutex> lock(qp.mu);
+    // Aggregate and per-QP stats update as one unit under qp.mu (see
+    // SyncIo): ResetStats holds every qp.mu, so a racing reset can no
+    // longer drop one half of the pair (the former histogram reset race).
+    RecordCompletion(task.request, result);
     RecordQpCompletion(qp, task.request, result);
     qp.cq[task.token] = result;
     qp.outstanding.erase(task.token);
@@ -458,6 +515,18 @@ void QueuedDevice::IssueAsync(const LaneTask& task) {
   // async_mu_ is NOT held here: BeginExecute may submit to a kernel queue
   // (and must tolerate concurrent callers), and the synchronous fallback
   // runs the full blocking Execute + completion.
+  if (obs::TracingEnabled() && task.request.trace_id != 0) {
+    LaneTask timed = task;
+    timed.issue_ns = obs::NowNs();
+    if (BeginExecute(timed)) {
+      return;
+    }
+    // Declined: Execute() records the span itself; clear issue_ns so
+    // CompleteLaneTask does not record it a second time.
+    timed.issue_ns = 0;
+    CompleteLaneTask(timed, Execute(timed.request));
+    return;
+  }
   if (!BeginExecute(task)) {
     CompleteLaneTask(task, Execute(task.request));
   }
@@ -533,11 +602,22 @@ std::vector<LaneStats> QueuedDevice::PerLaneStats() const {
 }
 
 void QueuedDevice::ResetStats() {
+  // Hold EVERY queue pair's mutex (ascending index — the same total order
+  // completion paths use: one qp.mu, then latency_mu_ inside
+  // Device::ResetStats/RecordCompletion) across the whole reset. Completions
+  // record their aggregate + per-QP pair atomically under their qp.mu, so a
+  // reset can no longer land between the two recordings and leave the per-QP
+  // sums disagreeing with the aggregate histograms.
+  std::vector<std::unique_lock<std::mutex>> qp_locks;
+  qp_locks.reserve(qps_.size());
+  for (auto& qp : qps_) {
+    qp_locks.emplace_back(qp->mu);
+  }
   Device::ResetStats();
   for (auto& qp : qps_) {
-    std::lock_guard<std::mutex> lock(qp->mu);
     qp->stats = QueuePairStats{};
   }
+  qp_locks.clear();
   {
     std::lock_guard<std::mutex> lock(async_mu_);
     for (AsyncQp& aq : async_) {

@@ -202,6 +202,9 @@ class QueuedDevice : public Device {
   struct Pending {
     CompletionToken token = kInvalidToken;
     IoRequest request;
+    // Submit() wall-clock timestamp when the request is traced (0 otherwise);
+    // PopNext turns it into the request's sq_wait span.
+    uint64_t submit_ns = 0;
   };
 
   // One NVMe-style queue pair: SQ ring + completion table + per-QP stats,

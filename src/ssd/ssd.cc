@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/obs/trace.h"
+
 namespace fdpcache {
 
 namespace {
@@ -308,7 +310,14 @@ void SimulatedSsd::TickGcLocked() {
   if (!gc_unit_->enabled()) {
     return;
   }
-  gc_unit_->Tick(host_load_hint_.load(std::memory_order_relaxed));
+  const uint64_t trace_start = obs::TracingEnabled() ? obs::NowNs() : 0;
+  const uint32_t pages = gc_unit_->Tick(host_load_hint_.load(std::memory_order_relaxed));
+  // GC ticks belong to no request: trace_id 0 spans show up on the gc_tick
+  // timeline row of the exported trace. Only ticks that migrated pages are
+  // recorded — an idle tick is a few loads, not a span worth a ring slot.
+  if (trace_start != 0 && pages > 0) {
+    obs::RecordSpan(0, obs::TraceStage::kGcTick, trace_start, obs::NowNs());
+  }
 }
 
 uint32_t SimulatedSsd::RunGcTick(TimeNs now) {
@@ -318,7 +327,12 @@ uint32_t SimulatedSsd::RunGcTick(TimeNs now) {
   }
   op_now_ = now;
   host_op_completion_ = now;
-  return gc_unit_->Tick(host_load_hint_.load(std::memory_order_relaxed));
+  const uint64_t trace_start = obs::TracingEnabled() ? obs::NowNs() : 0;
+  const uint32_t pages = gc_unit_->Tick(host_load_hint_.load(std::memory_order_relaxed));
+  if (trace_start != 0 && pages > 0) {
+    obs::RecordSpan(0, obs::TraceStage::kGcTick, trace_start, obs::NowNs());
+  }
+  return pages;
 }
 
 void SimulatedSsd::ResetGcStats() {

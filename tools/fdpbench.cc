@@ -6,7 +6,9 @@
 //   fdpbench --workload=kvcache --utilization=1.0 --fdp=false
 //   fdpbench --workload=twitter --tenants=2 --ops=500000 --csv
 //   fdpbench --workload=wokv --soc=0.16 --op=0.07 --superblocks=512
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -66,7 +68,22 @@ void PrintUsage() {
       "  --seed=42                         workload seed\n"
       "  --verify                          verify every hit's payload\n"
       "  --wear-leveling                   enable static wear leveling\n"
-      "  --csv                             emit one CSV row instead of text\n");
+      "  --csv                             emit one CSV row instead of text\n"
+      "  --trace[=path]                    per-request stage tracing of the measured\n"
+      "                                    phase; writes chrome://tracing JSON to path\n"
+      "                                    (default fdpbench_trace.json; --trace=off\n"
+      "                                    disables) and prints the per-stage latency\n"
+      "                                    breakdown. Wall-clock spans only: virtual-\n"
+      "                                    time metrics are identical with --trace off\n"
+      "  --trace-sample=N                  trace 1 in N requests (also accepts 1/N;\n"
+      "                                    default 1 = every request)\n"
+      "  --metrics-every=1s                live Prometheus exposition interval (ms or\n"
+      "                                    s suffix; 0/absent = off)\n"
+      "  --metrics-out=path                snapshot file for --metrics-every (default\n"
+      "                                    fdpbench_metrics.prom), or unix:<path> to\n"
+      "                                    serve snapshots on a unix-domain socket\n"
+      "  --stats-json=path                 dump the final metrics report (incl. per-QP/\n"
+      "                                    lane breakdowns and the trace table) as JSON\n");
 }
 
 int Run(int argc, char** argv) {
@@ -132,6 +149,31 @@ int Run(int argc, char** argv) {
   }
   config.overwrite_passes = flags.GetDouble("overwrite-passes", 0.0);
 
+  // --trace is tri-state: absent/off = disabled, bare or "on"/"true" = default
+  // path, anything else = the output path itself.
+  const std::string trace = flags.GetString("trace", "off");
+  if (trace != "off" && trace != "false") {
+    config.trace_enabled = true;
+    config.trace_path =
+        (trace == "true" || trace == "on") ? "fdpbench_trace.json" : trace;
+  }
+  // Accept both --trace-sample=64 and --trace-sample=1/64.
+  const std::string sample = flags.GetString("trace-sample", "1");
+  const size_t slash = sample.find('/');
+  config.trace_sample = static_cast<uint32_t>(std::max(
+      1ll, std::atoll(slash == std::string::npos ? sample.c_str()
+                                                 : sample.c_str() + slash + 1)));
+  // --metrics-every takes a duration: "500ms", "1s", or a bare ms count.
+  const std::string every = flags.GetString("metrics-every", "0");
+  double every_ms = std::atof(every.c_str());
+  if (every.size() >= 2 && every.compare(every.size() - 2, 2, "ms") == 0) {
+    // Already milliseconds.
+  } else if (!every.empty() && every.back() == 's') {
+    every_ms *= 1000.0;
+  }
+  config.metrics_interval_ms = static_cast<uint32_t>(std::max(0.0, every_ms));
+  config.metrics_path = flags.GetString("metrics-out", "");
+
   // Provisioning failures (e.g. tenants that do not fit the device) throw;
   // report them as a usage error rather than crashing.
   std::unique_ptr<ExperimentRunner> runner;
@@ -142,6 +184,20 @@ int Run(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fdpbench: %s\n", e.what());
     return 2;
+  }
+
+  // The JSON dump is written in both text and CSV modes; it touches only the
+  // named file, so CSV stdout stays byte-identical to an un-flagged run.
+  const std::string stats_json = flags.GetString("stats-json", "");
+  if (!stats_json.empty()) {
+    FILE* f = std::fopen(stats_json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "fdpbench: cannot open --stats-json=%s\n", stats_json.c_str());
+      return 2;
+    }
+    const std::string json = MetricsReportToJson(r);
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
   }
 
   if (flags.GetBool("csv", false)) {
@@ -206,6 +262,19 @@ int Run(int argc, char** argv) {
   if (config.gc_mode != GcMode::kOff) {
     std::printf("background GC (--gc=%s, %.1f overwrite passes done):\n%s", gc.c_str(),
                 r.overwrite_passes_done, FormatGcStats("  ", r).c_str());
+  }
+  if (r.traced) {
+    std::printf("trace breakdown (--trace, 1/%u sampling%s%s):\n%s", config.trace_sample,
+                config.trace_path.empty() ? "" : ", json=",
+                config.trace_path.c_str(),
+                FormatTraceBreakdown("  ", r.trace).c_str());
+  }
+  if (r.metrics_snapshots != 0) {
+    std::printf("metrics exposition: %llu snapshot(s) every %ums -> %s\n",
+                static_cast<unsigned long long>(r.metrics_snapshots),
+                config.metrics_interval_ms,
+                config.metrics_path.empty() ? "fdpbench_metrics.prom"
+                                            : config.metrics_path.c_str());
   }
   std::printf("interval DLWA:\n%s", FormatDlwaSeries("  ", r.interval_dlwa).c_str());
   std::printf("device: gc_events=%llu relocated_pages=%llu clean_erases=%llu energy=%.1f J\n",
