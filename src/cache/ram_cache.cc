@@ -50,11 +50,6 @@ RamCache::Bucket& RamCache::BucketFor(std::string_view key) const {
   return buckets_[h & (num_buckets_ - 1)];
 }
 
-std::unique_lock<std::mutex> RamCache::LockCounted(std::mutex& mu) const {
-  stats_.lock_acquisitions.fetch_add(1, std::memory_order_relaxed);
-  return std::unique_lock<std::mutex>(mu);
-}
-
 RamCache::Node* RamCache::FindLocked(Bucket& bucket, std::string_view key,
                                      Node** pred) {
   // Writers are serialized on bucket.mu, and any node already in the chain
@@ -108,7 +103,8 @@ bool RamCache::Put(std::string_view key, std::string_view value) {
   Bucket& bucket = BucketFor(key);
   Node* old = nullptr;
   {
-    auto lock = LockCounted(bucket.mu);
+    CountLockAcquisition();
+    fdp::MutexLock lock(&bucket.mu);
     Node* pred = nullptr;
     old = FindLocked(bucket, key, &pred);
     if (old != nullptr) {
@@ -126,7 +122,8 @@ bool RamCache::Put(std::string_view key, std::string_view value) {
     used_.fetch_add(need, std::memory_order_relaxed);
   }
   {
-    auto lock = LockCounted(evict_mu_);
+    CountLockAcquisition();
+    fdp::MutexLock lock(&evict_mu_);
     if (old != nullptr && old->in_lru) {
       lru_by_stamp_.erase(old->lru_key);
       old->in_lru = false;
@@ -197,7 +194,8 @@ bool RamCache::Remove(std::string_view key) {
   Bucket& bucket = BucketFor(key);
   Node* victim = nullptr;
   {
-    auto lock = LockCounted(bucket.mu);
+    CountLockAcquisition();
+    fdp::MutexLock lock(&bucket.mu);
     Node* pred = nullptr;
     victim = FindLocked(bucket, key, &pred);
     if (victim == nullptr) return false;
@@ -207,7 +205,8 @@ bool RamCache::Remove(std::string_view key) {
     count_.fetch_sub(1, std::memory_order_relaxed);
   }
   {
-    auto lock = LockCounted(evict_mu_);
+    CountLockAcquisition();
+    fdp::MutexLock lock(&evict_mu_);
     if (victim->in_lru) {
       lru_by_stamp_.erase(victim->lru_key);
       victim->in_lru = false;
@@ -223,14 +222,16 @@ void RamCache::EvictToBudget() {
   // outside all locks, in eviction order.
   std::vector<std::pair<std::string, std::string>> victims;
   {
-    auto evict_lock = LockCounted(evict_mu_);
+    CountLockAcquisition();
+    fdp::MutexLock evict_lock(&evict_mu_);
     while (used_.load(std::memory_order_relaxed) > budget_ &&
            !lru_by_stamp_.empty()) {
       const auto it = lru_by_stamp_.begin();
       const uint64_t recorded = it->first;
       Node* node = it->second;
       Bucket& bucket = BucketFor(node->key);
-      auto bucket_lock = LockCounted(bucket.mu);
+      CountLockAcquisition();
+      fdp::MutexLock bucket_lock(&bucket.mu);
       if (node->unlinked) {
         // A concurrent Remove/update beat us to it; drop the stale entry.
         node->in_lru = false;
@@ -244,7 +245,7 @@ void RamCache::EvictToBudget() {
         // whose recorded == actual stamp, which is then <= every other
         // recorded key <= its node's actual stamp — the global minimum, so
         // eviction order matches exact LRU whenever calls are serialized.
-        bucket_lock.unlock();
+        bucket_lock.Unlock();
         lru_by_stamp_.erase(it);
         lru_by_stamp_.emplace(actual, node);
         node->lru_key = actual;
@@ -256,7 +257,7 @@ void RamCache::EvictToBudget() {
       count_.fetch_sub(1, std::memory_order_relaxed);
       stats_.evictions.fetch_add(1, std::memory_order_relaxed);
       victims.emplace_back(node->key, node->value);
-      bucket_lock.unlock();
+      bucket_lock.Unlock();
       node->in_lru = false;
       lru_by_stamp_.erase(it);
       Retire(node);
@@ -269,7 +270,8 @@ void RamCache::EvictToBudget() {
 
 void RamCache::Retire(Node* node) {
   node->retire_epoch = EpochRegistry::Instance().CurrentEpoch();
-  auto lock = LockCounted(limbo_mu_);
+  CountLockAcquisition();
+  fdp::MutexLock lock(&limbo_mu_);
   node->limbo_next = limbo_head_;
   limbo_head_ = node;
   limbo_count_.fetch_add(1, std::memory_order_relaxed);
@@ -281,7 +283,8 @@ size_t RamCache::ReapDeferred() {
   const uint64_t min_active = registry.MinActiveEpoch();
   Node* reclaimable = nullptr;
   {
-    auto lock = LockCounted(limbo_mu_);
+    CountLockAcquisition();
+    fdp::MutexLock lock(&limbo_mu_);
     Node** link = &limbo_head_;
     while (*link != nullptr) {
       Node* n = *link;

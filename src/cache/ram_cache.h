@@ -52,9 +52,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "src/common/thread_annotations.h"
 
 namespace fdpcache {
 
@@ -133,6 +134,9 @@ class RamCache {
     std::atomic<uint64_t> stamp;
     std::atomic<Node*> next{nullptr};
 
+    // GUARDED_BY is inexpressible here (a nested struct cannot name the
+    // owning RamCache's members), so the guards stay documented as comments;
+    // the functions that touch them carry REQUIRES on the owning mutex.
     Node* limbo_next = nullptr;  // Guarded by limbo_mu_.
     uint64_t retire_epoch = 0;   // Guarded by limbo_mu_.
     uint64_t lru_key = 0;        // Recorded index stamp; guarded by evict_mu_.
@@ -145,7 +149,10 @@ class RamCache {
     // Seqlock: odd while a writer is unlinking. Bumped only around unlinks
     // (pure inserts can't cause a false miss, so they don't pay the bump).
     std::atomic<uint64_t> version{0};
-    std::mutex mu;
+    // Writer serialization only — readers never take it. All buckets share
+    // one rank (one bucket lock held at a time; EvictToBudget nests it
+    // under evict_mu_).
+    fdp::Mutex mu{lock_rank::Make(lock_rank::kRamBucket), "ram_bucket"};
   };
 
   // Writers self-reap once this many nodes sit in limbo, so purely blocking
@@ -158,15 +165,19 @@ class RamCache {
 
   Bucket& BucketFor(std::string_view key) const;
   uint64_t NextTick() { return tick_.fetch_add(1, std::memory_order_relaxed); }
-  std::unique_lock<std::mutex> LockCounted(std::mutex& mu) const;
+  // Pairs with every fdp::MutexLock acquisition below to keep the
+  // lock_acquisitions counter honest (the lock-free torture test asserts it
+  // stays flat across a reader-only phase).
+  void CountLockAcquisition() const {
+    stats_.lock_acquisitions.fetch_add(1, std::memory_order_relaxed);
+  }
 
-  // Under the bucket lock: locates `key`'s node and its predecessor.
-  static Node* FindLocked(Bucket& bucket, std::string_view key, Node** pred);
-  // Under the bucket lock: predecessor of a node known to be linked.
-  static Node* PredOfLocked(Bucket& bucket, const Node* node);
-  // Under the bucket lock: unlinks `node` (version bumped odd/even around
-  // the pointer swing), leaving node->next intact for in-flight readers.
-  static void UnlinkLocked(Bucket& bucket, Node* node, Node* pred);
+  static Node* FindLocked(Bucket& bucket, std::string_view key, Node** pred) REQUIRES(bucket.mu);
+  // Predecessor of a node known to be linked.
+  static Node* PredOfLocked(Bucket& bucket, const Node* node) REQUIRES(bucket.mu);
+  // Unlinks `node` (version bumped odd/even around the pointer swing),
+  // leaving node->next intact for in-flight readers.
+  static void UnlinkLocked(Bucket& bucket, Node* node, Node* pred) REQUIRES(bucket.mu);
 
   // Moves an unlinked node to limbo, tagged with the current epoch.
   void Retire(Node* node);
@@ -183,12 +194,13 @@ class RamCache {
   std::atomic<uint64_t> tick_{1};
 
   // Eviction index: recorded stamp -> node. Stamps are globally unique
-  // (drawn from tick_), so the key never collides. Guarded by evict_mu_.
-  mutable std::mutex evict_mu_;
-  std::map<uint64_t, Node*> lru_by_stamp_;
+  // (drawn from tick_), so the key never collides. Ranks BEFORE the bucket
+  // locks: EvictToBudget holds it while locking victims' buckets.
+  mutable fdp::Mutex evict_mu_{lock_rank::Make(lock_rank::kRamEvict), "ram_evict"};
+  std::map<uint64_t, Node*> lru_by_stamp_ GUARDED_BY(evict_mu_);
 
-  mutable std::mutex limbo_mu_;
-  Node* limbo_head_ = nullptr;
+  mutable fdp::Mutex limbo_mu_{lock_rank::Make(lock_rank::kRamLimbo), "ram_limbo"};
+  Node* limbo_head_ GUARDED_BY(limbo_mu_) = nullptr;
   std::atomic<size_t> limbo_count_{0};
 
   EvictionCallback on_evict_;

@@ -74,7 +74,8 @@ ShardedCache::~ShardedCache() {
     Drain();
     pending = false;
     for (auto& shard : shards_) {
-      auto lock = LockShard(*shard);
+      LockShard(*shard);
+      fdp::MutexLock lock(&shard->mu, fdp::kAdoptLock);
       pending = pending || shard->cache->pending_async_ops() > 0;
     }
   }
@@ -86,10 +87,10 @@ ShardedCache::~ShardedCache() {
     device->Drain();
   }
   {
-    std::lock_guard<std::mutex> lock(poll_mu_);
+    fdp::MutexLock lock(&poll_mu_);
     poller_stop_ = true;
   }
-  poll_cv_.notify_all();
+  poll_cv_.NotifyAll();
   if (poller_.joinable()) {
     poller_.join();
   }
@@ -99,12 +100,20 @@ uint32_t ShardedCache::ShardIndexFor(std::string_view key, uint32_t num_shards) 
   return static_cast<uint32_t>(Mix64(HashString(key) ^ kShardSeed) % num_shards);
 }
 
-std::unique_lock<std::mutex> ShardedCache::LockShard(Shard& shard) {
+void ShardedCache::LockShard(Shard& shard, const char* site) {
   shard.lock_acquisitions.fetch_add(1, std::memory_order_relaxed);
-  // The span's destructor runs AFTER the returned lock is constructed, so it
-  // measures exactly the mutex acquisition wait.
+  // The span's destructor runs AFTER Lock() returns, so it measures exactly
+  // the mutex acquisition wait.
   obs::ScopedSpan wait(obs::TraceStage::kShardLockWait);
-  return std::unique_lock<std::mutex>(shard.mu);
+  shard.mu.Lock(site);
+}
+
+// NO_THREAD_SAFETY_ANALYSIS (see header): invoked from the type-erased
+// StageInto callback, which HybridCache only ever calls with the shard lock
+// held; the analysis cannot follow a std::function, so assert the guard.
+void ShardedCache::AppendFired(Shard& shard, AsyncCallback cb, AsyncResult result) {
+  shard.mu.AssertHeld();
+  shard.fired.emplace_back(std::move(cb), std::move(result));
 }
 
 void ShardedCache::TakeFired(Shard& shard, FiredList* out) {
@@ -127,17 +136,18 @@ void ShardedCache::FireTaken(Shard& shard, FiredList* fired) {
   }
   fired->clear();
   {
-    auto lock = LockShard(shard);
+    LockShard(shard);
+    fdp::MutexLock lock(&shard.mu, fdp::kAdoptLock);
     --shard.firing;
   }
-  shard.fire_cv.notify_all();
+  shard.fire_cv.NotifyAll();
 }
 
 AsyncCallback ShardedCache::StageInto(Shard& shard, AsyncCallback cb) {
   // Runs under the shard lock (HybridCache resolves ops under the caller's
   // lock); defer the user callback to whoever flushes shard.fired next.
   return [&shard, cb = std::move(cb)](AsyncResult result) mutable {
-    shard.fired.emplace_back(std::move(cb), std::move(result));
+    AppendFired(shard, std::move(cb), std::move(result));
   };
 }
 
@@ -146,7 +156,8 @@ void ShardedCache::Set(std::string_view key, std::string_view value) {
   obs::ScopedRequest trace(obs::TraceOp::kSet);
   FiredList fired;
   {
-    auto lock = LockShard(shard);
+    LockShard(shard);
+    fdp::MutexLock lock(&shard.mu, fdp::kAdoptLock);
     // Any DRAM eviction this triggers spills to flash from inside the call,
     // still under this shard's lock — safe, because the spill path only
     // touches this shard's own tiers (see RamCache::EvictOne).
@@ -173,7 +184,8 @@ bool ShardedCache::Get(std::string_view key, std::string* value) {
   FiredList fired;
   bool hit;
   {
-    auto lock = LockShard(shard);
+    LockShard(shard);
+    fdp::MutexLock lock(&shard.mu, fdp::kAdoptLock);
     hit = shard.cache->Get(key, value);
     TakeFired(shard, &fired);
   }
@@ -186,7 +198,8 @@ void ShardedCache::Remove(std::string_view key) {
   obs::ScopedRequest trace(obs::TraceOp::kRemove);
   FiredList fired;
   {
-    auto lock = LockShard(shard);
+    LockShard(shard);
+    fdp::MutexLock lock(&shard.mu, fdp::kAdoptLock);
     shard.cache->Remove(key);
     shard.removes.fetch_add(1, std::memory_order_relaxed);
     TakeFired(shard, &fired);
@@ -224,7 +237,8 @@ void ShardedCache::LookupAsync(std::string_view key, AsyncCallback cb) {
   FiredList fired;
   bool parked;
   {
-    auto lock = LockShard(shard);
+    LockShard(shard);
+    fdp::MutexLock lock(&shard.mu, fdp::kAdoptLock);
     shard.cache->LookupAsync(
         key, StageInto(shard, EndSpanOnDelivery(span, obs::TraceOp::kGet, std::move(cb))));
     parked = shard.cache->pending_async_ops() > 0;
@@ -244,7 +258,8 @@ void ShardedCache::InsertAsync(std::string_view key, std::string_view value,
   FiredList fired;
   bool parked;
   {
-    auto lock = LockShard(shard);
+    LockShard(shard);
+    fdp::MutexLock lock(&shard.mu, fdp::kAdoptLock);
     shard.cache->InsertAsync(
         key, value,
         StageInto(shard, EndSpanOnDelivery(span, obs::TraceOp::kSet, std::move(cb))));
@@ -264,7 +279,8 @@ void ShardedCache::RemoveAsync(std::string_view key, AsyncCallback cb) {
   FiredList fired;
   bool parked;
   {
-    auto lock = LockShard(shard);
+    LockShard(shard);
+    fdp::MutexLock lock(&shard.mu, fdp::kAdoptLock);
     shard.cache->RemoveAsync(
         key, StageInto(shard, EndSpanOnDelivery(span, obs::TraceOp::kRemove, std::move(cb))));
     shard.removes.fetch_add(1, std::memory_order_relaxed);
@@ -281,7 +297,8 @@ bool ShardedCache::DrainShard(Shard& shard, bool flush_navy) {
   FiredList fired;
   bool ok = true;
   {
-    auto lock = LockShard(shard);
+    LockShard(shard);
+    fdp::MutexLock lock(&shard.mu, fdp::kAdoptLock);
     // Complete parked async ops first (their callbacks fire below), then —
     // for Flush() — seal + retire the shard's write pipeline.
     shard.cache->DrainAsync();
@@ -293,7 +310,9 @@ bool ShardedCache::DrainShard(Shard& shard, bool flush_navy) {
     // the poller) may have taken a batch out of shard.fired and still be
     // invoking it. Wait until only our own batch (if any) is in flight.
     const uint32_t own = fired.empty() ? 0u : 1u;
-    shard.fire_cv.wait(lock, [&] { return shard.firing == own; });
+    while (shard.firing != own) {
+      shard.fire_cv.Wait(&shard.mu);
+    }
   }
   FireTaken(shard, &fired);
   return ok;
@@ -336,10 +355,10 @@ void ShardedCache::NotifyPoller() {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(poll_mu_);
+    fdp::MutexLock lock(&poll_mu_);
     ++poll_signal_;
   }
-  poll_cv_.notify_one();
+  poll_cv_.NotifyOne();
 }
 
 bool ShardedCache::PumpShards() {
@@ -350,7 +369,8 @@ bool ShardedCache::PumpShards() {
     }
     FiredList fired;
     {
-      auto lock = LockShard(*shard);
+      LockShard(*shard);
+      fdp::MutexLock lock(&shard->mu, fdp::kAdoptLock);
       shard->cache->PumpAsync();
       any_pending = any_pending || shard->cache->pending_async_ops() > 0;
       TakeFired(*shard, &fired);
@@ -361,29 +381,33 @@ bool ShardedCache::PumpShards() {
 }
 
 void ShardedCache::PollerLoop() {
-  std::unique_lock<std::mutex> lock(poll_mu_);
+  fdp::MutexLock lock(&poll_mu_);
   uint64_t seen = 0;
   bool pending = false;
   for (;;) {
     if (pending) {
       // Work is parked: wait for a completion signal, but re-scan on a
-      // timer as a fallback for devices without completion hooks.
-      poll_cv_.wait_for(lock, kPollFallback,
-                        [&] { return poller_stop_ || poll_signal_ != seen; });
+      // timer as a fallback for devices without completion hooks. A timeout
+      // falls through to a sweep even though no signal arrived.
+      if (!poller_stop_ && poll_signal_ == seen) {
+        poll_cv_.WaitFor(&poll_mu_, kPollFallback);
+      }
     } else {
-      poll_cv_.wait(lock, [&] { return poller_stop_ || poll_signal_ != seen; });
+      while (!poller_stop_ && poll_signal_ == seen) {
+        poll_cv_.Wait(&poll_mu_);
+      }
     }
     if (poller_stop_) {
       return;
     }
     seen = poll_signal_;
-    lock.unlock();
+    lock.Unlock();
     // Clear BEFORE sweeping: a completion that lands during the sweep must
     // raise a fresh signal (we may already be past its shard), while one
     // that landed before the clear is covered by this sweep.
     poll_pending_.store(false, std::memory_order_seq_cst);
     pending = PumpShards();
-    lock.lock();
+    lock.Lock();
   }
 }
 
@@ -419,7 +443,8 @@ ShardedCacheStats ShardedCache::Stats() const {
 
 void ShardedCache::ResetStats() {
   for (auto& shard : shards_) {
-    auto lock = LockShard(*shard);
+    LockShard(*shard);
+    fdp::MutexLock lock(&shard->mu, fdp::kAdoptLock);
     shard->cache->ResetStats();
     shard->removes.store(0, std::memory_order_relaxed);
   }

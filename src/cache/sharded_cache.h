@@ -35,11 +35,9 @@
 #define SRC_CACHE_SHARDED_CACHE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -47,6 +45,7 @@
 #include <vector>
 
 #include "src/cache/hybrid_cache.h"
+#include "src/common/thread_annotations.h"
 #include "src/obs/metrics.h"
 
 namespace fdpcache {
@@ -212,20 +211,22 @@ class ShardedCache {
   // Padded to a cache line so one shard's lock/counter traffic does not
   // false-share with its neighbours'.
   struct alignas(64) Shard {
-    std::mutex mu;
+    // Outermost lock in the stack: everything below (RAM tiers, devices,
+    // trace, metrics) may be acquired while a shard is held, never the
+    // reverse. One shard lock is held at a time, so all shards share a rank.
+    fdp::Mutex mu{lock_rank::Make(lock_rank::kShard), "shard"};
 
     // Callbacks resolved under the shard lock, staged here and fired by the
     // resolving thread after it unlocks (so no callback ever runs under a
-    // shard lock). Only touched with `mu` held. Declared BEFORE `cache` so
-    // it outlives it: ~HybridCache drains stragglers, and their staged
-    // callbacks must land in a live vector.
-    FiredList fired;
+    // shard lock). Declared BEFORE `cache` so it outlives it: ~HybridCache
+    // drains stragglers, and their staged callbacks must land in a live
+    // vector.
+    FiredList fired GUARDED_BY(mu);
     // Batches taken out of `fired` that some thread is currently delivering
     // outside the lock; Drain()/Flush() wait for this to reach zero so the
-    // barrier covers callback DELIVERY, not just op completion. Guarded by
-    // `mu`; waiters use fire_cv.
-    uint32_t firing = 0;
-    std::condition_variable fire_cv;
+    // barrier covers callback DELIVERY, not just op completion.
+    uint32_t firing GUARDED_BY(mu) = 0;
+    fdp::CondVar fire_cv;
 
     std::unique_ptr<HybridCache> cache;
     // HybridCacheStats has no remove counter. Atomic (relaxed) so Stats()
@@ -239,15 +240,24 @@ class ShardedCache {
   Shard& ShardFor(std::string_view key) { return *shards_[ShardIndexOf(key)]; }
 
   // Acquires the shard mutex, counting the acquisition (the flat-counter
-  // evidence that the DRAM hit path stays lock-free).
-  static std::unique_lock<std::mutex> LockShard(Shard& shard);
+  // evidence that the DRAM hit path stays lock-free) and tracing the wait.
+  // Callers pair it with an adopting fdp::MutexLock for scoped release.
+  static void LockShard(Shard& shard, const char* site = __builtin_FUNCTION())
+      ACQUIRE(shard.mu);
+
+  // Appends one resolved callback to shard.fired. Called from the StageInto
+  // lambda, which HybridCache invokes with the shard lock held — the
+  // analysis cannot see through the std::function boundary, so the guard is
+  // asserted at run time instead.
+  static void AppendFired(Shard& shard, AsyncCallback cb, AsyncResult result)
+      NO_THREAD_SAFETY_ANALYSIS;
 
   // Wraps a user callback so it stages into shard.fired instead of running
   // under the shard lock.
   AsyncCallback StageInto(Shard& shard, AsyncCallback cb);
   // Moves staged callbacks out and marks the shard as delivering a batch
   // (caller holds the shard lock) ...
-  static void TakeFired(Shard& shard, FiredList* out);
+  static void TakeFired(Shard& shard, FiredList* out) REQUIRES(shard.mu);
   // ... and fires them outside the lock, then re-acquires it briefly to
   // mark the batch delivered (wakes barrier waiters). No-op when empty.
   static void FireTaken(Shard& shard, FiredList* fired);
@@ -272,11 +282,13 @@ class ShardedCache {
 
   // Completion poller: steps parked async ops when a device completion hook
   // (or a parking submitter) signals. The fallback timed wait covers devices
-  // without hook support.
-  std::mutex poll_mu_;
-  std::condition_variable poll_cv_;
-  uint64_t poll_signal_ = 0;  // Guarded by poll_mu_.
-  bool poller_stop_ = false;  // Guarded by poll_mu_.
+  // without hook support. Ranked just after kShard: today NotifyPoller is
+  // only called with no lock held, but the rank leaves room for a hook that
+  // fires under a shard lock without inverting anything below.
+  fdp::Mutex poll_mu_{lock_rank::Make(lock_rank::kCachePoller), "cache_poller"};
+  fdp::CondVar poll_cv_;
+  uint64_t poll_signal_ GUARDED_BY(poll_mu_) = 0;
+  bool poller_stop_ GUARDED_BY(poll_mu_) = false;
   // Wakeup coalescing: raised by the first NotifyPoller of a burst, cleared
   // by the poller just before it sweeps. Completions arriving while it is
   // raised skip the mutex+cv roundtrip entirely — one staging pass per CQ

@@ -88,6 +88,13 @@ std::optional<uint64_t> Ftl::ReadPage(uint64_t lpn) {
   return ppn;
 }
 
+std::optional<uint64_t> Ftl::LookupPage(uint64_t lpn) const {
+  if (lpn >= logical_pages_ || map_[lpn] == kUnmapped) {
+    return std::nullopt;
+  }
+  return map_[lpn];
+}
+
 FtlStatus Ftl::TrimPage(uint64_t lpn) {
   if (lpn >= logical_pages_) {
     return FtlStatus::kLbaOutOfRange;

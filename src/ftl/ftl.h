@@ -143,6 +143,11 @@ class Ftl {
   // back as zeroes at the device layer.
   std::optional<uint64_t> ReadPage(uint64_t lpn);
 
+  // Pure mapping lookup: like ReadPage but counts nothing and fires no
+  // listener callback. For quiescent inspection (tests peeking at placement
+  // through the raw ftl() accessor, which bypasses the device lock).
+  std::optional<uint64_t> LookupPage(uint64_t lpn) const;
+
   // Deallocates one logical page (NVMe DSM / TRIM).
   FtlStatus TrimPage(uint64_t lpn);
 

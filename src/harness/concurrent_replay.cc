@@ -5,13 +5,12 @@
 
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 
 #include "src/common/hash.h"
+#include "src/common/thread_annotations.h"
 #include "src/navy/file_device.h"
 #include "src/navy/uring_file_device.h"
 
@@ -113,26 +112,31 @@ void ConcurrentReplayDriver::AsyncWorkerBody(KvTraceGenerator& generator, uint64
   // fire on the cache's poller thread (or inline for RAM hits), so the
   // window counter and the latency histograms are guarded by one mutex.
   struct Window {
-    std::mutex mu;
-    std::condition_variable cv;
-    uint32_t outstanding = 0;
+    // Outermost rank: the replay thread blocks on it with nothing held, and
+    // the whole cache/device stack may be entered while a submitter waits
+    // for a slot.
+    fdp::Mutex mu{lock_rank::Make(lock_rank::kReplayWindow), "replay_window"};
+    fdp::CondVar cv;
+    uint32_t outstanding GUARDED_BY(mu) = 0;
   };
   Window window;
   const uint32_t depth = config_.async_cache_queue_depth;
 
   const auto acquire_slot = [&window, depth] {
-    std::unique_lock<std::mutex> lock(window.mu);
-    window.cv.wait(lock, [&window, depth] { return window.outstanding < depth; });
+    fdp::MutexLock lock(&window.mu);
+    while (window.outstanding >= depth) {
+      window.cv.Wait(&window.mu);
+    }
     ++window.outstanding;
   };
   const auto release_slot = [&window](Histogram* latency, uint64_t start) {
     const uint64_t end = NowNs();
-    std::lock_guard<std::mutex> lock(window.mu);
+    fdp::MutexLock lock(&window.mu);
     if (latency != nullptr) {
       latency->Record(end - start);
     }
     --window.outstanding;
-    window.cv.notify_all();
+    window.cv.NotifyAll();
   };
 
   for (uint64_t i = 0; i < num_ops; ++i) {
@@ -171,8 +175,10 @@ void ConcurrentReplayDriver::AsyncWorkerBody(KvTraceGenerator& generator, uint64
   }
   // Wait out the tail of the window before the stack-allocated state goes
   // out of scope; every callback has fired once this returns.
-  std::unique_lock<std::mutex> lock(window.mu);
-  window.cv.wait(lock, [&window] { return window.outstanding == 0; });
+  fdp::MutexLock lock(&window.mu);
+  while (window.outstanding != 0) {
+    window.cv.Wait(&window.mu);
+  }
 }
 
 ConcurrentReplayReport ConcurrentReplayDriver::Run() {

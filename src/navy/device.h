@@ -33,11 +33,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "src/common/histogram.h"
+#include "src/common/thread_annotations.h"
 #include "src/nvme/types.h"
 
 namespace fdpcache {
@@ -316,7 +316,7 @@ class Device {
     out.write_bytes = write_bytes_.load(std::memory_order_relaxed);
     out.trims = trims_.load(std::memory_order_relaxed);
     out.io_errors = io_errors_.load(std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(latency_mu_);
+    fdp::MutexLock lock(&latency_mu_);
     out.read_latency_ns = read_latency_ns_;
     out.write_latency_ns = write_latency_ns_;
     return out;
@@ -332,7 +332,7 @@ class Device {
     write_bytes_.store(0, std::memory_order_relaxed);
     trims_.store(0, std::memory_order_relaxed);
     io_errors_.store(0, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(latency_mu_);
+    fdp::MutexLock lock(&latency_mu_);
     read_latency_ns_.Clear();
     write_latency_ns_.Clear();
   }
@@ -360,7 +360,7 @@ class Device {
         reads_.fetch_add(1, std::memory_order_relaxed);
         read_bytes_.fetch_add(request.size, std::memory_order_relaxed);
         {
-          std::lock_guard<std::mutex> lock(latency_mu_);
+          fdp::MutexLock lock(&latency_mu_);
           read_latency_ns_.Record(result.latency_ns);
         }
         break;
@@ -368,7 +368,7 @@ class Device {
         writes_.fetch_add(1, std::memory_order_relaxed);
         write_bytes_.fetch_add(request.size, std::memory_order_relaxed);
         {
-          std::lock_guard<std::mutex> lock(latency_mu_);
+          fdp::MutexLock lock(&latency_mu_);
           write_latency_ns_.Record(result.latency_ns);
         }
         break;
@@ -385,9 +385,12 @@ class Device {
   std::atomic<uint64_t> write_bytes_{0};
   std::atomic<uint64_t> trims_{0};
   std::atomic<uint64_t> io_errors_{0};
-  mutable std::mutex latency_mu_;
-  Histogram read_latency_ns_;
-  Histogram write_latency_ns_;
+  // Aggregate latency histograms. Nests inside the owning QP lock: queued
+  // completions record per-QP and aggregate stats as one unit under qp.mu
+  // (the PR 9 reset-race fix), so this ranks after kQueuePair.
+  mutable fdp::Mutex latency_mu_{lock_rank::Make(lock_rank::kDeviceStats), "device_stats"};
+  Histogram read_latency_ns_ GUARDED_BY(latency_mu_);
+  Histogram write_latency_ns_ GUARDED_BY(latency_mu_);
   std::shared_ptr<const std::function<void()>> completion_hook_;
 };
 

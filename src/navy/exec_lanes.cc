@@ -14,7 +14,7 @@ ExecLaneEngine::ExecLaneEngine(uint32_t num_lanes, uint64_t lane_stripe_bytes,
   const uint32_t n = num_lanes == 0 ? 1 : num_lanes;
   lanes_.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
-    lanes_.push_back(std::make_unique<Lane>());
+    lanes_.push_back(std::make_unique<Lane>(i));
   }
   for (uint32_t i = 0; i < n; ++i) {
     lanes_[i]->worker = std::thread([this, i] { WorkerLoop(i); });
@@ -38,7 +38,7 @@ void ExecLaneEngine::Dispatch(LaneTask task) {
   // arbitration order, which is per-QP submission order) is the retirement
   // order enforced on overlapping same-QP requests.
   {
-    std::lock_guard<std::mutex> lock(conflict_mu_);
+    fdp::MutexLock lock(&conflict_mu_);
     std::list<ConflictEntry>& inflight = inflight_[task.qp];
     for (const ConflictEntry& entry : inflight) {
       if (Conflicts(entry, task.request)) {
@@ -58,8 +58,10 @@ void ExecLaneEngine::Dispatch(LaneTask task) {
   queued.task = std::move(task);
   Lane& lane = *lanes_[lane_index];
   {
-    std::unique_lock<std::mutex> lock(lane.mu);
-    lane.space_cv.wait(lock, [this, &lane] { return lane.queue.size() < lane_queue_depth_; });
+    fdp::MutexLock lock(&lane.mu);
+    while (lane.queue.size() >= lane_queue_depth_) {
+      lane.space_cv.Wait(&lane.mu);
+    }
     const bool waited = !queued.waits_on.empty();
     lane.queue.push_back(std::move(queued));
     ++lane.stats.dispatches;
@@ -68,7 +70,7 @@ void ExecLaneEngine::Dispatch(LaneTask task) {
     }
     lane.stats.queue_depth.Record(lane.queue.size());
   }
-  lane.work_cv.notify_one();
+  lane.work_cv.NotifyOne();
 }
 
 void ExecLaneEngine::WorkerLoop(uint32_t lane_index) {
@@ -76,15 +78,17 @@ void ExecLaneEngine::WorkerLoop(uint32_t lane_index) {
   for (;;) {
     QueuedTask queued;
     {
-      std::unique_lock<std::mutex> lock(lane.mu);
-      lane.work_cv.wait(lock, [this, &lane] { return stop_ || !lane.queue.empty(); });
+      fdp::MutexLock lock(&lane.mu);
+      while (!stop_ && lane.queue.empty()) {
+        lane.work_cv.Wait(&lane.mu);
+      }
       if (lane.queue.empty()) {
         return;  // stop_ is set and everything dispatched here has run.
       }
       queued = std::move(lane.queue.front());
       lane.queue.pop_front();
     }
-    lane.space_cv.notify_one();
+    lane.space_cv.NotifyOne();
     // Chain behind every earlier overlapping same-QP request. Dependencies
     // only ever point at earlier-dispatched tasks, so this cannot cycle.
     for (const std::shared_ptr<Latch>& dep : queued.waits_on) {
@@ -96,34 +100,39 @@ void ExecLaneEngine::WorkerLoop(uint32_t lane_index) {
     // recorded) — retirement order equals submission order.
     complete_(queued.task, result);
     {
-      std::lock_guard<std::mutex> lock(sched_mu_);
+      fdp::MutexLock lock(&sched_mu_);
       lane_sched_.Schedule(lane_index, 0, result.latency_ns);
     }
     {
-      std::lock_guard<std::mutex> lock(conflict_mu_);
+      fdp::MutexLock lock(&conflict_mu_);
       inflight_[queued.task.qp].erase(queued.entry);
     }
     queued.latch->Signal();
   }
 }
 
-void ExecLaneEngine::Stop() {
-  {
-    // stop_ is read under each lane's mutex in the worker wait predicate;
-    // take them all so no worker misses the flag.
-    std::vector<std::unique_lock<std::mutex>> locks;
-    locks.reserve(lanes_.size());
-    for (auto& lane : lanes_) {
-      locks.emplace_back(lane->mu);
-    }
-    if (stopped_) {
-      return;
-    }
+// NO_THREAD_SAFETY_ANALYSIS: holds a dynamic array of lane locks, which the
+// static analysis cannot model; the debug lock-rank checker enforces the
+// ascending lane-index acquire order at run time (kLane minors).
+void ExecLaneEngine::Stop() NO_THREAD_SAFETY_ANALYSIS {
+  // stop_ is read under each lane's mutex in the worker wait predicate;
+  // take them all (ascending lane index) so no worker misses the flag.
+  for (auto& lane : lanes_) {
+    lane->mu.Lock();
+  }
+  const bool already_stopped = stopped_;
+  if (!already_stopped) {
     stopped_ = true;
     stop_ = true;
   }
+  for (auto it = lanes_.rbegin(); it != lanes_.rend(); ++it) {
+    (*it)->mu.Unlock();
+  }
+  if (already_stopped) {
+    return;
+  }
   for (auto& lane : lanes_) {
-    lane->work_cv.notify_all();
+    lane->work_cv.NotifyAll();
   }
   for (auto& lane : lanes_) {
     if (lane->worker.joinable()) {
@@ -138,11 +147,11 @@ std::vector<LaneStats> ExecLaneEngine::Stats() const {
   for (uint32_t i = 0; i < lanes_.size(); ++i) {
     LaneStats stats;
     {
-      std::lock_guard<std::mutex> lock(lanes_[i]->mu);
+      fdp::MutexLock lock(&lanes_[i]->mu);
       stats = lanes_[i]->stats;
     }
     {
-      std::lock_guard<std::mutex> lock(sched_mu_);
+      fdp::MutexLock lock(&sched_mu_);
       stats.busy_ns = lane_sched_.busy_ns(i);
     }
     out.push_back(std::move(stats));
@@ -152,10 +161,10 @@ std::vector<LaneStats> ExecLaneEngine::Stats() const {
 
 void ExecLaneEngine::ResetStats() {
   for (auto& lane : lanes_) {
-    std::lock_guard<std::mutex> lock(lane->mu);
+    fdp::MutexLock lock(&lane->mu);
     lane->stats = LaneStats{};
   }
-  std::lock_guard<std::mutex> lock(sched_mu_);
+  fdp::MutexLock lock(&sched_mu_);
   lane_sched_.Reset();
 }
 

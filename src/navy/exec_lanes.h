@@ -29,16 +29,15 @@
 #ifndef SRC_NAVY_EXEC_LANES_H_
 #define SRC_NAVY_EXEC_LANES_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/navy/device.h"
 #include "src/ssd/die_scheduler.h"
 
@@ -98,22 +97,25 @@ class ExecLaneEngine {
 
  private:
   // Completion latch for one in-flight request; later conflicting requests
-  // block on it until the earlier one has retired.
+  // block on it until the earlier one has retired. Leaf lock: Signal/Await
+  // are always called with no other lock held.
   struct Latch {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
+    fdp::Mutex mu{lock_rank::Make(lock_rank::kLaneLatch), "lane_latch"};
+    fdp::CondVar cv;
+    bool done GUARDED_BY(mu) = false;
 
     void Signal() {
       {
-        std::lock_guard<std::mutex> lock(mu);
+        fdp::MutexLock lock(&mu);
         done = true;
       }
-      cv.notify_all();
+      cv.NotifyAll();
     }
     void Await() {
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait(lock, [this] { return done; });
+      fdp::MutexLock lock(&mu);
+      while (!done) {
+        cv.Wait(&mu);
+      }
     }
   };
 
@@ -132,12 +134,17 @@ class ExecLaneEngine {
     std::vector<std::shared_ptr<Latch>> waits_on;  // Earlier conflicting requests.
   };
 
+  // The rank minor is the lane index: Stop() holds every lane lock at once
+  // and must sweep them in ascending index order.
   struct Lane {
-    mutable std::mutex mu;
-    std::condition_variable work_cv;   // Task queued / stop requested.
-    std::condition_variable space_cv;  // Queue space freed.
-    std::deque<QueuedTask> queue;
-    LaneStats stats;  // busy_ns lives in lane_sched_, filled in at snapshot.
+    explicit Lane(uint32_t index) : mu(lock_rank::Make(lock_rank::kLane, index), "lane") {}
+
+    mutable fdp::Mutex mu;
+    fdp::CondVar work_cv;   // Task queued / stop requested.
+    fdp::CondVar space_cv;  // Queue space freed.
+    std::deque<QueuedTask> queue GUARDED_BY(mu);
+    // busy_ns lives in lane_sched_, filled in at snapshot.
+    LaneStats stats GUARDED_BY(mu);
     std::thread worker;
   };
 
@@ -152,14 +159,17 @@ class ExecLaneEngine {
   // Ordering-aware conflict tracker: per-QP lists of in-flight requests.
   // Guarded by conflict_mu_; entries are admitted by the dispatcher (in
   // arbitration order) and erased by lane workers at retirement.
-  std::mutex conflict_mu_;
-  std::unordered_map<uint32_t, std::list<ConflictEntry>> inflight_;
+  fdp::Mutex conflict_mu_{lock_rank::Make(lock_rank::kLaneConflict), "lane_conflict"};
+  std::unordered_map<uint32_t, std::list<ConflictEntry>> inflight_ GUARDED_BY(conflict_mu_);
 
   // Lane busy-time accounting, one "die" per lane.
-  mutable std::mutex sched_mu_;
-  DieScheduler lane_sched_;
+  mutable fdp::Mutex sched_mu_{lock_rank::Make(lock_rank::kLaneSched), "lane_sched"};
+  DieScheduler lane_sched_ GUARDED_BY(sched_mu_);
 
   std::vector<std::unique_ptr<Lane>> lanes_;
+  // Guarded by EVERY lane's mu (written in Stop() with all lane locks held,
+  // read by each worker under its own lane.mu) — a multi-mutex guard the
+  // static analysis cannot express, so these stay unannotated.
   bool stop_ = false;     // Set under every lane's mu in Stop().
   bool stopped_ = false;  // Stop() ran to completion (join done).
 };

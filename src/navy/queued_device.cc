@@ -46,7 +46,7 @@ QueuedDevice::QueuedDevice(const IoQueueConfig& queue_config)
     : queue_config_(Normalize(queue_config)) {
   qps_.reserve(queue_config_.num_queue_pairs);
   for (uint32_t i = 0; i < queue_config_.num_queue_pairs; ++i) {
-    qps_.push_back(std::make_unique<IoQueuePair>());
+    qps_.push_back(std::make_unique<IoQueuePair>(i));
   }
   async_.resize(queue_config_.num_queue_pairs);
   arb_credit_ = WeightOf(0);
@@ -69,13 +69,13 @@ QueuedDevice::~QueuedDevice() {
 
 void QueuedDevice::StopQueue() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    fdp::MutexLock lock(&mu_);
     if (stopped_) {
       return;
     }
     stopped_ = true;
     stop_ = true;
-    work_cv_.notify_one();
+    work_cv_.NotifyOne();
   }
   if (dispatcher_.joinable()) {
     dispatcher_.join();
@@ -92,8 +92,10 @@ void QueuedDevice::StopQueue() {
   // while the subclass's reaper is still alive, so the derived destructor
   // can tear its backend down with nothing left to call back.
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait(lock, [this] { return active_ == 0; });
+    fdp::MutexLock lock(&mu_);
+    while (active_ != 0) {
+      idle_cv_.Wait(&mu_);
+    }
   }
 }
 
@@ -122,22 +124,12 @@ CompletionToken QueuedDevice::Submit(const IoRequest& request) {
     }
   }
   {
-    std::unique_lock<std::mutex> lock(qp.mu);
-    // Admission control: ring space AND the congestion window. The window
-    // compares against the REQUEST's size so small requests can slip past a
-    // nearly-full window while a jumbo one waits; an empty QP always admits
-    // (a single request larger than the window must not deadlock).
-    const auto admissible = [this, &qp, &request] {
-      if (qp.sq.size() >= queue_config_.sq_depth) {
-        return false;
-      }
-      const uint64_t window = queue_config_.qp_window_bytes;
-      return window == 0 || qp.outstanding_bytes == 0 ||
-             qp.outstanding_bytes + request.size <= window;
-    };
-    if (!admissible()) {
+    fdp::MutexLock lock(&qp.mu);
+    if (!AdmissibleLocked(qp, request)) {
       ++qp.stats.admission_waits;
-      qp.space_cv.wait(lock, admissible);
+      do {
+        qp.space_cv.Wait(&qp.mu);
+      } while (!AdmissibleLocked(qp, request));
     }
     qp.outstanding_bytes += request.size;
     token = (static_cast<CompletionToken>(qp_index) << kQpShift) | qp.next_seq++;
@@ -158,10 +150,23 @@ CompletionToken QueuedDevice::Submit(const IoRequest& request) {
   // queued_total_ == 0, that read preceded our increment, so our
   // dispatcher_idle_ load is after its idle store and must see true.
   if (dispatcher_idle_.load()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    work_cv_.notify_one();
+    fdp::MutexLock lock(&mu_);
+    work_cv_.NotifyOne();
   }
   return token;
+}
+
+bool QueuedDevice::AdmissibleLocked(const IoQueuePair& qp, const IoRequest& request) const {
+  // Admission control: ring space AND the congestion window. The window
+  // compares against the REQUEST's size so small requests can slip past a
+  // nearly-full window while a jumbo one waits; an empty QP always admits
+  // (a single request larger than the window must not deadlock).
+  if (qp.sq.size() >= queue_config_.sq_depth) {
+    return false;
+  }
+  const uint64_t window = queue_config_.qp_window_bytes;
+  return window == 0 || qp.outstanding_bytes == 0 ||
+         qp.outstanding_bytes + request.size <= window;
 }
 
 std::optional<IoResult> QueuedDevice::Poll(CompletionToken token) {
@@ -170,7 +175,7 @@ std::optional<IoResult> QueuedDevice::Poll(CompletionToken token) {
     return std::nullopt;
   }
   IoQueuePair& qp = *qps_[qp_index];
-  std::lock_guard<std::mutex> lock(qp.mu);
+  fdp::MutexLock lock(&qp.mu);
   const auto it = qp.cq.find(token);
   if (it == qp.cq.end()) {
     return std::nullopt;
@@ -188,12 +193,12 @@ IoResult QueuedDevice::Wait(CompletionToken token) {
     return IoResult{};
   }
   IoQueuePair& qp = *qps_[qp_index];
-  std::unique_lock<std::mutex> lock(qp.mu);
+  fdp::MutexLock lock(&qp.mu);
   // Same fail-fast for never-submitted / already-reaped tokens.
-  qp.complete_cv.wait(lock, [&qp, token] {
-    return qp.cq.find(token) != qp.cq.end() ||
-           qp.outstanding.find(token) == qp.outstanding.end();
-  });
+  while (qp.cq.find(token) == qp.cq.end() &&
+         qp.outstanding.find(token) != qp.outstanding.end()) {
+    qp.complete_cv.Wait(&qp.mu);
+  }
   const auto it = qp.cq.find(token);
   if (it == qp.cq.end()) {
     return IoResult{};
@@ -204,12 +209,14 @@ IoResult QueuedDevice::Wait(CompletionToken token) {
 }
 
 void QueuedDevice::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queued_total_.load() == 0 && active_ == 0; });
+  fdp::MutexLock lock(&mu_);
+  while (queued_total_.load() != 0 || active_ != 0) {
+    idle_cv_.Wait(&mu_);
+  }
 }
 
 uint32_t QueuedDevice::InFlight() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fdp::MutexLock lock(&mu_);
   return queued_total_.load() + active_;
 }
 
@@ -226,13 +233,13 @@ IoResult QueuedDevice::SyncIo(const IoRequest& request) {
     }
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    fdp::MutexLock lock(&mu_);
     if (queued_total_.load() == 0 && active_ == 0) {
       // Idle pipeline: execute inline on the calling thread. `active_` keeps
       // Drain()/InFlight() honest while the lock is dropped for the
       // (possibly slow) backend call.
       ++active_;
-      lock.unlock();
+      lock.Unlock();
       const IoResult result = Execute(request);
       const uint32_t qp_index = request.qp % static_cast<uint32_t>(qps_.size());
       {
@@ -240,13 +247,13 @@ IoResult QueuedDevice::SyncIo(const IoRequest& request) {
         // inside) so ResetStats, which takes every qp.mu first, can never
         // split the pair — per-QP counters always sum to the aggregate.
         IoQueuePair& qp = *qps_[qp_index];
-        std::lock_guard<std::mutex> qp_lock(qp.mu);
+        fdp::MutexLock qp_lock(&qp.mu);
         RecordCompletion(request, result);
         RecordQpCompletion(qp, request, result);
       }
-      lock.lock();
+      lock.Lock();
       --active_;
-      idle_cv_.notify_all();
+      idle_cv_.NotifyAll();
       return result;
     }
   }
@@ -277,8 +284,8 @@ IoResult QueuedDevice::Execute(const IoRequest& request) {
 
 void QueuedDevice::RecordQpCompletion(IoQueuePair& qp, const IoRequest& request,
                                       const IoResult& result) {
-  // Caller holds qp.mu. Mirrors Device::RecordCompletion so the per-QP
-  // counters sum to the aggregate DeviceStats.
+  // Mirrors Device::RecordCompletion so the per-QP counters sum to the
+  // aggregate DeviceStats.
   QueuePairStats& stats = qp.stats;
   if (!result.ok) {
     ++stats.io_errors;
@@ -310,7 +317,7 @@ bool QueuedDevice::PopNext(Pending* out, uint32_t* out_qp) {
   for (uint32_t scanned = 0; scanned <= n; ++scanned) {
     IoQueuePair& qp = *qps_[arb_qp_];
     if (arb_credit_ > 0) {
-      std::lock_guard<std::mutex> lock(qp.mu);
+      fdp::MutexLock lock(&qp.mu);
       if (!qp.sq.empty()) {
         auto it = qp.sq.begin();
         if (queue_config_.read_priority) {
@@ -331,10 +338,10 @@ bool QueuedDevice::PopNext(Pending* out, uint32_t* out_qp) {
                           out->submit_ns, obs::NowNs(),
                           static_cast<uint8_t>(out->request.op));
         }
-        // notify_all: waiters block on heterogeneous predicates (ring space
+        // NotifyAll: waiters block on heterogeneous predicates (ring space
         // vs window headroom for their own request size); waking just one
         // could pick a still-blocked waiter and strand an admissible one.
-        qp.space_cv.notify_all();
+        qp.space_cv.NotifyAll();
         return true;
       }
       // Ring empty: forfeit the rest of this slot and advance below.
@@ -348,9 +355,11 @@ bool QueuedDevice::PopNext(Pending* out, uint32_t* out_qp) {
 void QueuedDevice::DispatcherLoop() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      fdp::MutexLock lock(&mu_);
       dispatcher_idle_.store(true);
-      work_cv_.wait(lock, [this] { return stop_ || queued_total_.load() > 0; });
+      while (!stop_ && queued_total_.load() == 0) {
+        work_cv_.Wait(&mu_);
+      }
       dispatcher_idle_.store(false);
       if (queued_total_.load() == 0) {
         // stop_ is set and everything submitted has been executed.
@@ -395,9 +404,9 @@ void QueuedDevice::DispatcherLoop() {
       continue;
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      fdp::MutexLock lock(&mu_);
       --active_;
-      idle_cv_.notify_all();
+      idle_cv_.NotifyAll();
     }
   }
 }
@@ -412,7 +421,7 @@ void QueuedDevice::CompleteLaneTask(const LaneTask& task, const IoResult& result
   }
   {
     IoQueuePair& qp = *qps_[task.qp];
-    std::lock_guard<std::mutex> lock(qp.mu);
+    fdp::MutexLock lock(&qp.mu);
     // Aggregate and per-QP stats update as one unit under qp.mu (see
     // SyncIo): ResetStats holds every qp.mu, so a racing reset can no
     // longer drop one half of the pair (the former histogram reset race).
@@ -423,8 +432,8 @@ void QueuedDevice::CompleteLaneTask(const LaneTask& task, const IoResult& result
     // Completion returns window bytes; submitters may be parked on the
     // window even though the ring has space, so wake them here too.
     qp.outstanding_bytes -= task.request.size;
-    qp.space_cv.notify_all();
-    qp.complete_cv.notify_all();
+    qp.space_cv.NotifyAll();
+    qp.complete_cv.NotifyAll();
   }
   if (lanes_ == nullptr && SupportsAsyncExecute()) {
     // Retire the request from the conflict tracker and launch any deferred
@@ -447,7 +456,7 @@ void QueuedDevice::CompleteLaneTask(const LaneTask& task, const IoResult& result
       unhooked_completions_.fetch_add(1, std::memory_order_acq_rel) + 1;
   bool flush = pending_hooks >= queue_config_.completion_batch;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    fdp::MutexLock lock(&mu_);
     if (!flush && active_ == 1 && queued_total_.load() == 0) {
       flush = true;  // Pipeline going idle: nothing later would flush.
     }
@@ -455,12 +464,12 @@ void QueuedDevice::CompleteLaneTask(const LaneTask& task, const IoResult& result
         unhooked_completions_.exchange(0, std::memory_order_acq_rel) > 0) {
       // Drop mu_ for the hook itself (it crosses into the owner's poller
       // lock); the active_ slot this execution holds keeps Drain() parked.
-      lock.unlock();
+      lock.Unlock();
       FireCompletionHook();
-      lock.lock();
+      lock.Lock();
     }
     --active_;
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
   }
 }
 
@@ -475,7 +484,7 @@ bool QueuedDevice::AsyncConflicts(uint64_t offset, uint64_t size, IoOp op,
 
 void QueuedDevice::StartAsync(LaneTask task) {
   {
-    std::lock_guard<std::mutex> lock(async_mu_);
+    fdp::MutexLock lock(&async_mu_);
     AsyncQp& aq = async_[task.qp];
     bool conflict = false;
     for (const AsyncEntry& entry : aq.inflight) {
@@ -535,7 +544,7 @@ void QueuedDevice::IssueAsync(const LaneTask& task) {
 void QueuedDevice::RetireAsync(const LaneTask& task) {
   std::vector<LaneTask> promoted;
   {
-    std::lock_guard<std::mutex> lock(async_mu_);
+    fdp::MutexLock lock(&async_mu_);
     AsyncQp& aq = async_[task.qp];
     for (auto it = aq.inflight.begin(); it != aq.inflight.end(); ++it) {
       if (it->token == task.token) {
@@ -587,10 +596,10 @@ std::vector<QueuePairStats> QueuedDevice::PerQueuePairStats() const {
   std::vector<QueuePairStats> out;
   out.reserve(qps_.size());
   for (const auto& qp : qps_) {
-    std::lock_guard<std::mutex> lock(qp->mu);
+    fdp::MutexLock lock(&qp->mu);
     out.push_back(qp->stats);
   }
-  std::lock_guard<std::mutex> lock(async_mu_);
+  fdp::MutexLock lock(&async_mu_);
   for (size_t i = 0; i < out.size() && i < async_.size(); ++i) {
     out[i].conflict_defers = async_[i].defers;
   }
@@ -601,25 +610,28 @@ std::vector<LaneStats> QueuedDevice::PerLaneStats() const {
   return lanes_ == nullptr ? std::vector<LaneStats>{} : lanes_->Stats();
 }
 
-void QueuedDevice::ResetStats() {
+// NO_THREAD_SAFETY_ANALYSIS: the static analysis cannot model a dynamic
+// array of locks; the debug lock-rank checker validates the ascending
+// acquire order at run time instead (kQueuePair minors are QP indices).
+void QueuedDevice::ResetStats() NO_THREAD_SAFETY_ANALYSIS {
   // Hold EVERY queue pair's mutex (ascending index — the same total order
   // completion paths use: one qp.mu, then latency_mu_ inside
   // Device::ResetStats/RecordCompletion) across the whole reset. Completions
   // record their aggregate + per-QP pair atomically under their qp.mu, so a
   // reset can no longer land between the two recordings and leave the per-QP
   // sums disagreeing with the aggregate histograms.
-  std::vector<std::unique_lock<std::mutex>> qp_locks;
-  qp_locks.reserve(qps_.size());
   for (auto& qp : qps_) {
-    qp_locks.emplace_back(qp->mu);
+    qp->mu.Lock();
   }
   Device::ResetStats();
   for (auto& qp : qps_) {
     qp->stats = QueuePairStats{};
   }
-  qp_locks.clear();
+  for (auto it = qps_.rbegin(); it != qps_.rend(); ++it) {
+    (*it)->mu.Unlock();
+  }
   {
-    std::lock_guard<std::mutex> lock(async_mu_);
+    fdp::MutexLock lock(&async_mu_);
     for (AsyncQp& aq : async_) {
       aq.defers = 0;
     }

@@ -35,15 +35,14 @@
 #ifndef SRC_NAVY_QUEUED_DEVICE_H_
 #define SRC_NAVY_QUEUED_DEVICE_H_
 
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/navy/device.h"
 #include "src/navy/exec_lanes.h"
 
@@ -209,22 +208,26 @@ class QueuedDevice : public Device {
 
   // One NVMe-style queue pair: SQ ring + completion table + per-QP stats,
   // all guarded by the QP's own mutex so submitters on different queue pairs
-  // never contend.
+  // never contend. The rank minor is the QP index: sweeps that hold several
+  // QP locks at once (ResetStats) must take them in ascending index order.
   struct IoQueuePair {
-    mutable std::mutex mu;
-    std::condition_variable space_cv;     // Ring space freed.
-    std::condition_variable complete_cv;  // A completion landed.
-    std::deque<Pending> sq;
-    std::unordered_map<CompletionToken, IoResult> cq;
+    explicit IoQueuePair(uint32_t index)
+        : mu(lock_rank::Make(lock_rank::kQueuePair, index), "qp") {}
+
+    mutable fdp::Mutex mu;
+    fdp::CondVar space_cv;     // Ring space freed.
+    fdp::CondVar complete_cv;  // A completion landed.
+    std::deque<Pending> sq GUARDED_BY(mu);
+    std::unordered_map<CompletionToken, IoResult> cq GUARDED_BY(mu);
     // Tokens submitted and not yet completed (queued or executing); lets
     // Wait() distinguish "still in flight" from "never existed / reaped".
-    std::unordered_set<CompletionToken> outstanding;
+    std::unordered_set<CompletionToken> outstanding GUARDED_BY(mu);
     // Bytes admitted and not yet completed — the congestion-window meter
     // (see IoQueueConfig::qp_window_bytes). Charged in Submit, credited in
     // CompleteLaneTask; the SyncIo fast path bypasses it.
-    uint64_t outstanding_bytes = 0;
-    uint64_t next_seq = 1;  // Low bits of the next token.
-    QueuePairStats stats;
+    uint64_t outstanding_bytes GUARDED_BY(mu) = 0;
+    uint64_t next_seq GUARDED_BY(mu) = 1;  // Low bits of the next token.
+    QueuePairStats stats GUARDED_BY(mu);
   };
 
   // Tokens encode their queue pair in the high bits so Poll()/Wait() route
@@ -255,7 +258,11 @@ class QueuedDevice : public Device {
   // Arbitration step: pops the next request across all SQs into `*out`.
   // Returns false only when every ring is empty.
   bool PopNext(Pending* out, uint32_t* out_qp);
-  void RecordQpCompletion(IoQueuePair& qp, const IoRequest& request, const IoResult& result);
+  // Admission predicate for Submit: ring space AND congestion-window
+  // headroom for this request.
+  bool AdmissibleLocked(const IoQueuePair& qp, const IoRequest& request) const REQUIRES(qp.mu);
+  void RecordQpCompletion(IoQueuePair& qp, const IoRequest& request, const IoResult& result)
+      REQUIRES(qp.mu);
   IoResult Execute(const IoRequest& request);
   // True when `request` overlaps `entry` and at least one of the two writes
   // (the same conflict rule the lane engine's tracker applies).
@@ -281,15 +288,18 @@ class QueuedDevice : public Device {
   // mu_: queued_total_ is atomic and Submit only takes mu_ (to notify) when
   // dispatcher_idle_ says the dispatcher may be asleep — both seq_cst, so a
   // dispatcher that observed an empty pipeline before blocking is always
-  // seen as idle by the submitter that made it non-empty.
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // Work submitted / stop requested.
-  std::condition_variable idle_cv_;  // An execution finished.
+  // seen as idle by the submitter that made it non-empty. mu_ and qp.mu are
+  // never held together, but mu_ ranks after kQueuePair so a future nesting
+  // could only go qp -> pipeline.
+  mutable fdp::Mutex mu_{lock_rank::Make(lock_rank::kDevicePipeline), "device_pipeline"};
+  fdp::CondVar work_cv_;  // Work submitted / stop requested.
+  fdp::CondVar idle_cv_;  // An execution finished.
   std::atomic<uint32_t> queued_total_{0};
   std::atomic<bool> dispatcher_idle_{false};  // Set under mu_ around the wait.
-  uint32_t active_ = 0;  // Executions in progress (dispatcher + inline SyncIo).
-  bool stop_ = false;
-  bool stopped_ = false;
+  // Executions in progress (dispatcher + inline SyncIo).
+  uint32_t active_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
+  bool stopped_ GUARDED_BY(mu_) = false;
 
   // Completions published but not yet announced through the completion
   // hook; flushed by whichever completion reaches the batch size or leaves
@@ -303,8 +313,8 @@ class QueuedDevice : public Device {
   // Async-backend conflict tracker (BeginExecute path only; empty lists on
   // synchronous backends). Guarded by async_mu_; never held across a
   // BeginExecute/Execute call.
-  mutable std::mutex async_mu_;
-  std::vector<AsyncQp> async_;
+  mutable fdp::Mutex async_mu_{lock_rank::Make(lock_rank::kDeviceAsync), "device_async"};
+  std::vector<AsyncQp> async_ GUARDED_BY(async_mu_);
 
   // Parallel execution lanes (null when exec_lanes == 0: the dispatcher
   // executes inline). Stopped by StopQueue() after the dispatcher joins, so

@@ -128,7 +128,7 @@ UringFileDevice::~UringFileDevice() {
   if (ring_fd_ >= 0) {
     // Wake the reaper with a NOP it recognizes as the shutdown signal.
     {
-      std::lock_guard<std::mutex> lock(submit_mu_);
+      fdp::MutexLock lock(&submit_mu_);
       const unsigned tail = *sq_tail_;
       const unsigned idx = tail & *sq_mask_;
       auto* sqe = &static_cast<struct io_uring_sqe*>(sqes_ptr_)[idx];
@@ -147,10 +147,10 @@ UringFileDevice::~UringFileDevice() {
   }
 #endif
   {
-    std::lock_guard<std::mutex> lock(pool_mu_);
+    fdp::MutexLock lock(&pool_mu_);
     pool_stop_ = true;
   }
-  pool_cv_.notify_all();
+  pool_cv_.NotifyAll();
   for (std::thread& worker : pool_) {
     worker.join();
   }
@@ -227,6 +227,10 @@ bool UringFileDevice::SetupRing(uint32_t depth) {
   // accepts the registration; plain fd otherwise.
   fixed_file_ =
       UringRegister(ring_fd_, IORING_REGISTER_FILES, &backing_.fd, 1) == 0;
+
+  // Construction is single-threaded, but the slot tables are guarded
+  // members, so initialize them under their lock (uncontended).
+  fdp::MutexLock lock(&submit_mu_);
 
   // Registered buffer pool for O_DIRECT bounces.
   if (backing_.direct_io) {
@@ -366,7 +370,7 @@ void UringFileDevice::ReaperLoop() {
         int32_t fixed_buf = -1;
         uint64_t start_ns = 0;
         {
-          std::lock_guard<std::mutex> lock(submit_mu_);
+          fdp::MutexLock lock(&submit_mu_);
           UringOp& op = ops_[static_cast<uint32_t>(user_data)];
           task = op.task;
           bounce = op.bounce;
@@ -385,7 +389,7 @@ void UringFileDevice::ReaperLoop() {
         }
         if (bounce != nullptr) {
           if (fixed_buf >= 0) {
-            std::lock_guard<std::mutex> lock(submit_mu_);
+            fdp::MutexLock lock(&submit_mu_);
             reg_free_.push_back(fixed_buf);
           } else {
             std::free(bounce);
@@ -437,7 +441,7 @@ bool UringFileDevice::BeginExecute(const LaneTask& task) {
   }
   void* buffer = request.op == IoOp::kWrite ? const_cast<void*>(request.data)
                                             : request.out;
-  std::lock_guard<std::mutex> lock(submit_mu_);
+  fdp::MutexLock lock(&submit_mu_);
   if (op_free_.empty()) {
     sync_fallbacks_.fetch_add(1, std::memory_order_relaxed);
     return false;
@@ -493,13 +497,13 @@ bool UringFileDevice::BeginExecute(const LaneTask& task) {
 
 bool UringFileDevice::PoolBegin(const LaneTask& task) {
   {
-    std::lock_guard<std::mutex> lock(pool_mu_);
+    fdp::MutexLock lock(&pool_mu_);
     if (pool_stop_ || pool_.empty()) {
       return false;
     }
     pool_queue_.push_back(task);
   }
-  pool_cv_.notify_one();
+  pool_cv_.NotifyOne();
   return true;
 }
 
@@ -507,8 +511,10 @@ void UringFileDevice::PoolLoop() {
   for (;;) {
     LaneTask task;
     {
-      std::unique_lock<std::mutex> lock(pool_mu_);
-      pool_cv_.wait(lock, [this] { return pool_stop_ || !pool_queue_.empty(); });
+      fdp::MutexLock lock(&pool_mu_);
+      while (!pool_stop_ && pool_queue_.empty()) {
+        pool_cv_.Wait(&pool_mu_);
+      }
       if (pool_queue_.empty()) {
         return;  // pool_stop_ with nothing left.
       }

@@ -28,14 +28,13 @@
 #define SRC_NAVY_URING_FILE_DEVICE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/navy/file_backing.h"
 #include "src/navy/queued_device.h"
 
@@ -113,7 +112,9 @@ class UringFileDevice final : public QueuedDevice {
 
   bool SetupRing(uint32_t depth);
   void TeardownRing();
-  bool SubmitSqe(uint32_t slot, const LaneTask& task, void* buffer);
+  // Single SQ producer: the slot tables and the SQ tail advance together.
+  bool SubmitSqe(uint32_t slot, const LaneTask& task, void* buffer)
+      REQUIRES(submit_mu_);
   void ReaperLoop();
   void PoolLoop();
   bool PoolBegin(const LaneTask& task);
@@ -139,22 +140,28 @@ class UringFileDevice final : public QueuedDevice {
   unsigned* cq_mask_ = nullptr;
   void* cqes_ = nullptr;
   // Registered O_DIRECT buffer pool: pool_bufs_[i] is registered as fixed
-  // buffer index i, each kRegisteredBufBytes long.
+  // buffer index i, each kRegisteredBufBytes long. reg_bufs_/reg_bufs_ok_
+  // are immutable once SetupRing returns; the free list churns under
+  // submit_mu_.
   std::vector<void*> reg_bufs_;
-  std::vector<int32_t> reg_free_;
+  std::vector<int32_t> reg_free_ GUARDED_BY(submit_mu_);
   bool reg_bufs_ok_ = false;
 
-  std::mutex submit_mu_;          // SQ producer + op-slot allocator.
-  std::vector<UringOp> ops_;
-  std::vector<uint32_t> op_free_;
+  // SQ producer + op-slot allocator. Ranked after the queue-pair and
+  // pipeline locks: BeginExecute runs inside the dispatcher with those held
+  // above it, and the reaper releases it before CompleteLaneTask re-enters
+  // the (lower-ranked) completion locks.
+  fdp::Mutex submit_mu_{lock_rank::Make(lock_rank::kUringSubmit), "uring_submit"};
+  std::vector<UringOp> ops_ GUARDED_BY(submit_mu_);
+  std::vector<uint32_t> op_free_ GUARDED_BY(submit_mu_);
   std::atomic<uint64_t> sync_fallbacks_{0};
   std::thread reaper_;
 
   // --- thread-pool fallback engine ---
-  std::mutex pool_mu_;
-  std::condition_variable pool_cv_;
-  std::deque<LaneTask> pool_queue_;
-  bool pool_stop_ = false;
+  fdp::Mutex pool_mu_{lock_rank::Make(lock_rank::kUringPool), "uring_pool"};
+  fdp::CondVar pool_cv_;
+  std::deque<LaneTask> pool_queue_ GUARDED_BY(pool_mu_);
+  bool pool_stop_ GUARDED_BY(pool_mu_) = false;
   std::vector<std::thread> pool_;
 };
 

@@ -51,7 +51,7 @@ MetricsRegistry& MetricsRegistry::Instance() {
 }
 
 MetricCounter* MetricsRegistry::Counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fdp::MutexLock lock(&mu_);
   auto it = metrics_.find(name);
   if (it != metrics_.end()) {
     return it->second.type == Type::kCounter ? it->second.counter.get() : nullptr;
@@ -65,7 +65,7 @@ MetricCounter* MetricsRegistry::Counter(const std::string& name) {
 }
 
 MetricGauge* MetricsRegistry::Gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fdp::MutexLock lock(&mu_);
   auto it = metrics_.find(name);
   if (it != metrics_.end()) {
     return it->second.type == Type::kGauge ? it->second.gauge.get() : nullptr;
@@ -79,7 +79,7 @@ MetricGauge* MetricsRegistry::Gauge(const std::string& name) {
 }
 
 MetricHistogram* MetricsRegistry::Histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fdp::MutexLock lock(&mu_);
   auto it = metrics_.find(name);
   if (it != metrics_.end()) {
     return it->second.type == Type::kHistogram ? it->second.histogram.get() : nullptr;
@@ -93,12 +93,12 @@ MetricHistogram* MetricsRegistry::Histogram(const std::string& name) {
 }
 
 void MetricsRegistry::AddCollector(std::function<void(MetricsRegistry&)> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fdp::MutexLock lock(&mu_);
   collectors_.push_back(std::move(fn));
 }
 
 void MetricsRegistry::ClearCollectors() {
-  std::lock_guard<std::mutex> lock(mu_);
+  fdp::MutexLock lock(&mu_);
   collectors_.clear();
 }
 
@@ -106,14 +106,14 @@ std::string MetricsRegistry::RenderPrometheus() {
   // Run collectors outside mu_ so they can call Counter()/Gauge() freely.
   std::vector<std::function<void(MetricsRegistry&)>> collectors;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    fdp::MutexLock lock(&mu_);
     collectors = collectors_;
   }
   for (auto& fn : collectors) {
     fn(*this);
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  fdp::MutexLock lock(&mu_);
   std::string out;
   out.reserve(4096);
   std::string last_family;
@@ -182,7 +182,7 @@ MetricsExporter::~MetricsExporter() { Stop(); }
 
 void MetricsExporter::Start() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    fdp::MutexLock lock(&mu_);
     if (running_) {
       return;
     }
@@ -209,13 +209,13 @@ void MetricsExporter::Start() {
 
 void MetricsExporter::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    fdp::MutexLock lock(&mu_);
     if (!running_) {
       return;
     }
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (thread_.joinable()) {
     thread_.join();
   }
@@ -226,7 +226,7 @@ void MetricsExporter::Stop() {
     listen_fd_ = -1;
     ::unlink(options_.socket_path.c_str());
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  fdp::MutexLock lock(&mu_);
   running_ = false;
 }
 
@@ -238,7 +238,7 @@ void MetricsExporter::Loop() {
       int waited = 0;
       while (waited < interval) {
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          fdp::MutexLock lock(&mu_);
           if (stop_) {
             return;
           }
@@ -264,9 +264,15 @@ void MetricsExporter::Loop() {
         }
       }
     } else {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
-                       [this] { return stop_; })) {
+      fdp::MutexLock lock(&mu_);
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(options_.interval_ms);
+      while (!stop_) {
+        if (!cv_.WaitUntil(&mu_, deadline)) {
+          break;  // Interval elapsed without a stop signal: snapshot below.
+        }
+      }
+      if (stop_) {
         return;
       }
     }

@@ -25,15 +25,15 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "src/common/thread_annotations.h"
 
 namespace fdpcache {
 namespace obs {
@@ -119,10 +119,13 @@ class MetricsRegistry {
     std::unique_ptr<MetricHistogram> histogram;
   };
 
-  std::mutex mu_;
+  // Terminal rank: the registry lock is the innermost lock in the stack —
+  // collectors run OUTSIDE it (RenderPrometheus copies them out first), so
+  // their locked Stats()/Telemetry() snapshots never nest inside it.
+  fdp::Mutex mu_{lock_rank::Make(lock_rank::kMetrics), "metrics"};
   // Ordered map => families render contiguously and output is deterministic.
-  std::map<std::string, Entry> metrics_;
-  std::vector<std::function<void(MetricsRegistry&)>> collectors_;
+  std::map<std::string, Entry> metrics_ GUARDED_BY(mu_);
+  std::vector<std::function<void(MetricsRegistry&)>> collectors_ GUARDED_BY(mu_);
 };
 
 struct MetricsExporterOptions {
@@ -153,10 +156,10 @@ class MetricsExporter {
   MetricsRegistry* registry_;
   MetricsExporterOptions options_;
   std::thread thread_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  bool running_ = false;
+  fdp::Mutex mu_{lock_rank::Make(lock_rank::kMetricsExporter), "metrics_exporter"};
+  fdp::CondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
+  bool running_ GUARDED_BY(mu_) = false;
   int listen_fd_ = -1;
   std::atomic<uint64_t> snapshots_{0};
 };

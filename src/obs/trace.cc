@@ -99,7 +99,7 @@ TraceController& TraceController::Instance() {
 }
 
 void TraceController::Enable(uint32_t sample_every) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fdp::MutexLock lock(&mu_);
   sample_every_.store(sample_every == 0 ? 1 : sample_every, std::memory_order_relaxed);
 #ifndef FDPCACHE_DISABLE_TRACING
   internal::g_tracing_enabled.store(true, std::memory_order_relaxed);
@@ -107,7 +107,7 @@ void TraceController::Enable(uint32_t sample_every) {
 }
 
 void TraceController::Disable() {
-  std::lock_guard<std::mutex> lock(mu_);
+  fdp::MutexLock lock(&mu_);
 #ifndef FDPCACHE_DISABLE_TRACING
   internal::g_tracing_enabled.store(false, std::memory_order_relaxed);
 #endif
@@ -126,7 +126,7 @@ uint32_t TraceController::sample_every() const {
 }
 
 TraceController::Ring* TraceController::RingForThisThread() {
-  std::lock_guard<std::mutex> lock(mu_);
+  fdp::MutexLock lock(&mu_);
   auto ring = std::make_shared<Ring>();
   ring->tid = static_cast<uint32_t>(rings_.size());
   rings_.push_back(ring);
@@ -136,7 +136,7 @@ TraceController::Ring* TraceController::RingForThisThread() {
 std::vector<TraceEvent> TraceController::Collect() const {
   std::vector<std::shared_ptr<Ring>> rings;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    fdp::MutexLock lock(&mu_);
     rings = rings_;
   }
   std::vector<TraceEvent> out;
@@ -154,7 +154,7 @@ std::vector<TraceEvent> TraceController::Collect() const {
 }
 
 uint64_t TraceController::DroppedEvents() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fdp::MutexLock lock(&mu_);
   uint64_t dropped = 0;
   for (const auto& ring : rings_) {
     uint64_t head = ring->head.load(std::memory_order_acquire);
@@ -166,7 +166,7 @@ uint64_t TraceController::DroppedEvents() const {
 }
 
 void TraceController::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  fdp::MutexLock lock(&mu_);
   for (const auto& ring : rings_) {
     ring->head.store(0, std::memory_order_release);
   }

@@ -40,9 +40,10 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/common/thread_annotations.h"
 
 namespace fdpcache {
 namespace obs {
@@ -272,8 +273,12 @@ class TraceController {
 
   Ring* RingForThisThread();
 
-  mutable std::mutex mu_;  // Guards rings_ registration and control state.
-  std::vector<std::shared_ptr<Ring>> rings_;
+  // Guards rings_ registration and control state. Deep leaf: a thread's
+  // FIRST RecordSpan registers its ring while arbitrary stack locks are
+  // held above, so nothing may ever be acquired beneath it except the
+  // metrics locks.
+  mutable fdp::Mutex mu_{lock_rank::Make(lock_rank::kTrace), "trace"};
+  std::vector<std::shared_ptr<Ring>> rings_ GUARDED_BY(mu_);
   std::atomic<uint32_t> sample_every_{1};
   std::atomic<uint64_t> next_id_{0};
 };

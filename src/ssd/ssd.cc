@@ -48,7 +48,7 @@ SimulatedSsd::SimulatedSsd(const SsdConfig& config)
       gc_unit_(std::make_unique<GcUnit>(ftl_.get(), config.gc)) {}
 
 std::optional<uint32_t> SimulatedSsd::CreateNamespace(uint64_t size_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fdp::MutexLock lock(&mu_);
   const uint64_t pages = CeilDiv(size_bytes, config_.geometry.page_size_bytes);
   if (pages == 0 || allocated_pages_ + pages > ftl_->logical_pages()) {
     return std::nullopt;
@@ -63,7 +63,7 @@ std::optional<uint32_t> SimulatedSsd::CreateNamespace(uint64_t size_bytes) {
 }
 
 uint64_t SimulatedSsd::UnallocatedBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fdp::MutexLock lock(&mu_);
   return (ftl_->logical_pages() - allocated_pages_) * config_.geometry.page_size_bytes;
 }
 
@@ -94,7 +94,7 @@ NvmeCompletion SimulatedSsd::Write(uint32_t nsid, uint64_t slba, uint32_t nlb,
   // matching the historical in-lock behaviour.
   std::vector<DataStore::Frame> frames;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    fdp::MutexLock lock(&mu_);
     const std::optional<uint64_t> base = Translate(nsid, slba, nlb);
     if (!base.has_value()) {
       completion.status = nsid == 0 || nsid > namespaces_.size() ? NvmeStatus::kInvalidNamespace
@@ -140,7 +140,7 @@ NvmeCompletion SimulatedSsd::Read(uint32_t nsid, uint64_t slba, uint32_t nlb, vo
   // bytes alive), the copies run outside it.
   std::vector<DataStore::Frame> frames;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    fdp::MutexLock lock(&mu_);
     const std::optional<uint64_t> base = Translate(nsid, slba, nlb);
     if (!base.has_value()) {
       completion.status = nsid == 0 || nsid > namespaces_.size() ? NvmeStatus::kInvalidNamespace
@@ -174,7 +174,7 @@ NvmeCompletion SimulatedSsd::Read(uint32_t nsid, uint64_t slba, uint32_t nlb, vo
 
 NvmeCompletion SimulatedSsd::Deallocate(uint32_t nsid, uint64_t slba, uint64_t nlb,
                                         TimeNs now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fdp::MutexLock lock(&mu_);
   NvmeCompletion completion;
   completion.submitted_at = now;
   // Deallocate is a metadata operation; it completes "immediately" in the
@@ -198,7 +198,7 @@ NvmeCompletion SimulatedSsd::Deallocate(uint32_t nsid, uint64_t slba, uint64_t n
 }
 
 FdpCapabilities SimulatedSsd::IdentifyFdp() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fdp::MutexLock lock(&mu_);
   FdpCapabilities caps;
   caps.fdp_supported = true;
   caps.fdp_enabled = ftl_->fdp_enabled();
@@ -211,7 +211,7 @@ FdpCapabilities SimulatedSsd::IdentifyFdp() const {
 }
 
 bool SimulatedSsd::SetFdpEnabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fdp::MutexLock lock(&mu_);
   if (ftl_->mapped_pages() != 0) {
     return false;  // Real devices require reformat; we require an empty FTL.
   }
@@ -220,7 +220,7 @@ bool SimulatedSsd::SetFdpEnabled(bool enabled) {
 }
 
 void SimulatedSsd::TrimAll(bool reset_stats) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fdp::MutexLock lock(&mu_);
   for (const NamespaceInfo& ns : namespaces_) {
     for (uint64_t i = 0; i < ns.size_pages; ++i) {
       ftl_->TrimPage(ns.base_lpn + i);
@@ -233,7 +233,7 @@ void SimulatedSsd::TrimAll(bool reset_stats) {
 }
 
 SsdTelemetry SimulatedSsd::Telemetry(TimeNs elapsed) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fdp::MutexLock lock(&mu_);
   SsdTelemetry t;
   t.nand = ftl_->media().counts();
   t.ftl = ftl_->counters();
@@ -259,6 +259,10 @@ SsdTelemetry SimulatedSsd::Telemetry(TimeNs elapsed) const {
 }
 
 void SimulatedSsd::OnPageRead(uint64_t ppn, bool is_gc) {
+  // Reached from the FTL through the listener interface; the command path
+  // that invoked the FTL holds mu_ (runtime-checked, since the analysis
+  // cannot follow the virtual call).
+  mu_.AssertHeld();
   const uint32_t die = ftl_->PpnDie(ppn);
   const TimeNs duration = config_.timing.read_page_ns;
   TimeNs done;
@@ -277,6 +281,7 @@ void SimulatedSsd::OnPageRead(uint64_t ppn, bool is_gc) {
 }
 
 void SimulatedSsd::OnPageProgram(uint64_t ppn, bool is_gc) {
+  mu_.AssertHeld();  // See OnPageRead.
   const uint32_t die = ftl_->PpnDie(ppn);
   const TimeNs done = dies_.Schedule(die, op_now_, config_.timing.program_page_ns);
   if (!is_gc) {
@@ -288,6 +293,7 @@ void SimulatedSsd::OnPageProgram(uint64_t ppn, bool is_gc) {
 }
 
 void SimulatedSsd::OnSuperblockErase(uint32_t /*superblock*/) {
+  mu_.AssertHeld();  // See OnPageRead.
   // All planes of each die erase in parallel: one erase interval per die.
   // Erases are suspendable — a foreground read arriving while one is in
   // flight may preempt it (feedback GC mode only; see OnPageRead).
@@ -298,6 +304,7 @@ void SimulatedSsd::OnSuperblockErase(uint32_t /*superblock*/) {
 }
 
 uint32_t SimulatedSsd::OnRuOpen(uint32_t /*superblock*/, bool /*gc_destination*/) {
+  mu_.AssertHeld();  // See OnPageRead.
   // Feedback placement: phase each fresh RU's stripe onto the coldest die so
   // appends drain toward idle dies instead of piling behind busy ones.
   if (gc_unit_->mode() == GcMode::kFeedback && config_.gc.cold_die_placement) {
@@ -321,7 +328,7 @@ void SimulatedSsd::TickGcLocked() {
 }
 
 uint32_t SimulatedSsd::RunGcTick(TimeNs now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fdp::MutexLock lock(&mu_);
   if (!gc_unit_->enabled()) {
     return 0;
   }
@@ -336,7 +343,7 @@ uint32_t SimulatedSsd::RunGcTick(TimeNs now) {
 }
 
 void SimulatedSsd::ResetGcStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  fdp::MutexLock lock(&mu_);
   gc_unit_->ResetStats();
   host_stall_ns_ = 0;
   gc_die_ns_ = 0;

@@ -24,10 +24,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/fdp/events.h"
 #include "src/fdp/stats.h"
 #include "src/fdp/types.h"
@@ -116,11 +116,11 @@ class SimulatedSsd final : public FtlEventListener {
 
   FdpCapabilities IdentifyFdp() const;
   FdpStatistics GetFdpStatisticsLog() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    fdp::MutexLock lock(&mu_);
     return ftl_->stats();
   }
   std::vector<FdpEvent> DrainFdpEventsLog() {
-    std::lock_guard<std::mutex> lock(mu_);
+    fdp::MutexLock lock(&mu_);
     return ftl_->event_log().Drain();
   }
 
@@ -136,7 +136,7 @@ class SimulatedSsd final : public FtlEventListener {
 
   // Furthest-out die completion; the harness uses it for backpressure.
   TimeNs MaxDieBusyUntil() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    fdp::MutexLock lock(&mu_);
     return dies_.MaxBusyUntil();
   }
 
@@ -171,34 +171,43 @@ class SimulatedSsd final : public FtlEventListener {
 
  private:
   // Translates (nsid, slba) to a device LPN; nullopt on invalid input.
-  std::optional<uint64_t> Translate(uint32_t nsid, uint64_t slba, uint64_t nlb) const;
+  std::optional<uint64_t> Translate(uint32_t nsid, uint64_t slba, uint64_t nlb) const
+      REQUIRES(mu_);
 
   // One background GC step with mu_ held and op_now_ established. The I/O
   // path invokes this after each command so GC traffic lands on the die
   // timeline right behind the foreground op that triggered it.
-  void TickGcLocked();
+  void TickGcLocked() REQUIRES(mu_);
 
   // Serializes the command, admin, and telemetry paths across submitters.
-  mutable std::mutex mu_;
+  // Near-leaf: only the trace buffer may be acquired beneath it (the
+  // listener callbacks record spans).
+  mutable fdp::Mutex mu_{lock_rank::Make(lock_rank::kSsd), "ssd"};
 
   SsdConfig config_;
+  // ftl_/namespaces_/gc_unit_ are mutated under mu_ on the command paths but
+  // stay unannotated: the raw accessors (ftl(), namespaces(), gc_unit())
+  // intentionally bypass the lock for construction-time setup and quiescent
+  // inspection (see class comment).
   std::unique_ptr<Ftl> ftl_;
-  DieScheduler dies_;
-  DataStore data_;
+  DieScheduler dies_ GUARDED_BY(mu_);
+  DataStore data_ GUARDED_BY(mu_);
   std::unique_ptr<GcUnit> gc_unit_;
   std::vector<NamespaceInfo> namespaces_;
-  uint64_t allocated_pages_ = 0;
+  uint64_t allocated_pages_ GUARDED_BY(mu_) = 0;
 
   // Host-QD feedback published by the queue layer (read by the GC throttle).
   std::atomic<uint32_t> host_load_hint_{0};
 
-  // Background-interference meters (guarded by mu_).
-  TimeNs host_stall_ns_ = 0;
-  TimeNs gc_die_ns_ = 0;
+  // Background-interference meters.
+  TimeNs host_stall_ns_ GUARDED_BY(mu_) = 0;
+  TimeNs gc_die_ns_ GUARDED_BY(mu_) = 0;
 
-  // Per-command scratch used by the listener callbacks.
-  TimeNs op_now_ = 0;
-  TimeNs host_op_completion_ = 0;
+  // Per-command scratch used by the listener callbacks (the FTL invokes them
+  // through the FtlEventListener interface while the caller holds mu_; each
+  // override re-establishes that fact with mu_.AssertHeld()).
+  TimeNs op_now_ GUARDED_BY(mu_) = 0;
+  TimeNs host_op_completion_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace fdpcache

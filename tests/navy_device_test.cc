@@ -31,7 +31,7 @@ TEST(SimSsdDeviceTest, HandleZeroMeansNoDirective) {
   SimSsdDevice device(&ssd, nsid, &clock);
   std::vector<uint8_t> page(4096, 1);
   ASSERT_TRUE(device.Write(0, page.data(), 4096, kNoPlacement));
-  const auto ppn = ssd.ftl().ReadPage(0);
+  const auto ppn = ssd.ftl().LookupPage(0);
   ASSERT_TRUE(ppn.has_value());
   EXPECT_EQ(ssd.ftl().ru_info(ssd.config().geometry.SuperblockOfPpn(*ppn)).owner, 0);
 }
@@ -43,7 +43,7 @@ TEST(SimSsdDeviceTest, HandleNMapsToRuhNMinus1) {
   SimSsdDevice device(&ssd, nsid, &clock);
   std::vector<uint8_t> page(4096, 1);
   ASSERT_TRUE(device.Write(0, page.data(), 4096, 4));  // RUH 3.
-  const auto ppn = ssd.ftl().ReadPage(0);
+  const auto ppn = ssd.ftl().LookupPage(0);
   EXPECT_EQ(ssd.ftl().ru_info(ssd.config().geometry.SuperblockOfPpn(*ppn)).owner, 3);
 }
 

@@ -163,7 +163,7 @@ TEST_F(SocTest, PlacementHandleTagsWrites) {
   SmallObjectCache soc(device_.get(), config);
   ASSERT_TRUE(soc.Insert("k", "v"));
   // The write landed in an RU owned by RUH 2.
-  const auto ppn = ssd_->ftl().ReadPage(soc.BucketOf("k"));
+  const auto ppn = ssd_->ftl().LookupPage(soc.BucketOf("k"));
   ASSERT_TRUE(ppn.has_value());
   const uint32_t ru = ssd_->config().geometry.SuperblockOfPpn(*ppn);
   EXPECT_EQ(ssd_->ftl().ru_info(ru).owner, 2);

@@ -160,8 +160,8 @@ TEST(SsdDeviceTest, WriteWithPlacementDirectiveSegregates) {
   ASSERT_TRUE(ssd.Write(1, 1, 1, data.data(), DirectiveType::kDataPlacement,
                         EncodeDspec({0, 1}), 0)
                   .ok());
-  const auto ppn0 = ssd.ftl().ReadPage(0);
-  const auto ppn1 = ssd.ftl().ReadPage(1);
+  const auto ppn0 = ssd.ftl().LookupPage(0);
+  const auto ppn1 = ssd.ftl().LookupPage(1);
   ASSERT_TRUE(ppn0.has_value());
   ASSERT_TRUE(ppn1.has_value());
   EXPECT_NE(ssd.config().geometry.SuperblockOfPpn(*ppn0),
